@@ -1,0 +1,48 @@
+//! Criterion bench for E5/E6: end-to-end recovery latency under the vSI
+//! test vs the generalized rSI + exposure test (§5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llog_core::{recover, Engine, RedoPolicy};
+use llog_ops::TransformRegistry;
+use llog_sim::{run_workload, Workload, WorkloadKind};
+use llog_storage::StableStore;
+use llog_wal::Wal;
+
+fn crashed_image(n_ops: usize) -> (StableStore, Wal) {
+    let registry = TransformRegistry::with_builtins();
+    let mut e = Engine::new(llog_bench::default_config(), registry);
+    let specs = Workload::new(32, n_ops, WorkloadKind::app_mix(), 123).generate();
+    run_workload(&mut e, &specs, 6, 0).unwrap();
+    e.wal_mut().force();
+    e.crash()
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    for &n in &[500usize, 2000] {
+        let (store, wal) = crashed_image(n);
+        for policy in [RedoPolicy::Vsi, RedoPolicy::RsiExposed] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), n),
+                &(store.clone(), wal.clone()),
+                |b, (store, wal)| {
+                    let registry = TransformRegistry::with_builtins();
+                    b.iter(|| {
+                        recover(
+                            store.clone(),
+                            wal.clone(),
+                            registry.clone(),
+                            llog_bench::default_config(),
+                            policy,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

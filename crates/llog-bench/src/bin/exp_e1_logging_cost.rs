@@ -1,0 +1,7 @@
+//! E1: Figure 1 — logical vs physiological logging cost.
+fn main() {
+    println!("E1 — Figure 1: bytes logged for operations A (Y ← f(X,Y)) and B (X ← g(Y))");
+    println!("{}", llog_bench::e1_logging_cost::table());
+    println!("Paper claim: logical records carry ids (~16 B per operand); physiological");
+    println!("records carry data values, so cost scales with object size.");
+}

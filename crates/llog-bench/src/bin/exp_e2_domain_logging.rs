@@ -1,0 +1,8 @@
+//! E2: per-domain logging cost (application, file system, B-tree).
+fn main() {
+    println!("E2 — Table 1 domains: logical operations vs value-logging fallbacks");
+    println!("{}", llog_bench::e2_domain_logging::table());
+    println!("Paper claim: logging source identifiers instead of values yields");
+    println!("\"enormous savings\" for application state and files, and avoids logging");
+    println!("the new node on B-tree splits.");
+}

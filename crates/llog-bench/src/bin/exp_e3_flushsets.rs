@@ -1,0 +1,11 @@
+//! E3: Figures 5 & 7 — atomic flush-set sizes under W vs rW.
+fn main() {
+    println!("E3a — Figure 7 trace (A writes {{X,Y}}; B reads X; C blindly writes X):");
+    println!("{}", llog_bench::e3_flushsets::figure7_table());
+    println!("E3b — random logical workloads, sweeping the blind-write share:");
+    println!("{}", llog_bench::e3_flushsets::sweep_table());
+    let (w, rw) = llog_bench::e3_flushsets::physiological_degenerate(200);
+    println!("E3c — physiological-only workload: max flush set W = {w}, rW = {rw} (both degenerate, §3)");
+    println!("Paper claim: in W atomic sets only grow; rW removes unexposed objects, so");
+    println!("blind writes shrink its sets (Figure 7: rW flushes X and Y separately).");
+}

@@ -1,0 +1,8 @@
+//! E4: §4 — identity writes vs flush transactions vs shadows.
+fn main() {
+    println!("E4 — §4 'Comparing Costs': installing one k-object atomic flush set (4 KiB objects)");
+    println!("{}", llog_bench::e4_flush_break::table());
+    println!("Paper claims: identity writes log k-1 values (one object need not be");
+    println!("logged), never quiesce; flush transactions log all k values, force, and");
+    println!("quiesce; shadows pay a root write and destroy sequentiality.");
+}

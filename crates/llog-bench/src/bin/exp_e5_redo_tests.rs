@@ -1,0 +1,8 @@
+//! E5: §5 — REDO-test comparison with transient objects.
+fn main() {
+    println!("E5 — §5: operations re-executed during recovery, vSI test vs generalized rSI test");
+    println!("{}", llog_bench::e5_redo_tests::table());
+    println!("Paper claim: treating deleted/unexposed objects as installed avoids");
+    println!("re-executing expensive operations; the saving grows with the share of");
+    println!("transient objects (files/applications that terminated before the crash).");
+}

@@ -1,0 +1,8 @@
+//! E7: ablation across four designs on an application workload.
+fn main() {
+    println!("E7 — §6 ablation: application workload (40 iterations, 32 KiB inputs)");
+    println!("{}", llog_bench::e7_ablation::table());
+    println!("Paper claim: rW + logical writes + identity writes minimizes log volume");
+    println!("without quiescing; [Lomet98] physical writes pay value logging; W-based");
+    println!("designs pay multi-object flush transactions.");
+}

@@ -1,0 +1,9 @@
+//! E8: fuzzy backups and media recovery under logical logging.
+fn main() {
+    println!("E8 — fuzzy backups (8 seeds, workload concurrent with the sweep)");
+    println!("{}", llog_bench::e8_media::table());
+    println!("Paper claim (§1): fuzzy backup copying can violate flush order for the");
+    println!("backup even when the stable database honors it; the snapshot mode's");
+    println!("copy-before-overwrite keeps every backup recoverable at the cost of the");
+    println!("extra copies shown.");
+}

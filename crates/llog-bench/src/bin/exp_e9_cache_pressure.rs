@@ -1,0 +1,9 @@
+//! E9: bounded cache — evictions, forced installs and CM-strategy costs.
+fn main() {
+    println!("E9 — §3 cache pressure: 600-op app-mix workload over 32 objects");
+    println!("{}", llog_bench::e9_cache_pressure::table());
+    println!("Paper motivation: a (nearly) full volatile state forces the CM to install");
+    println!("and evict; the identity-write CM absorbs the pressure without quiescing,");
+    println!("while the flush-transaction CM pays quiesces whenever multi-object sets");
+    println!("must move under pressure.");
+}

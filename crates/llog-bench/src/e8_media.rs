@@ -1,0 +1,134 @@
+//! E8 — §1 / \[Lomet, Media Recovery\]: fuzzy backups under logical
+//! logging.
+//!
+//! A workload runs while a fuzzy backup sweeps the stable store. We
+//! measure the backup's extra cost (copy-before-overwrite I/O) and verify
+//! end-to-end media recovery: restore the backup, roll the retained log
+//! forward, compare every object against the replay oracle. The naive
+//! backup mode is also scored: how often does it yield an unrecoverable
+//! backup?
+
+use llog_core::{media_recover, BackupMode, Engine, RedoPolicy};
+use llog_ops::TransformRegistry;
+use llog_sim::{replay_stable_log, Table, Workload, WorkloadKind};
+
+use crate::default_config;
+
+/// One backup run's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    pub mode: BackupMode,
+    pub seed: u64,
+    pub backup_copies: u64,
+    pub backup_bytes: u64,
+    pub recovered_correctly: bool,
+    pub redone: u64,
+}
+
+/// Run a workload with a concurrent fuzzy backup, destroy the stable
+/// store, and media-recover from the backup.
+pub fn run_one(mode: BackupMode, seed: u64) -> Row {
+    let registry = TransformRegistry::with_builtins();
+    let mut e = Engine::new(default_config(), registry.clone());
+    let specs = Workload::new(12, 300, WorkloadKind::app_mix(), seed).generate();
+
+    // Warm up: run a third, install everything so the store is populated.
+    for s in &specs[..100] {
+        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
+            .unwrap();
+    }
+    e.install_all().unwrap();
+
+    // Fuzzy backup concurrent with the rest of the workload.
+    e.begin_backup(mode).unwrap();
+    for (i, s) in specs[100..].iter().enumerate() {
+        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
+            .unwrap();
+        if i % 5 == 0 {
+            e.install_one().unwrap();
+        }
+        if i % 20 == 0 {
+            e.backup_step(1).unwrap();
+        }
+    }
+    let backup = e.finish_backup().unwrap();
+    e.install_all().unwrap();
+    e.wal_mut().force();
+
+    let m = e.metrics().snapshot();
+    // Media failure: the stable store is destroyed; only the log survives.
+    let (_lost_store, wal) = e.crash();
+    let want = replay_stable_log(&wal, &registry).unwrap();
+
+    let (recovered, out) = media_recover(
+        &backup,
+        wal,
+        registry,
+        default_config(),
+        RedoPolicy::Vsi,
+    )
+    .unwrap();
+    let ok = want
+        .iter()
+        .all(|(&x, v)| &recovered.peek_value(x) == v);
+    Row {
+        mode,
+        seed,
+        backup_copies: m.backup_copies,
+        backup_bytes: m.backup_bytes,
+        recovered_correctly: ok,
+        redone: out.redone,
+    }
+}
+
+pub fn run(seeds: &[u64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        rows.push(run_one(BackupMode::Snapshot, seed));
+        rows.push(run_one(BackupMode::Naive, seed));
+    }
+    rows
+}
+
+pub fn table() -> Table {
+    let seeds: Vec<u64> = (1..=8).collect();
+    let rows = run(&seeds);
+    let mut t = Table::new(vec!["mode", "runs", "correct recoveries", "avg copies", "avg redone"]);
+    for mode in [BackupMode::Snapshot, BackupMode::Naive] {
+        let sel: Vec<&Row> = rows.iter().filter(|r| r.mode == mode).collect();
+        let correct = sel.iter().filter(|r| r.recovered_correctly).count();
+        let avg = |f: &dyn Fn(&Row) -> u64| {
+            sel.iter().map(|r| f(r)).sum::<u64>() / sel.len() as u64
+        };
+        t.row(vec![
+            format!("{mode:?}"),
+            format!("{}", sel.len()),
+            format!("{correct}/{}", sel.len()),
+            format!("{}", avg(&|r: &Row| r.backup_copies)),
+            format!("{}", avg(&|r: &Row| r.redone)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_backups_always_media_recover() {
+        for seed in 1..=5 {
+            let r = run_one(BackupMode::Snapshot, seed);
+            assert!(r.recovered_correctly, "seed {seed} failed");
+        }
+    }
+
+    #[test]
+    fn naive_backups_fail_somewhere() {
+        // The §1 warning made concrete: across seeds, at least one naive
+        // fuzzy backup must be unrecoverable (if all passed, the experiment
+        // would show nothing).
+        let any_failure = (1..=10).any(|seed| !run_one(BackupMode::Naive, seed).recovered_correctly);
+        assert!(any_failure, "expected at least one naive-mode corruption");
+    }
+}

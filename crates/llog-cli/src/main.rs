@@ -1,0 +1,72 @@
+//! `llogtool` — run, inspect, recover and verify llog databases on disk.
+//!
+//! A database directory holds two files: `store.llog` (the stable object
+//! store image) and `wal.llog` (the forced log). Commands:
+//!
+//! ```text
+//! llogtool demo <dir> [ops] [seed]   run a workload and crash mid-flight
+//! llogtool dump <dir>                print every stable log record
+//! llogtool stats <dir>               store/log statistics
+//! llogtool recover <dir> [policy]    recover (vsi|rsi), install, save back
+//! llogtool verify <dir>              recover in memory and check the oracle
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use llog_cli::{
+    cmd_backup, cmd_demo, cmd_dump, cmd_media_recover, cmd_recover, cmd_stats, cmd_verify,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: llogtool <demo|dump|stats|recover|verify|backup|media-recover> <dir> [args]\n\
+         \n\
+         demo <dir> [ops=200] [seed=42]   run a workload, crash, save the image\n\
+         dump <dir>                       print the stable log records\n\
+         stats <dir>                      store and log statistics\n\
+         recover <dir> [vsi|rsi]          recover, install everything, save back\n\
+         verify <dir>                     recover in memory, compare to the oracle\n\
+         backup <dir> <file>              archive a snapshot backup\n\
+         media-recover <dir> <file>       restore from backup + surviving log"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, dir) = match (args.first(), args.get(1)) {
+        (Some(c), Some(d)) => (c.as_str(), PathBuf::from(d)),
+        _ => return usage(),
+    };
+    let result = match cmd {
+        "demo" => {
+            let ops = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+            let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+            cmd_demo(&dir, ops, seed)
+        }
+        "dump" => cmd_dump(&dir),
+        "stats" => cmd_stats(&dir),
+        "recover" => {
+            let policy = args.get(2).map(String::as_str).unwrap_or("rsi");
+            cmd_recover(&dir, policy)
+        }
+        "verify" => cmd_verify(&dir),
+        "backup" => match args.get(2) {
+            Some(f) => cmd_backup(&dir, Path::new(f)),
+            None => return usage(),
+        },
+        "media-recover" => match args.get(2) {
+            Some(f) => cmd_media_recover(&dir, Path::new(f)),
+            None => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("llogtool {cmd} {}: {e}", Path::display(&dir));
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Recovery: the analysis pass and the redo pass (`Recover`, Figure 2).
+//!
+//! Recovery reads the master record for the last stable checkpoint, rebuilds
+//! the dirty object table from checkpoint + installation + flush + operation
+//! records (*analysis*), completes any committed flush transactions, then
+//! scans from the redo start point re-executing exactly the operations the
+//! configured [`RedoPolicy`] selects (*redo*). Redone operations are
+//! re-attached to a fresh [`Engine`] — cache, dirty table and write graph
+//! are rebuilt, so normal operation (and a second crash) can follow
+//! seamlessly; that is what makes recovery idempotent (Theorem 2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use llog_ops::{OpKind, TransformRegistry};
+use llog_storage::{Metrics, StableStore};
+use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
+use llog_wal::{LogRecord, Wal};
+
+use crate::cache::{Engine, EngineConfig};
+use crate::redo::{dead_records, should_redo, RedoContext, RedoPolicy};
+
+/// What recovery did — the quantities experiments E5/E6 report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Records visited by the analysis pass.
+    pub analysis_scanned: u64,
+    /// Records visited by the redo pass.
+    pub redo_scanned: u64,
+    /// Operations re-executed.
+    pub redone: u64,
+    /// Operation records bypassed by the REDO test (including dead records
+    /// of transient objects).
+    pub skipped: u64,
+    /// Uninstalled deletes applied (cheap; counted separately from redone).
+    pub deletes_applied: u64,
+    /// Trial executions voided (§5 cases 2b/2c).
+    pub voided: u64,
+    /// Where the redo scan started.
+    pub redo_start: Lsn,
+    /// Flush-transaction values reapplied from the log.
+    pub ftxn_replayed: u64,
+    /// The log ended in a torn record (expected after a mid-force crash).
+    pub torn_tail: bool,
+}
+
+/// Result of the analysis pass.
+#[derive(Debug, Clone, Default)]
+struct Analysis {
+    dirty: BTreeMap<ObjectId, Lsn>,
+    /// Values of committed flush transactions, in log order.
+    ftxn_values: Vec<(ObjectId, Value, Lsn)>,
+    redo_start: Lsn,
+    scanned: u64,
+    torn_tail: bool,
+    max_op_id: Option<u64>,
+}
+
+fn analyze(wal: &Wal) -> Result<Analysis> {
+    let mut a = Analysis::default();
+    let mut scan_from = wal.start_lsn();
+
+    // The master record points at the last stable checkpoint; seed the dirty
+    // object table from it.
+    if let Some(cp_lsn) = wal.master_checkpoint() {
+        if let LogRecord::Checkpoint(cp) = wal.read_at(cp_lsn)? {
+            a.dirty = cp.dirty.into_iter().collect();
+            scan_from = cp_lsn;
+        } else {
+            return Err(LlogError::Corrupt {
+                offset: cp_lsn.0,
+                reason: "master record does not point at a checkpoint".into(),
+            });
+        }
+    }
+
+    let mut pending_ftxn: Vec<(ObjectId, Value, Lsn)> = Vec::new();
+    for item in wal.scan(scan_from) {
+        let (lsn, rec) = match item {
+            Ok(x) => x,
+            Err(LlogError::Corrupt { .. }) => {
+                a.torn_tail = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        a.scanned += 1;
+        match rec {
+            LogRecord::Op(op) => {
+                a.max_op_id = Some(a.max_op_id.map_or(op.id.0, |m| m.max(op.id.0)));
+                for &x in &op.writes {
+                    a.dirty.entry(x).or_insert(lsn);
+                }
+            }
+            LogRecord::Install(ir) => {
+                for (x, rsi) in ir.vars.into_iter().chain(ir.notx) {
+                    if rsi == Lsn::MAX {
+                        a.dirty.remove(&x);
+                    } else {
+                        a.dirty.insert(x, rsi);
+                    }
+                }
+            }
+            LogRecord::Flush { obj, .. } => {
+                a.dirty.remove(&obj);
+            }
+            LogRecord::FlushTxnBegin { .. } => pending_ftxn.clear(),
+            LogRecord::FlushTxnValue { obj, value, vsi } => {
+                pending_ftxn.push((obj, value, vsi));
+            }
+            LogRecord::FlushTxnCommit => {
+                a.ftxn_values.append(&mut pending_ftxn);
+            }
+            LogRecord::Checkpoint(cp) => {
+                // A later checkpoint than the master (its force may have
+                // carried it to disk before the crash): adopt its table on
+                // top of what we've accumulated — it is a superset summary.
+                for (x, rsi) in cp.dirty {
+                    a.dirty.entry(x).or_insert(rsi);
+                }
+            }
+        }
+    }
+    a.redo_start = a
+        .dirty
+        .values()
+        .copied()
+        .min()
+        .unwrap_or_else(|| wal.forced_lsn());
+    Ok(a)
+}
+
+/// Recover the database `(store, wal)` after a crash. Returns a ready
+/// [`Engine`] (cache, write graph and dirty table rebuilt) and the
+/// [`RecoveryOutcome`].
+pub fn recover(
+    store: StableStore,
+    wal: Wal,
+    registry: TransformRegistry,
+    config: EngineConfig,
+    policy: RedoPolicy,
+) -> Result<(Engine, RecoveryOutcome)> {
+    let metrics = store.metrics().clone();
+    let analysis = analyze(&wal)?;
+    let mut outcome = RecoveryOutcome {
+        analysis_scanned: analysis.scanned,
+        redo_start: analysis.redo_start,
+        torn_tail: analysis.torn_tail,
+        ..RecoveryOutcome::default()
+    };
+
+    let mut store = store;
+    // Complete committed flush transactions whose in-place writes may not
+    // have finished. Guard on vSI so an old transaction never regresses a
+    // newer stable value.
+    for (x, value, vsi) in &analysis.ftxn_values {
+        if store.read_vsi(*x) < *vsi {
+            store.write(*x, value.clone(), *vsi);
+            outcome.ftxn_replayed += 1;
+        }
+    }
+
+    let mut engine = Engine::with_parts(config, registry, store, wal, metrics.clone());
+    let redo_from = if policy == RedoPolicy::Naive {
+        engine.wal().start_lsn()
+    } else {
+        analysis.redo_start
+    };
+    outcome.redo_start = redo_from;
+
+    let ctx = RedoContext { dirty: &analysis.dirty };
+
+    // Collect the op records first (the scan borrows the WAL immutably while
+    // redo mutates the engine).
+    let mut op_records = Vec::new();
+    for item in engine.wal().scan(redo_from) {
+        match item {
+            Ok((lsn, LogRecord::Op(op))) => op_records.push((lsn, op)),
+            Ok(_) => {}
+            Err(LlogError::Corrupt { .. }) => break, // torn tail: end of log
+            Err(e) => return Err(e),
+        }
+        outcome.redo_scanned += 1;
+    }
+
+    // §5 transient-object optimization (RsiExposed only): records whose
+    // effects no surviving state depends on are treated as installed.
+    let dead = if policy == RedoPolicy::RsiExposed {
+        let deleted_at_end: BTreeSet<ObjectId> = {
+            let mut last_delete: BTreeMap<ObjectId, bool> = BTreeMap::new();
+            for (_, op) in &op_records {
+                for &x in &op.writes {
+                    last_delete.insert(x, op.kind == OpKind::Delete);
+                }
+            }
+            last_delete
+                .into_iter()
+                .filter_map(|(x, deleted)| deleted.then_some(x))
+                .collect()
+        };
+        dead_records(&op_records, &deleted_at_end)
+    } else {
+        BTreeSet::new()
+    };
+
+    for (lsn, op) in op_records {
+        if dead.contains(&lsn) {
+            outcome.skipped += 1;
+            Metrics::bump(&metrics.skipped_ops, 1);
+            continue;
+        }
+        let redo = should_redo(policy, &op, lsn, &ctx, |x| engine.current_vsi(x));
+        if !redo {
+            outcome.skipped += 1;
+            Metrics::bump(&metrics.skipped_ops, 1);
+            continue;
+        }
+        if op.kind == OpKind::Delete {
+            // Deletes re-attach cheaply; account them separately so the
+            // redo counts reflect re-executed *work*.
+            engine.apply_logged(&op, lsn)?;
+            outcome.deletes_applied += 1;
+            continue;
+        }
+        // Trial execution (§5): an operation the approximate test selected
+        // may be inapplicable; errors void it rather than failing recovery.
+        match engine.apply_logged(&op, lsn) {
+            Ok(()) => {
+                outcome.redone += 1;
+                Metrics::bump(&metrics.redo_ops, 1);
+            }
+            Err(LlogError::NotApplicable { .. })
+            | Err(LlogError::WritesetMismatch { .. })
+            | Err(LlogError::Codec { .. }) => {
+                outcome.voided += 1;
+                Metrics::bump(&metrics.voided_ops, 1);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    if let Some(max_id) = analysis.max_op_id {
+        engine.set_next_op(max_id + 1);
+    }
+    Ok((engine, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{FlushStrategy, GraphKind};
+    use llog_ops::{builtin, Transform};
+    use llog_types::{OpId, Value};
+
+    const X: ObjectId = ObjectId(1);
+    const Y: ObjectId = ObjectId(2);
+
+    fn config() -> EngineConfig {
+        EngineConfig {
+            graph: GraphKind::RW,
+            flush: FlushStrategy::IdentityWrites,
+            audit: false,
+        }
+    }
+
+    fn fresh_engine() -> Engine {
+        Engine::new(config(), TransformRegistry::with_builtins())
+    }
+
+    fn exec_physical(e: &mut Engine, x: u64, v: &str) -> (OpId, Lsn) {
+        e.execute(
+            OpKind::Physical,
+            vec![],
+            vec![ObjectId(x)],
+            Transform::new(builtin::CONST, builtin::encode_values(&[Value::from(v)])),
+        )
+        .unwrap()
+    }
+
+    fn exec_logical(e: &mut Engine, reads: &[u64], writes: &[u64], salt: u64) -> (OpId, Lsn) {
+        e.execute(
+            OpKind::Logical,
+            reads.iter().map(|&n| ObjectId(n)).collect(),
+            writes.iter().map(|&n| ObjectId(n)).collect(),
+            Transform::new(builtin::HASH_MIX, Value::from_slice(&salt.to_le_bytes())),
+        )
+        .unwrap()
+    }
+
+    fn recover_parts(
+        store: StableStore,
+        wal: Wal,
+        policy: RedoPolicy,
+    ) -> (Engine, RecoveryOutcome) {
+        recover(
+            store,
+            wal,
+            TransformRegistry::with_builtins(),
+            config(),
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forced_but_unflushed_op_is_redone() {
+        let mut e = fresh_engine();
+        exec_physical(&mut e, 1, "v1");
+        e.wal_mut().force();
+        let (store, wal) = e.crash();
+
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert_eq!(out.redone, 1);
+        assert_eq!(recovered.read_value(X), Value::from("v1"));
+    }
+
+    #[test]
+    fn unforced_op_is_lost() {
+        let mut e = fresh_engine();
+        exec_physical(&mut e, 1, "v1"); // never forced
+        let (store, wal) = e.crash();
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert_eq!(out.redone, 0);
+        assert!(recovered.read_value(X).is_empty());
+    }
+
+    #[test]
+    fn installed_op_is_skipped_by_vsi() {
+        let mut e = fresh_engine();
+        exec_physical(&mut e, 1, "v1");
+        e.install_all().unwrap();
+        let (store, wal) = e.crash();
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert_eq!(out.redone, 0);
+        assert_eq!(out.skipped, 1);
+        assert_eq!(recovered.read_value(X), Value::from("v1"));
+    }
+
+    #[test]
+    fn naive_policy_is_unsound_for_logical_ops() {
+        // A: Y ← f(X,Y) installed; B: X ← g(Y) logged but uninstalled.
+        // Redoing A against post-A state corrupts Y. This is the §5 safety
+        // violation the SI tests exist to prevent.
+        let mut e = fresh_engine();
+        exec_logical(&mut e, &[1, 2], &[2], 0); // A
+        e.install_all().unwrap();
+        exec_logical(&mut e, &[2], &[1], 1); // B uninstalled
+        e.wal_mut().force();
+        let expected_y = e.peek_value(Y);
+        let (store, wal) = e.crash();
+
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Naive);
+        assert!(out.redone >= 2);
+        // Naive redo re-applied A: Y is now wrong.
+        assert_ne!(recovered.read_value(Y), expected_y);
+    }
+
+    #[test]
+    fn vsi_policy_is_sound_for_logical_ops() {
+        let mut e = fresh_engine();
+        exec_logical(&mut e, &[1, 2], &[2], 0); // A
+        e.install_all().unwrap();
+        exec_logical(&mut e, &[2], &[1], 1); // B uninstalled
+        e.wal_mut().force();
+        let expected_x = e.peek_value(X);
+        let expected_y = e.peek_value(Y);
+        let (store, wal) = e.crash();
+
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert_eq!(out.redone, 1); // only B
+        assert_eq!(recovered.read_value(X), expected_x);
+        assert_eq!(recovered.read_value(Y), expected_y);
+    }
+
+    #[test]
+    fn rsi_policy_skips_unexposed_installs() {
+        // Figure 7 at recovery time: A writes {X,Y}; blind write C makes X
+        // unexposed; installing A's node flushes only Y but logs an Install
+        // record advancing X's rSI. After a crash, A must be skipped even
+        // though X's stable vSI is stale.
+        let mut e = fresh_engine();
+        exec_logical(&mut e, &[9], &[1, 2], 0); // A writes X,Y
+        exec_physical(&mut e, 1, "blind"); // C
+        assert!(e.install_one().unwrap()); // installs A (flushes Y only)
+        e.wal_mut().force(); // make the Install record stable
+        let (store, wal) = e.crash();
+
+        let (_, out) = recover_parts(store, wal, RedoPolicy::RsiExposed);
+        // Only C is redone. A is never even scanned: X's rSI advanced to
+        // C's lSI when A's node was installed, so the redo scan starts at C.
+        assert_eq!(out.redone, 1);
+        assert_eq!(out.skipped, 0);
+        assert!(out.redo_start > Lsn(1), "redo scan must skip A's record");
+    }
+
+    #[test]
+    fn recovery_is_idempotent_across_repeated_crashes() {
+        let mut e = fresh_engine();
+        exec_logical(&mut e, &[1, 2], &[2], 0);
+        exec_logical(&mut e, &[2], &[1], 1);
+        exec_physical(&mut e, 3, "c");
+        e.wal_mut().force();
+        let (store, wal) = e.crash();
+
+        let (engine1, _) = recover_parts(store, wal, RedoPolicy::Vsi);
+        let x1 = engine1.peek_value(X);
+        let y1 = engine1.peek_value(Y);
+        // Crash again mid-recovery aftermath without installing anything.
+        let (store2, wal2) = engine1.crash();
+        let (engine2, _) = recover_parts(store2, wal2, RedoPolicy::Vsi);
+        assert_eq!(engine2.peek_value(X), x1);
+        assert_eq!(engine2.peek_value(Y), y1);
+
+        // And once more after partial installation.
+        let mut engine2 = engine2;
+        engine2.install_one().unwrap();
+        let x2 = engine2.peek_value(X);
+        let y2 = engine2.peek_value(Y);
+        assert_eq!((x2.clone(), y2.clone()), (x1, y1));
+        let (store3, wal3) = engine2.crash();
+        let (engine3, _) = recover_parts(store3, wal3, RedoPolicy::Vsi);
+        assert_eq!(engine3.peek_value(X), x2);
+        assert_eq!(engine3.peek_value(Y), y2);
+    }
+
+    #[test]
+    fn committed_flush_txn_completed_after_crash() {
+        // Build a log with a committed flush txn whose in-place writes were
+        // lost: handcraft via engine internals.
+        let metrics = Metrics::new();
+        let store = StableStore::new(metrics.clone());
+        let mut wal = Wal::new(metrics.clone());
+        wal.append(&LogRecord::FlushTxnBegin { objs: vec![X, Y] });
+        wal.append(&LogRecord::FlushTxnValue {
+            obj: X,
+            value: Value::from("fx"),
+            vsi: Lsn(5),
+        });
+        wal.append(&LogRecord::FlushTxnValue {
+            obj: Y,
+            value: Value::from("fy"),
+            vsi: Lsn(6),
+        });
+        wal.append(&LogRecord::FlushTxnCommit);
+        wal.force();
+        // crash happened right after commit: no in-place writes occurred.
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert_eq!(out.ftxn_replayed, 2);
+        assert_eq!(recovered.read_value(X), Value::from("fx"));
+        assert_eq!(recovered.read_value(Y), Value::from("fy"));
+    }
+
+    #[test]
+    fn uncommitted_flush_txn_is_ignored() {
+        let metrics = Metrics::new();
+        let store = StableStore::new(metrics.clone());
+        let mut wal = Wal::new(metrics.clone());
+        wal.append(&LogRecord::FlushTxnBegin { objs: vec![X] });
+        wal.append(&LogRecord::FlushTxnValue {
+            obj: X,
+            value: Value::from("fx"),
+            vsi: Lsn(5),
+        });
+        // no commit
+        wal.force();
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert_eq!(out.ftxn_replayed, 0);
+        assert!(recovered.read_value(X).is_empty());
+    }
+
+    #[test]
+    fn old_flush_txn_never_regresses_newer_state() {
+        let metrics = Metrics::new();
+        let mut store = StableStore::new(metrics.clone());
+        store.write(X, Value::from("newer"), Lsn(100));
+        let mut wal = Wal::new(metrics.clone());
+        wal.append(&LogRecord::FlushTxnBegin { objs: vec![X] });
+        wal.append(&LogRecord::FlushTxnValue {
+            obj: X,
+            value: Value::from("older"),
+            vsi: Lsn(5),
+        });
+        wal.append(&LogRecord::FlushTxnCommit);
+        wal.force();
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert_eq!(out.ftxn_replayed, 0);
+        assert_eq!(recovered.read_value(X), Value::from("newer"));
+    }
+
+    #[test]
+    fn torn_tail_truncates_recovery_cleanly() {
+        let mut e = fresh_engine();
+        exec_physical(&mut e, 1, "v1");
+        e.wal_mut().force();
+        exec_physical(&mut e, 2, "v2"); // this record will be torn
+        let (store, wal) = e.crash_torn(6);
+        let (mut recovered, out) = recover_parts(store, wal, RedoPolicy::Vsi);
+        assert!(out.torn_tail);
+        assert_eq!(out.redone, 1);
+        assert_eq!(recovered.read_value(X), Value::from("v1"));
+        assert!(recovered.read_value(Y).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_analysis_scan() {
+        let mut e = fresh_engine();
+        for i in 0..20 {
+            exec_physical(&mut e, i % 3, "v");
+        }
+        e.install_all().unwrap();
+        e.checkpoint(true).unwrap();
+        exec_physical(&mut e, 7, "tail");
+        e.wal_mut().force();
+        let (store, wal) = e.crash();
+        let (_, out) = recover_parts(store, wal, RedoPolicy::RsiExposed);
+        // Analysis starts at the checkpoint: only checkpoint + tail records.
+        assert!(
+            out.analysis_scanned <= 4,
+            "scanned {} records",
+            out.analysis_scanned
+        );
+        assert_eq!(out.redone, 1);
+    }
+
+    #[test]
+    fn recovery_continues_into_normal_operation() {
+        let mut e = fresh_engine();
+        exec_logical(&mut e, &[1, 2], &[2], 0);
+        e.wal_mut().force();
+        let (store, wal) = e.crash();
+        let (mut recovered, _) = recover_parts(store, wal, RedoPolicy::Vsi);
+        // Keep going: new ops, install everything, verify stability.
+        exec_logical(&mut recovered, &[2], &[1], 1);
+        recovered.install_all().unwrap();
+        assert!(recovered.dirty_table().is_empty());
+        assert!(recovered.store().peek(X).is_some());
+        assert!(recovered.store().peek(Y).is_some());
+    }
+
+    #[test]
+    fn deleted_objects_skip_expensive_redo() {
+        // Write a big file-like object, delete it, crash. The rSI policy
+        // must not redo the write.
+        let mut e = fresh_engine();
+        exec_physical(&mut e, 1, "big-file-contents");
+        e.execute(
+            OpKind::Delete,
+            vec![],
+            vec![X],
+            Transform::new(builtin::DELETE, Value::empty()),
+        )
+        .unwrap();
+        e.wal_mut().force();
+        let (store, wal) = e.crash();
+        let (_, out) = recover_parts(store, wal, RedoPolicy::RsiExposed);
+        assert_eq!(out.redone, 0, "the expensive write is bypassed");
+        assert_eq!(out.skipped, 1);
+        // The delete itself is applied (cheaply) so the stable state stays
+        // tidy, but it does not count as re-executed work.
+        assert_eq!(out.deletes_applied, 1);
+    }
+}

@@ -1,0 +1,692 @@
+//! The refined write graph `rW` (§3, Figure 6).
+//!
+//! `rW` improves on `W` in two ways the paper spells out:
+//!
+//! 1. **`vars(n) ⊆ Writes(n)`**: a later blind write of `x` makes the
+//!    earlier value *unexposed*; `x` is removed from every other node's
+//!    flush set. Installing `ops(n)` still only requires flushing `vars(n)`;
+//!    the objects in `Notx(n) = Writes(n) − vars(n)` are installed without
+//!    being flushed.
+//! 2. **Extra edges** keep this sound: a *write-write* edge from the node
+//!    that lost `x` to the blind writer's node, and an *inverse write-read*
+//!    edge from every node that read `Lastw(p, x)` back to `p`, ensuring
+//!    those readers install first so `x` really is unexposed when `p`
+//!    installs.
+//!
+//! Construction is incremental (`add_op` is the paper's `addop_rW`);
+//! cycles that arise are collapsed into multi-object nodes, which
+//! cache-manager identity writes can later break apart again (§4).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use llog_ops::Operation;
+use llog_types::{ObjectId, OpId};
+
+/// Stable handle for an `rW` node. Merges allocate fresh ids; stale ids
+/// simply stop resolving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+/// One node of `rW`.
+#[derive(Debug, Clone, Default)]
+pub struct RwNode {
+    /// `ops(n)`, in arrival (conflict) order.
+    ops: Vec<OpId>,
+    /// `vars(n)`: the atomic flush set that installs `ops(n)`.
+    vars: BTreeSet<ObjectId>,
+    /// `Writes(n)`: every object written by `ops(n)`.
+    writes: BTreeSet<ObjectId>,
+    /// `Reads(n)`: every object read by `ops(n)`.
+    reads: BTreeSet<ObjectId>,
+    /// `Lastw(n, x)`: the last operation of `ops(n)` writing `x`.
+    lastw: BTreeMap<ObjectId, OpId>,
+    preds: BTreeSet<NodeId>,
+    succs: BTreeSet<NodeId>,
+}
+
+impl RwNode {
+    /// The operations of this node/graph.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+    /// `vars(n)`: the atomic flush set that installs `ops(n)`.
+    pub fn vars(&self) -> &BTreeSet<ObjectId> {
+        &self.vars
+    }
+    /// `Writes(n)`: every object written by `ops(n)`.
+    pub fn writes(&self) -> &BTreeSet<ObjectId> {
+        &self.writes
+    }
+    /// `Reads(n)`: every object read by `ops(n)`.
+    pub fn reads(&self) -> &BTreeSet<ObjectId> {
+        &self.reads
+    }
+    /// `Notx(n) = Writes(n) − vars(n)`: installed without flushing.
+    pub fn notx(&self) -> BTreeSet<ObjectId> {
+        self.writes.difference(&self.vars).copied().collect()
+    }
+    /// Predecessors (must install before this node).
+    pub fn preds(&self) -> &BTreeSet<NodeId> {
+        &self.preds
+    }
+    /// Successors (install after this node).
+    pub fn succs(&self) -> &BTreeSet<NodeId> {
+        &self.succs
+    }
+    /// `Lastw(n, x)`: the last operation of `ops(n)` writing `x`.
+    pub fn lastw(&self, x: ObjectId) -> Option<OpId> {
+        self.lastw.get(&x).copied()
+    }
+}
+
+/// The refined write graph.
+#[derive(Debug, Clone, Default)]
+pub struct RWGraph {
+    nodes: BTreeMap<NodeId, RwNode>,
+    next_id: u64,
+    /// `x → n` with `x ∈ vars(n)`. Each object is in at most one flush set
+    /// ("each X is a member of only one vars(p)").
+    var_home: BTreeMap<ObjectId, NodeId>,
+    /// op → its node.
+    op_node: BTreeMap<OpId, NodeId>,
+    /// Latest uninstalled writer of each object.
+    last_writer: BTreeMap<ObjectId, OpId>,
+    /// Readers of each live version: `(x, writer op) → reader ops`.
+    version_readers: BTreeMap<(ObjectId, OpId), BTreeSet<OpId>>,
+    /// Reverse index for GC: reader op → the `(x, writer)` versions it read.
+    reads_of_op: BTreeMap<OpId, Vec<(ObjectId, OpId)>>,
+}
+
+impl RWGraph {
+    /// Create a new instance.
+    pub fn new() -> RWGraph {
+        RWGraph::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id (None once merged or removed).
+    pub fn node(&self, id: NodeId) -> Option<&RwNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Ids of all live nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// The node currently holding an operation, if it is live.
+    pub fn node_of_op(&self, op: OpId) -> Option<NodeId> {
+        self.op_node.get(&op).copied()
+    }
+
+    /// The node whose flush set contains `x`, if any.
+    pub fn home_of(&self, x: ObjectId) -> Option<NodeId> {
+        self.var_home.get(&x).copied()
+    }
+
+    /// Nodes with no predecessors: installable now.
+    pub fn minimal_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.preds.is_empty())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Sizes of the atomic flush sets, descending (experiment E3).
+    pub fn flush_set_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.nodes.values().map(|n| n.vars.len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    fn alloc(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.nodes.insert(id, RwNode::default());
+        id
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if from == to {
+            return;
+        }
+        self.nodes.get_mut(&from).expect("edge from dead node").succs.insert(to);
+        self.nodes.get_mut(&to).expect("edge to dead node").preds.insert(from);
+    }
+
+    /// `addop_rW` (Figure 6): incorporate the next operation, in conflict
+    /// order. Returns the id of the node the operation landed in (after any
+    /// merges and cycle collapses).
+    pub fn add_op(&mut self, op: &Operation) -> NodeId {
+        let exp = op.exp();
+        let notexp = op.notexp();
+
+        // 1. Merge nodes whose flush sets overlap the exposed updates.
+        let merge: BTreeSet<NodeId> = exp
+            .iter()
+            .filter_map(|x| self.var_home.get(x).copied())
+            .collect();
+        let m = self.merge_nodes(merge);
+
+        // Add the operation to m.
+        {
+            let node = self.nodes.get_mut(&m).expect("fresh/merged node");
+            node.ops.push(op.id);
+            node.reads.extend(op.reads.iter().copied());
+            node.writes.extend(op.writes.iter().copied());
+            node.vars.extend(op.writes.iter().copied());
+            for &x in &op.writes {
+                node.lastw.insert(x, op.id);
+            }
+        }
+        self.op_node.insert(op.id, m);
+
+        // 2. New read-write edges: earlier readers of what op writes must
+        //    install before m.
+        let mut rw_edges = Vec::new();
+        for (&p, node) in &self.nodes {
+            if p != m && op.writes.iter().any(|x| node.reads.contains(x)) {
+                rw_edges.push(p);
+            }
+        }
+        for p in rw_edges {
+            self.add_edge(p, m);
+        }
+
+        // 3. Blind updates free the overwritten values: remove them from the
+        //    other nodes' flush sets, with the ordering edges that keep this
+        //    sound.
+        let victims: BTreeSet<NodeId> = notexp
+            .iter()
+            .filter_map(|&x| self.var_home.get(&x).copied())
+            .filter(|&p| p != m)
+            .collect();
+        for p in victims {
+            let removed: Vec<ObjectId> = {
+                let node = &self.nodes[&p];
+                notexp
+                    .iter()
+                    .copied()
+                    .filter(|x| node.vars.contains(x))
+                    .collect()
+            };
+            if removed.is_empty() {
+                continue;
+            }
+            // vars(p) −= notexp(Op); write-write edge p → m.
+            {
+                let node = self.nodes.get_mut(&p).expect("victim node");
+                for x in &removed {
+                    node.vars.remove(x);
+                }
+            }
+            self.add_edge(p, m);
+            // Inverse write-read edges: q read Lastw(p, x) ⇒ q → p.
+            for &x in &removed {
+                let Some(writer) = self.nodes[&p].lastw(x) else { continue };
+                let readers: Vec<OpId> = self
+                    .version_readers
+                    .get(&(x, writer))
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                for r in readers {
+                    if let Some(&q) = self.op_node.get(&r) {
+                        if q != p {
+                            self.add_edge(q, p);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Record which versions op read (only live-node versions matter).
+        for &x in &op.reads {
+            if let Some(&writer) = self.last_writer.get(&x) {
+                self.version_readers
+                    .entry((x, writer))
+                    .or_default()
+                    .insert(op.id);
+                self.reads_of_op.entry(op.id).or_default().push((x, writer));
+            }
+        }
+
+        // 5/6. op's versions are now current; its writes live in vars(m).
+        for &x in &op.writes {
+            self.last_writer.insert(x, op.id);
+            self.var_home.insert(x, m);
+        }
+
+        // 7. Collapse any cycle the new edges created.
+        self.collapse_cycles();
+        self.op_node[&op.id]
+    }
+
+    /// Merge a set of nodes into one fresh node, unioning all attributes and
+    /// rewiring edges. Returns the merged node (a fresh empty node if the
+    /// set is empty).
+    fn merge_nodes(&mut self, ids: BTreeSet<NodeId>) -> NodeId {
+        if ids.len() == 1 {
+            return ids.into_iter().next().unwrap();
+        }
+        let m = self.alloc();
+        if ids.is_empty() {
+            return m;
+        }
+        let mut merged = RwNode::default();
+        let mut all_ops: Vec<OpId> = Vec::new();
+        for &id in &ids {
+            let node = self.nodes.remove(&id).expect("merge of dead node");
+            all_ops.extend(node.ops.iter().copied());
+            merged.vars.extend(node.vars);
+            merged.writes.extend(node.writes);
+            merged.reads.extend(node.reads);
+            for (x, w) in node.lastw {
+                match merged.lastw.get(&x) {
+                    Some(&prev) if prev >= w => {}
+                    _ => {
+                        merged.lastw.insert(x, w);
+                    }
+                }
+            }
+            merged.preds.extend(node.preds);
+            merged.succs.extend(node.succs);
+        }
+        all_ops.sort();
+        merged.ops = all_ops;
+        // Drop self-references created by intra-set edges.
+        for id in &ids {
+            merged.preds.remove(id);
+            merged.succs.remove(id);
+        }
+        merged.preds.remove(&m);
+        merged.succs.remove(&m);
+
+        // Rewire the rest of the graph.
+        let preds = merged.preds.clone();
+        let succs = merged.succs.clone();
+        for &op in &merged.ops {
+            self.op_node.insert(op, m);
+        }
+        for &x in &merged.vars {
+            self.var_home.insert(x, m);
+        }
+        self.nodes.insert(m, merged);
+        for p in preds {
+            let node = self.nodes.get_mut(&p).expect("pred of merged node");
+            for id in &ids {
+                node.succs.remove(id);
+            }
+            node.succs.insert(m);
+        }
+        for s in succs {
+            let node = self.nodes.get_mut(&s).expect("succ of merged node");
+            for id in &ids {
+                node.preds.remove(id);
+            }
+            node.preds.insert(m);
+        }
+        m
+    }
+
+    /// Collapse every strongly connected component with more than one node.
+    fn collapse_cycles(&mut self) {
+        loop {
+            let Some(cycle) = self.find_cycle_component() else { return };
+            self.merge_nodes(cycle);
+        }
+    }
+
+    /// Find one SCC of size > 1, if any (simple iterative DFS-based search;
+    /// graphs are cache-sized).
+    fn find_cycle_component(&self) -> Option<BTreeSet<NodeId>> {
+        // Kosaraju-style: order by finish time, then reverse reachability.
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+        let mut order: Vec<NodeId> = Vec::new();
+        for &start in &ids {
+            if visited.contains(&start) {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((v, done)) = stack.pop() {
+                if done {
+                    order.push(v);
+                    continue;
+                }
+                if !visited.insert(v) {
+                    continue;
+                }
+                stack.push((v, true));
+                for &w in &self.nodes[&v].succs {
+                    if !visited.contains(&w) {
+                        stack.push((w, false));
+                    }
+                }
+            }
+        }
+        let mut assigned: BTreeSet<NodeId> = BTreeSet::new();
+        for &v in order.iter().rev() {
+            if assigned.contains(&v) {
+                continue;
+            }
+            // Reverse-reachability from v among unassigned nodes.
+            let mut comp = BTreeSet::new();
+            let mut stack = vec![v];
+            while let Some(u) = stack.pop() {
+                if assigned.contains(&u) || !comp.insert(u) {
+                    continue;
+                }
+                for &w in &self.nodes[&u].preds {
+                    if !assigned.contains(&w) && !comp.contains(&w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            assigned.extend(comp.iter().copied());
+            if comp.len() > 1 {
+                return Some(comp);
+            }
+        }
+        None
+    }
+
+    /// Remove an installed node. The caller (PurgeCache) must have flushed
+    /// `vars(n)`; the node must be minimal. Returns the removed node.
+    pub fn remove_node(&mut self, id: NodeId) -> RwNode {
+        let node = self.nodes.remove(&id).expect("remove of dead node");
+        assert!(
+            node.preds.is_empty(),
+            "removing non-minimal rW node {id:?}"
+        );
+        for &s in &node.succs {
+            self.nodes.get_mut(&s).expect("succ of removed node").preds.remove(&id);
+        }
+        for &op in &node.ops {
+            self.op_node.remove(&op);
+            // GC version-read bookkeeping for this reader.
+            if let Some(reads) = self.reads_of_op.remove(&op) {
+                for key in reads {
+                    if let Some(set) = self.version_readers.get_mut(&key) {
+                        set.remove(&op);
+                        if set.is_empty() {
+                            self.version_readers.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+        // Versions written by installed ops can no longer trigger inverse
+        // edges (their node is gone).
+        let dead_ops: BTreeSet<OpId> = node.ops.iter().copied().collect();
+        self.version_readers.retain(|(_, w), _| !dead_ops.contains(w));
+        for &x in &node.vars {
+            if self.var_home.get(&x) == Some(&id) {
+                self.var_home.remove(&x);
+            }
+        }
+        self.last_writer.retain(|_, w| !dead_ops.contains(w));
+        node
+    }
+
+    /// Debug/audit: assert internal consistency. Panics on violation.
+    pub fn check_consistency(&self) {
+        for (&id, node) in &self.nodes {
+            assert!(
+                node.vars.is_subset(&node.writes),
+                "vars ⊄ writes in {id:?}"
+            );
+            for &x in &node.vars {
+                assert_eq!(
+                    self.var_home.get(&x),
+                    Some(&id),
+                    "var_home stale for {x:?}"
+                );
+            }
+            for &p in &node.preds {
+                assert!(
+                    self.nodes[&p].succs.contains(&id),
+                    "asymmetric edge {p:?}→{id:?}"
+                );
+            }
+            for &s in &node.succs {
+                assert!(
+                    self.nodes[&s].preds.contains(&id),
+                    "asymmetric edge {id:?}→{s:?}"
+                );
+            }
+            for &op in &node.ops {
+                assert_eq!(self.op_node.get(&op), Some(&id), "op_node stale");
+            }
+        }
+        assert!(self.find_cycle_component().is_none(), "rW has a cycle");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llog_ops::{table1, Value};
+
+    const X: u64 = 1;
+    const Y: u64 = 2;
+    const B: u64 = 3;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    fn set(xs: &[u64]) -> BTreeSet<ObjectId> {
+        xs.iter().map(|&n| ObjectId(n)).collect()
+    }
+
+    #[test]
+    fn figure_one_separate_nodes_ordered() {
+        // A: Y ← f(X,Y); B: X ← g(Y). rW: node(A) vars{Y} → node(B) vars{X}.
+        let mut g = RWGraph::new();
+        let na = g.add_op(&Operation::logical(0, &[X, Y], &[Y]));
+        let nb = g.add_op(&Operation::logical(1, &[Y], &[X]));
+        g.check_consistency();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node(na).unwrap().vars(), &set(&[Y]));
+        assert_eq!(g.node(nb).unwrap().vars(), &set(&[X]));
+        // A read X which B writes: read-write edge A → B.
+        assert!(g.node(na).unwrap().succs().contains(&nb));
+        assert_eq!(g.minimal_nodes(), vec![na]);
+    }
+
+    #[test]
+    fn section4_cycle_example_collapses() {
+        // (a) Y = f(X,Y); (b) X = g(Y); (c) Y = h(Y): cycle ⇒ one node with
+        // objects X and Y together.
+        let mut g = RWGraph::new();
+        g.add_op(&Operation::logical(0, &[X, Y], &[Y]));
+        g.add_op(&Operation::logical(1, &[Y], &[X]));
+        let m = g.add_op(&Operation::logical(2, &[Y], &[Y]));
+        g.check_consistency();
+        assert_eq!(g.len(), 1);
+        let node = g.node(m).unwrap();
+        assert_eq!(node.vars(), &set(&[X, Y]));
+        assert_eq!(node.ops().len(), 3);
+    }
+
+    #[test]
+    fn figure_seven_blind_write_shrinks_flush_set() {
+        // A writes X and Y; B reads X; C blindly writes X.
+        // rW: vars(l) shrinks from {X,Y} to {Y}; X moves to C's node;
+        // inverse write-read edge node(B) → l; write-write edge l → node(C).
+        let mut g = RWGraph::new();
+        let l = g.add_op(&Operation::logical(0, &[9], &[X, Y])); // A
+        let nb = g.add_op(&Operation::logical(1, &[X], &[B])); // B reads X
+        assert_eq!(g.node(l).unwrap().vars(), &set(&[X, Y]));
+
+        let nc = g.add_op(&Operation::physical(2, X, Value::from("blind"))); // C
+        g.check_consistency();
+
+        let ln = g.node(l).unwrap();
+        assert_eq!(ln.vars(), &set(&[Y]), "X must leave vars(l)");
+        assert_eq!(ln.notx(), set(&[X]), "X is now Notx(l)");
+        // Write-write edge l → node(C).
+        assert!(ln.succs().contains(&nc));
+        // Inverse write-read edge node(B) → l: B read Lastw(l, X).
+        assert!(g.node(nb).unwrap().succs().contains(&l));
+        // Flush order: B's node first, then l (flushing only Y), then C.
+        assert_eq!(g.minimal_nodes(), vec![nb]);
+        // X's home is now C's node.
+        assert_eq!(g.home_of(oid(X)), Some(nc));
+    }
+
+    #[test]
+    fn figure_seven_installation_sequence() {
+        let mut g = RWGraph::new();
+        let l = g.add_op(&Operation::logical(0, &[9], &[X, Y]));
+        let nb = g.add_op(&Operation::logical(1, &[X], &[B]));
+        let nc = g.add_op(&Operation::physical(2, X, Value::from("blind")));
+
+        // Install B's node, then l, then C's node.
+        let removed = g.remove_node(nb);
+        assert_eq!(removed.vars(), &set(&[B]));
+        g.check_consistency();
+        assert_eq!(g.minimal_nodes(), vec![l]);
+
+        let removed = g.remove_node(l);
+        assert_eq!(removed.vars(), &set(&[Y]), "install l by flushing only Y");
+        assert_eq!(removed.notx(), set(&[X]));
+        g.check_consistency();
+
+        let removed = g.remove_node(nc);
+        assert_eq!(removed.vars(), &set(&[X]));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-minimal")]
+    fn removing_non_minimal_node_panics() {
+        let mut g = RWGraph::new();
+        let _a = g.add_op(&Operation::logical(0, &[X, Y], &[Y]));
+        let b = g.add_op(&Operation::logical(1, &[Y], &[X]));
+        g.remove_node(b);
+    }
+
+    #[test]
+    fn exposed_update_merges_nodes() {
+        // op0 writes X; op1 writes Y; op2 reads+writes both X and Y
+        // (exp = {X,Y}) ⇒ all three nodes merge.
+        let mut g = RWGraph::new();
+        g.add_op(&Operation::logical(0, &[8], &[X]));
+        g.add_op(&Operation::logical(1, &[9], &[Y]));
+        let m = g.add_op(&Operation::logical(2, &[X, Y], &[X, Y]));
+        g.check_consistency();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.node(m).unwrap().ops().len(), 3);
+        assert_eq!(g.node(m).unwrap().vars(), &set(&[X, Y]));
+    }
+
+    #[test]
+    fn identity_write_breaks_up_flush_set() {
+        // §4: a node with vars {X, Y}; W_IP(X) moves X into its own node.
+        let mut g = RWGraph::new();
+        let l = g.add_op(&Operation::logical(0, &[9], &[X, Y]));
+        assert_eq!(g.node(l).unwrap().vars().len(), 2);
+
+        let m = g.add_op(&table1::identity_write(
+            OpId(1),
+            oid(X),
+            Value::from("current"),
+        ));
+        g.check_consistency();
+        assert_eq!(g.node(l).unwrap().vars(), &set(&[Y]));
+        assert_eq!(g.node(m).unwrap().vars(), &set(&[X]));
+        // m follows l; no cycle possible (W_IP reads nothing).
+        assert!(g.node(l).unwrap().succs().contains(&m));
+        assert_eq!(g.minimal_nodes(), vec![l]);
+    }
+
+    #[test]
+    fn identity_writes_reduce_vars_to_one_then_zero() {
+        let mut g = RWGraph::new();
+        let l = g.add_op(&Operation::logical(0, &[9], &[X, Y, B]));
+        assert_eq!(g.node(l).unwrap().vars().len(), 3);
+        g.add_op(&table1::identity_write(OpId(1), oid(X), Value::from("x")));
+        g.add_op(&table1::identity_write(OpId(2), oid(Y), Value::from("y")));
+        assert_eq!(g.node(l).unwrap().vars(), &set(&[B]));
+        // Even |vars| = 0 is possible.
+        g.add_op(&table1::identity_write(OpId(3), oid(B), Value::from("b")));
+        g.check_consistency();
+        assert!(g.node(l).unwrap().vars().is_empty());
+        assert_eq!(g.node(l).unwrap().notx(), set(&[X, Y, B]));
+        // l is still minimal and installable (flushing nothing).
+        assert!(g.minimal_nodes().contains(&l));
+    }
+
+    #[test]
+    fn chained_blind_writes_keep_single_home() {
+        let mut g = RWGraph::new();
+        g.add_op(&Operation::physical(0, X, Value::from("v1")));
+        g.add_op(&Operation::physical(1, X, Value::from("v2")));
+        let n3 = g.add_op(&Operation::physical(2, X, Value::from("v3")));
+        g.check_consistency();
+        // X lives in exactly one flush set: the latest writer's.
+        assert_eq!(g.home_of(oid(X)), Some(n3));
+        let homes: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&id| g.node(id).unwrap().vars().contains(&oid(X)))
+            .collect();
+        assert_eq!(homes, vec![n3]);
+    }
+
+    #[test]
+    fn reader_of_unexposed_version_must_install_first() {
+        // w1 writes X; r reads X; w2 blindly writes X.
+        // r's node must precede w1's node (inverse write-read edge), and
+        // w1 → w2 (write-write).
+        let mut g = RWGraph::new();
+        let n1 = g.add_op(&Operation::logical(0, &[7], &[X]));
+        let nr = g.add_op(&Operation::logical(1, &[X], &[B]));
+        let n2 = g.add_op(&Operation::physical(2, X, Value::from("v")));
+        g.check_consistency();
+        assert!(g.node(nr).unwrap().succs().contains(&n1));
+        assert!(g.node(n1).unwrap().succs().contains(&n2));
+        assert_eq!(g.node(n1).unwrap().vars().len(), 0);
+        assert_eq!(g.node(n1).unwrap().notx(), set(&[X]));
+    }
+
+    #[test]
+    fn removal_then_new_ops_work() {
+        let mut g = RWGraph::new();
+        let n1 = g.add_op(&Operation::physiological(0, X));
+        g.remove_node(n1);
+        assert!(g.is_empty());
+        // New op on the same object gets a fresh node; no stale edges.
+        let n2 = g.add_op(&Operation::physiological(1, X));
+        g.check_consistency();
+        assert_eq!(g.minimal_nodes(), vec![n2]);
+    }
+
+    #[test]
+    fn physiological_workload_never_builds_multi_object_sets() {
+        let mut g = RWGraph::new();
+        for i in 0..20 {
+            g.add_op(&Operation::physiological(i, i % 5));
+        }
+        g.check_consistency();
+        assert!(g.flush_set_sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn flush_set_sizes_sorted_desc() {
+        let mut g = RWGraph::new();
+        g.add_op(&Operation::logical(0, &[9], &[X, Y]));
+        g.add_op(&Operation::physiological(1, 77));
+        assert_eq!(g.flush_set_sizes(), vec![2, 1]);
+    }
+}

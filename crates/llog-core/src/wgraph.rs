@@ -1,0 +1,387 @@
+//! The write graph `W` of \[LT95\] (Figure 3).
+//!
+//! `WriteGraph(In)`: (1) collapse the installation subgraph `In` by the
+//! transitive closure of writeset intersection — operations whose writesets
+//! (transitively) overlap must be installed by one atomic flush; (2) collapse
+//! strongly connected components so the result is acyclic and yields a
+//! feasible flush order.
+//!
+//! In `W`, `vars(v) = Writes(v)`: every written object must be flushed to
+//! install the node, and `|vars(v)|` only grows as operations accumulate —
+//! the deficiency the refined graph [`RWGraph`](crate::rwgraph::RWGraph)
+//! repairs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use llog_ops::Operation;
+use llog_types::{ObjectId, OpId};
+
+use crate::igraph::InstallGraph;
+
+/// A node of `W`: a set of operations installed together by atomically
+/// flushing `vars`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WNode {
+    /// The operations of this node/graph.
+    pub ops: Vec<OpId>,
+    /// The atomic flush set (`vars(v) = Writes(v)` in W).
+    pub vars: BTreeSet<ObjectId>,
+}
+
+/// The write graph `W`: an acyclic DAG of atomic flush sets.
+#[derive(Debug, Clone)]
+pub struct WriteGraph {
+    nodes: Vec<WNode>,
+    /// `edges[i]` = successors of node `i` (i must flush before them).
+    edges: Vec<BTreeSet<usize>>,
+}
+
+/// Union-find over operation indices.
+struct Uf(Vec<usize>);
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf((0..n).collect())
+    }
+    fn find(&mut self, i: usize) -> usize {
+        if self.0[i] != i {
+            let r = self.find(self.0[i]);
+            self.0[i] = r;
+            r
+        } else {
+            i
+        }
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra] = rb;
+        }
+    }
+}
+
+impl WriteGraph {
+    /// `WriteGraph(In)` — build `W` from the uninstalled cached operations
+    /// (in conflict order).
+    pub fn build(ops: &[Operation]) -> WriteGraph {
+        let ig = InstallGraph::build(ops);
+
+        // First collapse: transitive closure of writeset intersection.
+        let mut uf = Uf::new(ops.len());
+        let mut writer_of: BTreeMap<ObjectId, usize> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            for &x in &op.writes {
+                if let Some(&j) = writer_of.get(&x) {
+                    uf.union(i, j);
+                }
+                writer_of.insert(x, i);
+            }
+        }
+
+        // Group ops by class.
+        let mut class_index: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..ops.len() {
+            let root = uf.find(i);
+            let g = *class_index.entry(root).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+        }
+
+        // Edges between classes from installation edges.
+        let mut class_edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); groups.len()];
+        let op_class = |i: usize, uf: &mut Uf| class_index[&uf.find(i)];
+        for (i, j, _) in ig.all_edges() {
+            let (ci, cj) = (op_class(i, &mut uf), op_class(j, &mut uf));
+            if ci != cj {
+                class_edges[ci].insert(cj);
+            }
+        }
+
+        // Second collapse: strongly connected components (iterative Tarjan).
+        let scc = tarjan_scc(&class_edges);
+        let n_scc = scc.iter().copied().max().map_or(0, |m| m + 1);
+        let mut nodes: Vec<WNode> = (0..n_scc)
+            .map(|_| WNode { ops: Vec::new(), vars: BTreeSet::new() })
+            .collect();
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_scc];
+        for (c, group) in groups.iter().enumerate() {
+            let s = scc[c];
+            for &i in group {
+                nodes[s].ops.push(ops[i].id);
+                nodes[s].vars.extend(ops[i].writes.iter().copied());
+            }
+        }
+        for (c, succs) in class_edges.iter().enumerate() {
+            for &d in succs {
+                if scc[c] != scc[d] {
+                    edges[scc[c]].insert(scc[d]);
+                }
+            }
+        }
+        for node in &mut nodes {
+            node.ops.sort();
+            node.ops.dedup();
+        }
+        WriteGraph { nodes, edges }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes of the graph.
+    pub fn nodes(&self) -> &[WNode] {
+        &self.nodes
+    }
+
+    /// Successors of node `i` (nodes that must flush after it).
+    pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges[i].iter().copied()
+    }
+
+    /// Nodes with no predecessors: legal to flush now.
+    pub fn minimal_nodes(&self) -> Vec<usize> {
+        let mut has_pred = vec![false; self.nodes.len()];
+        for succs in &self.edges {
+            for &j in succs {
+                has_pred[j] = true;
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| !has_pred[i]).collect()
+    }
+
+    /// A full flush order (topological). Panics if cyclic — `build`
+    /// guarantees acyclicity, so that would be a bug.
+    pub fn flush_order(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for succs in &self.edges {
+            for &j in succs {
+                indeg[j] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &j in &self.edges[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "write graph W must be acyclic");
+        order
+    }
+
+    /// The node containing operation `op`, if any.
+    pub fn node_of(&self, op: OpId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.ops.contains(&op))
+    }
+
+    /// Sizes of the atomic flush sets, sorted descending — the quantity
+    /// experiment E3 tracks.
+    pub fn flush_set_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.nodes.iter().map(|n| n.vars.len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+/// Iterative Tarjan SCC; returns the component id per node, numbered in
+/// reverse topological order of components.
+fn tarjan_scc(adj: &[BTreeSet<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut n_comp = 0usize;
+
+    // Explicit DFS stack: (node, iterator position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = adj[start].iter().copied().collect();
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call.push((start, succs, 0));
+
+        while let Some((v, succs, mut pos)) = call.pop() {
+            let mut descended = false;
+            while pos < succs.len() {
+                let w = succs[pos];
+                pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let wsuccs: Vec<usize> = adj[w].iter().copied().collect();
+                    call.push((v, succs, pos));
+                    call.push((w, wsuccs, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished.
+            if low[v] == index[v] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w] = false;
+                    comp[w] = n_comp;
+                    if w == v {
+                        break;
+                    }
+                }
+                n_comp += 1;
+            }
+            if let Some(&mut (p, _, _)) = call.last_mut() {
+                low[p] = low[p].min(low[v]);
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physiological_ops_give_degenerate_graph() {
+        // One node per object, no edges, singleton flush sets — exactly the
+        // parenthetical in §3.
+        let ops = vec![
+            Operation::physiological(0, 1),
+            Operation::physiological(1, 2),
+            Operation::physiological(2, 1), // same object as op0
+        ];
+        let g = WriteGraph::build(&ops);
+        assert_eq!(g.len(), 2);
+        assert!(g.nodes().iter().all(|n| n.vars.len() == 1));
+        assert!((0..g.len()).all(|i| g.successors(i).count() == 0));
+    }
+
+    #[test]
+    fn figure_one_orders_y_before_x() {
+        // A: Y ← f(X,Y); B: X ← g(Y). Disjoint writesets ⇒ two nodes;
+        // read-write edge A→B ⇒ Y's node flushes before X's node.
+        let ops = vec![
+            Operation::logical(0, &[1, 2], &[2]),
+            Operation::logical(1, &[2], &[1]),
+        ];
+        let g = WriteGraph::build(&ops);
+        assert_eq!(g.len(), 2);
+        let a = g.node_of(OpId(0)).unwrap();
+        let b = g.node_of(OpId(1)).unwrap();
+        assert!(g.successors(a).any(|s| s == b));
+        assert_eq!(g.minimal_nodes(), vec![a]);
+        let order = g.flush_order();
+        let pos = |n| order.iter().position(|&i| i == n).unwrap();
+        assert!(pos(a) < pos(b));
+    }
+
+    #[test]
+    fn cycle_collapses_to_multi_object_flush_set() {
+        // §4's example: (a) Y ← f(X,Y); (b) X ← g(Y); (c) Y ← h(Y).
+        // In W, (a) and (c) share writeset {Y} (first collapse), and edges
+        // a→b (rw on X), b→{a,c} class (rw on Y) form a cycle, so everything
+        // collapses to one node with vars {X, Y}.
+        let ops = vec![
+            Operation::logical(0, &[1, 2], &[2]),
+            Operation::logical(1, &[2], &[1]),
+            Operation::logical(2, &[2], &[2]),
+        ];
+        let g = WriteGraph::build(&ops);
+        assert_eq!(g.len(), 1);
+        assert_eq!(
+            g.nodes()[0].vars,
+            [ObjectId(1), ObjectId(2)].into_iter().collect()
+        );
+        assert_eq!(g.nodes()[0].ops.len(), 3);
+    }
+
+    #[test]
+    fn shared_writesets_merge_transitively() {
+        // op0 writes {1,2}, op1 writes {2,3}, op2 writes {3,4}: one class.
+        let ops = vec![
+            Operation::logical(0, &[], &[1, 2]),
+            Operation::logical(1, &[], &[2, 3]),
+            Operation::logical(2, &[], &[3, 4]),
+        ];
+        let g = WriteGraph::build(&ops);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.nodes()[0].vars.len(), 4);
+    }
+
+    #[test]
+    fn w_flush_sets_only_grow() {
+        // Adding Figure 7's operation C (blind write of X) to a node that
+        // writes {X,Y} does NOT shrink W's flush set — it joins it.
+        let mut ops = vec![
+            Operation::logical(0, &[9], &[1, 2]), // A writes X=1 and Y=2
+            Operation::logical(1, &[1], &[3]),    // B reads X
+        ];
+        let before = WriteGraph::build(&ops);
+        let a = before.node_of(OpId(0)).unwrap();
+        assert_eq!(before.nodes()[a].vars.len(), 2);
+
+        ops.push(Operation::logical(2, &[], &[1])); // C blindly writes X
+        let after = WriteGraph::build(&ops);
+        let a = after.node_of(OpId(0)).unwrap();
+        // C shares writeset {X} with A: collapsed, vars still {X,Y}.
+        assert!(after.nodes()[a].ops.contains(&OpId(2)));
+        assert_eq!(after.nodes()[a].vars.len(), 2);
+    }
+
+    #[test]
+    fn flush_order_respects_all_edges() {
+        let ops = vec![
+            Operation::logical(0, &[1], &[2]),
+            Operation::logical(1, &[2], &[3]),
+            Operation::logical(2, &[3], &[4]),
+            Operation::logical(3, &[4], &[1]),
+        ];
+        let g = WriteGraph::build(&ops);
+        let order = g.flush_order();
+        let pos: BTreeMap<usize, usize> =
+            order.iter().enumerate().map(|(p, &n)| (n, p)).collect();
+        for i in 0..g.len() {
+            for j in g.successors(i) {
+                assert!(pos[&i] < pos[&j], "edge {i}->{j} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = WriteGraph::build(&[]);
+        assert!(g.is_empty());
+        assert!(g.minimal_nodes().is_empty());
+        assert!(g.flush_order().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! The "new domains" the paper extends recovery to (§1).
+//!
+//! - [`app`]: application recovery — application state as a recoverable
+//!   object, with logical reads `R(A,X)`, execution steps `Ex(A)` and
+//!   logical writes `W_L(A,X)` (vs. the \[Lomet98\] physical-write
+//!   fallback).
+//! - [`appvm`]: the application domain made concrete — a deterministic
+//!   register VM whose complete machine state is the recoverable object.
+//! - [`fs`]: file-system recovery — files as recoverable objects with
+//!   logically-logged copy and sort (neither the input nor the output file
+//!   is ever written to the log).
+//! - [`btree`]: database recovery — a B-tree whose page splits (and merges)
+//!   are logged logically (`X` old page, `Y` new page; page contents are
+//!   never logged).
+//! - [`queue`]: a durable message queue — consumed messages are deleted
+//!   transients whose log records need no redo (§5).
+
+pub mod app;
+pub mod appvm;
+pub mod btree;
+pub mod fs;
+pub mod queue;
+
+/// Register every domain transform (ids 100+) needed to replay domain
+/// operations. Call this on any registry used by an engine that runs these
+/// domains — including the registry handed to recovery.
+pub fn register_domain_transforms(registry: &mut llog_ops::TransformRegistry) {
+    btree::register_transforms(registry);
+    appvm::register_transforms(registry);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_with_domains_replays_btree_ops() {
+        let mut r = llog_ops::TransformRegistry::with_builtins();
+        super::register_domain_transforms(&mut r);
+        assert!(r.get(crate::btree::BT_INSERT).is_ok());
+        assert!(r.get(crate::btree::BT_SPLIT).is_ok());
+        assert!(r.get(crate::btree::BT_INSERT_CHILD).is_ok());
+    }
+}

@@ -1,0 +1,248 @@
+//! Conflict-ordered histories and the replay oracle.
+
+use std::collections::BTreeMap;
+
+use llog_types::{ObjectId, OpId, Result, Value};
+
+use crate::op::Operation;
+use crate::transform::TransformRegistry;
+
+/// A history `H`: operations in conflict order.
+///
+/// The paper notes conflict order need not be total; we model it as the
+/// arrival order at the cache manager, a legal linearization. Histories are
+/// append-only and assign [`OpId`]s sequentially.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    ops: Vec<Operation>,
+}
+
+impl History {
+    /// Create a new instance.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Append `op`, overriding its id with the next position in the history.
+    pub fn push(&mut self, mut op: Operation) -> OpId {
+        let id = OpId(self.ops.len() as u64);
+        op.id = id;
+        self.ops.push(op);
+        id
+    }
+
+    /// The operations of this node/graph.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Look up by key/index.
+    pub fn get(&self, id: OpId) -> Option<&Operation> {
+        self.ops.get(id.0 as usize)
+    }
+
+    /// All object ids touched by the history.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut set = std::collections::BTreeSet::new();
+        for op in &self.ops {
+            set.extend(op.reads.iter().copied());
+            set.extend(op.writes.iter().copied());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Pairs `(i, j)` with `i < j` whose operations conflict. Quadratic —
+    /// testing aid, not a production path.
+    pub fn conflict_pairs(&self) -> Vec<(OpId, OpId)> {
+        let mut pairs = Vec::new();
+        for i in 0..self.ops.len() {
+            for j in i + 1..self.ops.len() {
+                if self.ops[i].conflicts_with(&self.ops[j]) {
+                    pairs.push((self.ops[i].id, self.ops[j].id));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+impl FromIterator<Operation> for History {
+    fn from_iter<T: IntoIterator<Item = Operation>>(iter: T) -> History {
+        let mut h = History::new();
+        for op in iter {
+            h.push(op);
+        }
+        h
+    }
+}
+
+/// Replays operations against an in-memory state: the ground-truth oracle.
+///
+/// The store is a total function from ids to values; never-written and
+/// deleted objects read as [`Value::empty`]. Replaying a full history from
+/// the initial state yields the state every correct recovery must agree with
+/// on exposed objects.
+#[derive(Debug, Clone, Default)]
+pub struct Replayer {
+    state: BTreeMap<ObjectId, Value>,
+}
+
+impl Replayer {
+    /// Create a new instance.
+    pub fn new() -> Replayer {
+        Replayer::default()
+    }
+
+    /// Start from an explicit initial state.
+    pub fn with_state(state: BTreeMap<ObjectId, Value>) -> Replayer {
+        Replayer { state }
+    }
+
+    /// Look up by key/index.
+    pub fn get(&self, x: ObjectId) -> Value {
+        self.state.get(&x).cloned().unwrap_or_else(Value::empty)
+    }
+
+    /// Set a value.
+    pub fn set(&mut self, x: ObjectId, v: Value) {
+        self.state.insert(x, v);
+    }
+
+    /// The current state map.
+    pub fn state(&self) -> &BTreeMap<ObjectId, Value> {
+        &self.state
+    }
+
+    /// Execute one operation, mutating the state.
+    pub fn apply(&mut self, op: &Operation, registry: &TransformRegistry) -> Result<()> {
+        let inputs: Vec<Value> = op.reads.iter().map(|&x| self.get(x)).collect();
+        let outputs = registry.apply(op.id, &op.transform, &inputs, op.writes.len())?;
+        for (x, v) in op.writes.iter().zip(outputs) {
+            self.state.insert(*x, v);
+        }
+        Ok(())
+    }
+
+    /// Replay a whole history in conflict order.
+    pub fn replay(&mut self, ops: &[Operation], registry: &TransformRegistry) -> Result<()> {
+        for op in ops {
+            self.apply(op, registry)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::transform::{builtin, Transform};
+
+    fn registry() -> TransformRegistry {
+        TransformRegistry::with_builtins()
+    }
+
+    #[test]
+    fn push_reassigns_ids() {
+        let mut h = History::new();
+        let id0 = h.push(Operation::logical(99, &[1], &[2]));
+        let id1 = h.push(Operation::logical(99, &[2], &[3]));
+        assert_eq!(id0, OpId(0));
+        assert_eq!(id1, OpId(1));
+        assert_eq!(h.get(id1).unwrap().reads, vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn objects_deduplicates() {
+        let h: History = [
+            Operation::logical(0, &[1, 2], &[2]),
+            Operation::logical(0, &[2], &[3]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            h.objects(),
+            vec![ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
+    }
+
+    #[test]
+    fn conflict_pairs_finds_rw_and_ww() {
+        let h: History = [
+            Operation::logical(0, &[1], &[2]), // op0: r1 w2
+            Operation::logical(0, &[3], &[2]), // op1: w2 (ww with op0)
+            Operation::logical(0, &[2], &[4]), // op2: r2 (rw with both)
+            Operation::logical(0, &[5], &[6]), // op3: disjoint
+        ]
+        .into_iter()
+        .collect();
+        let pairs = h.conflict_pairs();
+        assert!(pairs.contains(&(OpId(0), OpId(1))));
+        assert!(pairs.contains(&(OpId(0), OpId(2))));
+        assert!(pairs.contains(&(OpId(1), OpId(2))));
+        assert!(!pairs.iter().any(|&(a, b)| a == OpId(3) || b == OpId(3)));
+    }
+
+    #[test]
+    fn replay_figure_one() {
+        // A: Y ← f(X, Y); B: X ← g(Y). Replaying must be deterministic.
+        let h: History = [
+            Operation::logical(0, &[1, 2], &[2]), // A
+            Operation::logical(0, &[2], &[1]),    // B
+        ]
+        .into_iter()
+        .collect();
+
+        let mut init = BTreeMap::new();
+        init.insert(ObjectId(1), Value::from("xxxx"));
+        init.insert(ObjectId(2), Value::from("yyyy"));
+
+        let mut r1 = Replayer::with_state(init.clone());
+        r1.replay(h.ops(), &registry()).unwrap();
+        let mut r2 = Replayer::with_state(init);
+        r2.replay(h.ops(), &registry()).unwrap();
+        assert_eq!(r1.state(), r2.state());
+        // B read A's output, so X depends on the original X transitively.
+        assert_ne!(r1.get(ObjectId(1)), Value::from("xxxx"));
+    }
+
+    #[test]
+    fn missing_objects_read_empty() {
+        let mut r = Replayer::new();
+        let op = Operation::new(
+            OpId(0),
+            OpKind::Logical,
+            vec![ObjectId(1)],
+            vec![ObjectId(2)],
+            Transform::new(builtin::COPY, Value::empty()),
+        );
+        r.apply(&op, &registry()).unwrap();
+        assert!(r.get(ObjectId(2)).is_empty());
+    }
+
+    #[test]
+    fn physical_write_replays_from_log_value() {
+        let mut r = Replayer::new();
+        let op = Operation::physical(0, 7, Value::from("stored"));
+        r.apply(&op, &registry()).unwrap();
+        assert_eq!(r.get(ObjectId(7)), Value::from("stored"));
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut r = Replayer::new();
+        r.set(ObjectId(7), Value::from("data"));
+        r.apply(&Operation::delete(0, 7), &registry()).unwrap();
+        assert!(r.get(ObjectId(7)).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! The shared cost ledger.
+//!
+//! One `Metrics` instance is threaded through the stable store, the WAL and
+//! the cache manager so an experiment reads its whole cost picture from one
+//! place. Counters are atomics: cheap, `Send + Sync`, and usable from
+//! Criterion benches without interior-mutability gymnastics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Event counters for one engine instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Object reads from the stable store.
+    pub obj_reads: AtomicU64,
+    /// Bytes read from the stable store.
+    pub obj_read_bytes: AtomicU64,
+    /// Object writes to the stable store (each is one device I/O).
+    pub obj_writes: AtomicU64,
+    /// Bytes written to the stable store.
+    pub obj_write_bytes: AtomicU64,
+    /// Multi-object atomic flush groups performed (shadow or flush-txn).
+    pub atomic_groups: AtomicU64,
+    /// Objects written inside atomic groups.
+    pub atomic_group_objects: AtomicU64,
+    /// Shadow-root commit writes (the System R "pointer swing").
+    pub shadow_commits: AtomicU64,
+    /// Log records appended.
+    pub log_records: AtomicU64,
+    /// Log bytes appended (framing + payload).
+    pub log_bytes: AtomicU64,
+    /// Log forces (synchronous stable-log writes).
+    pub log_forces: AtomicU64,
+    /// System quiesce events (§4: flush transactions freeze updaters).
+    pub quiesces: AtomicU64,
+    /// Identity writes issued by the cache manager (§4).
+    pub identity_writes: AtomicU64,
+    /// Operations re-executed during redo recovery.
+    pub redo_ops: AtomicU64,
+    /// Logged operations bypassed by the REDO test during recovery.
+    pub skipped_ops: AtomicU64,
+    /// Trial re-executions voided during recovery (§5 cases 2b/2c).
+    pub voided_ops: AtomicU64,
+    /// Objects copied to a fuzzy backup (sweep + copy-before-overwrite).
+    pub backup_copies: AtomicU64,
+    /// Bytes copied to a fuzzy backup.
+    pub backup_bytes: AtomicU64,
+    /// Clean objects evicted from the cache under pressure.
+    pub evictions: AtomicU64,
+}
+
+impl Metrics {
+    /// Create a new instance.
+    pub fn new() -> Arc<Metrics> {
+        Arc::new(Metrics::default())
+    }
+
+    /// Add `by` to a counter.
+    pub fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Take a point-in-time copy.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            obj_reads: g(&self.obj_reads),
+            obj_read_bytes: g(&self.obj_read_bytes),
+            obj_writes: g(&self.obj_writes),
+            obj_write_bytes: g(&self.obj_write_bytes),
+            atomic_groups: g(&self.atomic_groups),
+            atomic_group_objects: g(&self.atomic_group_objects),
+            shadow_commits: g(&self.shadow_commits),
+            log_records: g(&self.log_records),
+            log_bytes: g(&self.log_bytes),
+            log_forces: g(&self.log_forces),
+            quiesces: g(&self.quiesces),
+            identity_writes: g(&self.identity_writes),
+            redo_ops: g(&self.redo_ops),
+            skipped_ops: g(&self.skipped_ops),
+            voided_ops: g(&self.voided_ops),
+            backup_copies: g(&self.backup_copies),
+            backup_bytes: g(&self.backup_bytes),
+            evictions: g(&self.evictions),
+        }
+    }
+
+    /// Reset every counter to zero (between experiment phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.obj_reads,
+            &self.obj_read_bytes,
+            &self.obj_writes,
+            &self.obj_write_bytes,
+            &self.atomic_groups,
+            &self.atomic_group_objects,
+            &self.shadow_commits,
+            &self.log_records,
+            &self.log_bytes,
+            &self.log_forces,
+            &self.quiesces,
+            &self.identity_writes,
+            &self.redo_ops,
+            &self.skipped_ops,
+            &self.voided_ops,
+            &self.backup_copies,
+            &self.backup_bytes,
+            &self.evictions,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`], with plain integer fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Object reads from the stable store.
+    pub obj_reads: u64,
+    /// Obj read bytes.
+    pub obj_read_bytes: u64,
+    /// Object writes to the stable store.
+    pub obj_writes: u64,
+    /// Obj write bytes.
+    pub obj_write_bytes: u64,
+    /// Multi-object atomic flush groups performed.
+    pub atomic_groups: u64,
+    /// Atomic group objects.
+    pub atomic_group_objects: u64,
+    /// Shadow-root commit writes.
+    pub shadow_commits: u64,
+    /// Log records appended.
+    pub log_records: u64,
+    /// Log bytes appended.
+    pub log_bytes: u64,
+    /// Synchronous log forces.
+    pub log_forces: u64,
+    /// System quiesce events (flush transactions).
+    pub quiesces: u64,
+    /// Cache-manager identity writes issued.
+    pub identity_writes: u64,
+    /// Operations re-executed during recovery.
+    pub redo_ops: u64,
+    /// Operation records bypassed during recovery.
+    pub skipped_ops: u64,
+    /// Trial re-executions voided during recovery.
+    pub voided_ops: u64,
+    /// Objects copied to a fuzzy backup.
+    pub backup_copies: u64,
+    /// Bytes copied to a fuzzy backup.
+    pub backup_bytes: u64,
+    /// Clean objects evicted under cache pressure.
+    pub evictions: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total device I/O operations: object writes + object reads + forces.
+    pub fn total_ios(&self) -> u64 {
+        self.obj_writes + self.obj_reads + self.log_forces
+    }
+
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            obj_reads: self.obj_reads.saturating_sub(earlier.obj_reads),
+            obj_read_bytes: self.obj_read_bytes.saturating_sub(earlier.obj_read_bytes),
+            obj_writes: self.obj_writes.saturating_sub(earlier.obj_writes),
+            obj_write_bytes: self.obj_write_bytes.saturating_sub(earlier.obj_write_bytes),
+            atomic_groups: self.atomic_groups.saturating_sub(earlier.atomic_groups),
+            atomic_group_objects: self
+                .atomic_group_objects
+                .saturating_sub(earlier.atomic_group_objects),
+            shadow_commits: self.shadow_commits.saturating_sub(earlier.shadow_commits),
+            log_records: self.log_records.saturating_sub(earlier.log_records),
+            log_bytes: self.log_bytes.saturating_sub(earlier.log_bytes),
+            log_forces: self.log_forces.saturating_sub(earlier.log_forces),
+            quiesces: self.quiesces.saturating_sub(earlier.quiesces),
+            identity_writes: self.identity_writes.saturating_sub(earlier.identity_writes),
+            redo_ops: self.redo_ops.saturating_sub(earlier.redo_ops),
+            skipped_ops: self.skipped_ops.saturating_sub(earlier.skipped_ops),
+            voided_ops: self.voided_ops.saturating_sub(earlier.voided_ops),
+            backup_copies: self.backup_copies.saturating_sub(earlier.backup_copies),
+            backup_bytes: self.backup_bytes.saturating_sub(earlier.backup_bytes),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_snapshot_reset() {
+        let m = Metrics::new();
+        Metrics::bump(&m.obj_writes, 3);
+        Metrics::bump(&m.log_bytes, 100);
+        let s = m.snapshot();
+        assert_eq!(s.obj_writes, 3);
+        assert_eq!(s.log_bytes, 100);
+        assert_eq!(s.total_ios(), 3);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let m = Metrics::new();
+        Metrics::bump(&m.redo_ops, 5);
+        let a = m.snapshot();
+        Metrics::bump(&m.redo_ops, 7);
+        let b = m.snapshot();
+        assert_eq!(b.since(&a).redo_ops, 7);
+        // Saturates rather than underflows.
+        assert_eq!(a.since(&b).redo_ops, 0);
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Shared identifiers, values, errors and checksums for the llog recovery
+//! stack, a reproduction of Lomet & Tuttle, *Logical Logging to Extend
+//! Recovery to New Domains* (SIGMOD 1999).
+//!
+//! Everything in this crate is deliberately small and dependency-free: these
+//! are the vocabulary types every other crate speaks.
+
+mod crc;
+mod error;
+mod id;
+mod value;
+
+pub use crc::crc32c;
+pub use error::{LlogError, Result};
+pub use id::{FnId, Lsn, ObjectId, OpId, Si};
+pub use value::Value;

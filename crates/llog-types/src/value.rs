@@ -1,0 +1,117 @@
+//! Object values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The value of a recoverable object: an immutable byte string.
+///
+/// Values are reference-counted so that the cache, the stable store, the
+/// recovery oracle and log-record parameters can share one allocation. The
+/// paper's objects range from database pages to whole files and application
+/// states ("many pages in size"), so cheap sharing matters.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Value(Arc<[u8]>);
+
+impl Value {
+    /// The canonical empty value — also the state of a never-written or
+    /// deleted object.
+    pub fn empty() -> Value {
+        Value(Arc::from(&[][..]))
+    }
+
+    /// Build from a byte slice.
+    pub fn from_slice(bytes: &[u8]) -> Value {
+        Value(Arc::from(bytes))
+    }
+
+    /// A value of `len` copies of `byte` — handy for sized workloads.
+    pub fn filled(byte: u8, len: usize) -> Value {
+        Value(Arc::from(vec![byte; len].into_boxed_slice()))
+    }
+
+    /// The underlying bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Value {
+        Value(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Value {
+        Value::from_slice(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::from_slice(v.as_bytes())
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print short values as UTF-8 when possible, otherwise a length tag.
+        if self.0.len() <= 24 {
+            if let Ok(s) = std::str::from_utf8(&self.0) {
+                return write!(f, "v{s:?}");
+            }
+        }
+        write!(f, "v[{} bytes]", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Value::from_slice(b"abc");
+        let b: Value = b"abc"[..].into();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Value::empty().is_empty());
+    }
+
+    #[test]
+    fn filled_makes_sized_values() {
+        let v = Value::filled(0xAB, 1024);
+        assert_eq!(v.len(), 1024);
+        assert!(v.as_bytes().iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Value::filled(1, 64);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_bytes().as_ptr(), b.as_bytes().as_ptr()));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Value::from("hi")), "v\"hi\"");
+        assert_eq!(format!("{:?}", Value::filled(0, 100)), "v[100 bytes]");
+    }
+}

@@ -1,0 +1,484 @@
+//! The log manager: volatile buffer, forced stable prefix, torn-tail scan,
+//! truncation, and the checkpoint master record.
+
+use std::sync::Arc;
+
+use llog_storage::Metrics;
+use llog_types::{crc32c, LlogError, Lsn, Result};
+
+use crate::record::LogRecord;
+
+const FRAME_HEADER: usize = 8; // len u32 + crc u32
+
+/// The write-ahead log for one engine instance.
+///
+/// - `append` assigns the record's LSN (the byte offset of its frame) and
+///   buffers it in volatile memory.
+/// - `force` makes everything buffered stable (one counted log force) — the
+///   WAL-protocol step that must precede installing the described changes.
+/// - `crash` discards the buffer; `crash_torn` half-writes it first.
+/// - `truncate_to` discards the stable prefix before an LSN (checkpointing).
+///
+/// The *master record* holds the LSN of the most recent forced checkpoint,
+/// modelling the well-known fixed disk location recovery reads first.
+///
+/// ```
+/// use llog_storage::Metrics;
+/// use llog_wal::{LogRecord, Wal};
+/// use llog_ops::Operation;
+///
+/// let mut wal = Wal::new(Metrics::new());
+/// let lsn = wal.append(&LogRecord::Op(Operation::logical(0, &[1, 2], &[2])));
+/// wal.force();
+/// wal.crash(); // nothing buffered is lost — the record was forced
+/// let records: Vec<_> = wal.scan(wal.start_lsn()).collect();
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(records[0].as_ref().unwrap().0, lsn);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wal {
+    metrics: Arc<Metrics>,
+    /// Forced, stable log image. `stable[0]` is at log offset `base`.
+    stable: Vec<u8>,
+    /// Log address of `stable[0]` (advanced by truncation).
+    base: u64,
+    /// Volatile, not-yet-forced encoded records.
+    buffer: Vec<u8>,
+    /// Stable pointer to the last forced checkpoint record.
+    master_checkpoint: Option<Lsn>,
+    /// Volatile candidate master pointer, promoted on force.
+    pending_checkpoint: Option<Lsn>,
+}
+
+impl Wal {
+    /// Create a new instance.
+    pub fn new(metrics: Arc<Metrics>) -> Wal {
+        Wal {
+            metrics,
+            stable: Vec::new(),
+            // The log address space starts at 1: Lsn::ZERO is reserved to
+            // mean "never updated" on object headers (vSI = 0), so no record
+            // may live there.
+            base: 1,
+            buffer: Vec::new(),
+            master_checkpoint: None,
+            pending_checkpoint: None,
+        }
+    }
+
+    /// The shared cost ledger this WAL reports into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// First LSN still present in the stable log.
+    pub fn start_lsn(&self) -> Lsn {
+        Lsn(self.base)
+    }
+
+    /// LSN up to which the log is stable (exclusive).
+    pub fn forced_lsn(&self) -> Lsn {
+        Lsn(self.base + self.stable.len() as u64)
+    }
+
+    /// LSN that the next appended record will receive.
+    pub fn end_lsn(&self) -> Lsn {
+        Lsn(self.base + (self.stable.len() + self.buffer.len()) as u64)
+    }
+
+    /// Append a record to the volatile buffer; returns its LSN (its lSI).
+    pub fn append(&mut self, record: &LogRecord) -> Lsn {
+        let lsn = self.end_lsn();
+        let payload = record.encode();
+        self.buffer.reserve(FRAME_HEADER + payload.len());
+        self.buffer
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buffer.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        self.buffer.extend_from_slice(&payload);
+        Metrics::bump(&self.metrics.log_records, 1);
+        Metrics::bump(
+            &self.metrics.log_bytes,
+            (FRAME_HEADER + payload.len()) as u64,
+        );
+        if let LogRecord::Checkpoint(_) = record {
+            self.pending_checkpoint = Some(lsn);
+        }
+        lsn
+    }
+
+    /// Force the buffer to stable storage. Counted only when there was
+    /// something to force. Promotes any buffered checkpoint to the master
+    /// record (its frame is now stable).
+    pub fn force(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        Metrics::bump(&self.metrics.log_forces, 1);
+        self.stable.append(&mut self.buffer);
+        if let Some(cp) = self.pending_checkpoint.take() {
+            self.master_checkpoint = Some(cp);
+        }
+    }
+
+    /// Force only if `lsn` is not yet stable (WAL-protocol helper).
+    pub fn force_through(&mut self, lsn: Lsn) {
+        if lsn >= self.forced_lsn() {
+            self.force();
+        }
+    }
+
+    /// Crash: the volatile buffer is lost.
+    pub fn crash(&mut self) {
+        self.buffer.clear();
+        self.pending_checkpoint = None;
+    }
+
+    /// Crash with a torn tail: the device wrote only the first
+    /// `partial_bytes` of the buffer. The scan must stop cleanly at the torn
+    /// frame.
+    pub fn crash_torn(&mut self, partial_bytes: usize) {
+        let n = partial_bytes.min(self.buffer.len());
+        self.stable.extend_from_slice(&self.buffer[..n]);
+        self.buffer.clear();
+        self.pending_checkpoint = None;
+    }
+
+    /// The master record: LSN of the last stable checkpoint.
+    pub fn master_checkpoint(&self) -> Option<Lsn> {
+        self.master_checkpoint
+    }
+
+    /// Discard the stable prefix before `lsn`. `lsn` must be a record
+    /// boundary at or after the current start and at most the forced LSN.
+    pub fn truncate_to(&mut self, lsn: Lsn) -> Result<()> {
+        if lsn < self.start_lsn() || lsn > self.forced_lsn() {
+            return Err(LlogError::LsnOutOfRange {
+                lsn,
+                start: self.start_lsn(),
+                end: self.forced_lsn(),
+            });
+        }
+        let cut = (lsn.0 - self.base) as usize;
+        self.stable.drain(..cut);
+        self.base = lsn.0;
+        if self.master_checkpoint.is_some_and(|cp| cp < lsn) {
+            self.master_checkpoint = None;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently held stable (for space accounting in experiments).
+    pub fn stable_len(&self) -> usize {
+        self.stable.len()
+    }
+
+    /// The stable log image (persistence).
+    pub(crate) fn stable_bytes(&self) -> &[u8] {
+        &self.stable
+    }
+
+    /// Rebuild a WAL from its durable parts (persistence).
+    pub(crate) fn from_durable_parts(
+        metrics: Arc<Metrics>,
+        base: u64,
+        stable: Vec<u8>,
+        master_checkpoint: Option<Lsn>,
+    ) -> Wal {
+        Wal {
+            metrics,
+            stable,
+            base,
+            buffer: Vec::new(),
+            master_checkpoint,
+            pending_checkpoint: None,
+        }
+    }
+
+    /// Scan stable records starting at `from` (a record boundary). Stops at
+    /// the stable end or at the first torn/corrupt frame. Recovery never
+    /// sees the volatile buffer — it did not survive the crash.
+    pub fn scan(&self, from: Lsn) -> WalScan<'_> {
+        WalScan { wal: self, at: from }
+    }
+
+    /// Read the single record at `lsn`.
+    pub fn read_at(&self, lsn: Lsn) -> Result<LogRecord> {
+        let mut scan = self.scan(lsn);
+        match scan.next() {
+            Some(Ok((at, rec))) if at == lsn => Ok(rec),
+            Some(Ok((at, _))) => Err(LlogError::Corrupt {
+                offset: lsn.0,
+                reason: format!("no record boundary at {lsn}, next is {at}"),
+            }),
+            Some(Err(e)) => Err(e),
+            None => Err(LlogError::LsnOutOfRange {
+                lsn,
+                start: self.start_lsn(),
+                end: self.forced_lsn(),
+            }),
+        }
+    }
+}
+
+/// Iterator over stable log records: yields `(lsn, record)`; a torn or
+/// corrupt frame ends the scan with one `Err` item.
+pub struct WalScan<'a> {
+    wal: &'a Wal,
+    at: Lsn,
+}
+
+impl Iterator for WalScan<'_> {
+    type Item = Result<(Lsn, LogRecord)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let wal = self.wal;
+        if self.at < wal.start_lsn() {
+            self.at = Lsn(u64::MAX); // poison: don't loop forever
+            return Some(Err(LlogError::LsnOutOfRange {
+                lsn: self.at,
+                start: wal.start_lsn(),
+                end: wal.forced_lsn(),
+            }));
+        }
+        let off = (self.at.0.checked_sub(wal.base)?) as usize;
+        if off >= wal.stable.len() {
+            return None; // clean end of stable log
+        }
+        let bytes = &wal.stable[off..];
+        if bytes.len() < FRAME_HEADER {
+            self.at = Lsn(u64::MAX);
+            return Some(Err(LlogError::Corrupt {
+                offset: wal.base + off as u64,
+                reason: "torn frame header".into(),
+            }));
+        }
+        let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if bytes.len() < FRAME_HEADER + len {
+            self.at = Lsn(u64::MAX);
+            return Some(Err(LlogError::Corrupt {
+                offset: wal.base + off as u64,
+                reason: "torn frame body".into(),
+            }));
+        }
+        let payload = &bytes[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32c(payload) != crc {
+            self.at = Lsn(u64::MAX);
+            return Some(Err(LlogError::Corrupt {
+                offset: wal.base + off as u64,
+                reason: "checksum mismatch".into(),
+            }));
+        }
+        let lsn = Lsn(wal.base + off as u64);
+        self.at = lsn.advance((FRAME_HEADER + len) as u64);
+        match LogRecord::decode(payload) {
+            Ok(rec) => Some(Ok((lsn, rec))),
+            Err(e) => {
+                self.at = Lsn(u64::MAX);
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CheckpointRecord;
+    use llog_ops::Operation;
+    use llog_types::{ObjectId, Value};
+
+    fn wal() -> Wal {
+        Wal::new(Metrics::new())
+    }
+
+    fn op_record(id: u64) -> LogRecord {
+        LogRecord::Op(Operation::logical(id, &[1], &[2]))
+    }
+
+    #[test]
+    fn append_assigns_increasing_boundary_lsns() {
+        let mut w = wal();
+        let a = w.append(&op_record(0));
+        let b = w.append(&op_record(1));
+        assert_eq!(a, Lsn(1));
+        assert!(b > a);
+        assert_eq!(w.end_lsn().0 as usize, 1 + w.buffer.len());
+    }
+
+    #[test]
+    fn records_survive_force_and_crash() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        w.append(&op_record(1)); // unforced: will be lost
+        w.crash();
+
+        let recs: Vec<_> = w.scan(w.start_lsn()).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, op_record(0));
+    }
+
+    #[test]
+    fn unforced_buffer_is_invisible_to_scan() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        assert_eq!(w.scan(w.start_lsn()).count(), 0);
+    }
+
+    #[test]
+    fn force_counts_only_when_dirty() {
+        let w_metrics = Metrics::new();
+        let mut w = Wal::new(w_metrics.clone());
+        w.force(); // nothing buffered
+        assert_eq!(w_metrics.snapshot().log_forces, 0);
+        w.append(&op_record(0));
+        w.force();
+        w.force(); // idempotent
+        assert_eq!(w_metrics.snapshot().log_forces, 1);
+    }
+
+    #[test]
+    fn force_through_only_forces_when_needed() {
+        let m = Metrics::new();
+        let mut w = Wal::new(m.clone());
+        let a = w.append(&op_record(0));
+        w.force_through(a);
+        assert_eq!(m.snapshot().log_forces, 1);
+        // Already stable: no new force.
+        w.force_through(a);
+        assert_eq!(m.snapshot().log_forces, 1);
+    }
+
+    #[test]
+    fn torn_tail_stops_scan_with_error() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        w.append(&op_record(1));
+        w.crash_torn(5); // half a frame header + start of body
+
+        let mut scan = w.scan(w.start_lsn());
+        assert!(scan.next().unwrap().is_ok());
+        assert!(matches!(scan.next(), Some(Err(LlogError::Corrupt { .. }))));
+        assert!(scan.next().is_none());
+    }
+
+    #[test]
+    fn torn_tail_with_full_header_but_short_body() {
+        let mut w = wal();
+        w.append(&op_record(1));
+        w.crash_torn(FRAME_HEADER + 3);
+        let mut scan = w.scan(w.start_lsn());
+        assert!(matches!(scan.next(), Some(Err(LlogError::Corrupt { .. }))));
+    }
+
+    #[test]
+    fn corrupt_byte_detected_by_crc() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        let target = w.stable.len() - 1;
+        w.stable[target] ^= 0xFF;
+        let mut scan = w.scan(w.start_lsn());
+        assert!(matches!(scan.next(), Some(Err(LlogError::Corrupt { .. }))));
+    }
+
+    #[test]
+    fn scan_from_middle_and_read_at() {
+        let mut w = wal();
+        let _a = w.append(&op_record(0));
+        let b = w.append(&op_record(1));
+        let c = w.append(&op_record(2));
+        w.force();
+
+        let recs: Vec<_> = w.scan(b).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, b);
+        assert_eq!(recs[1].0, c);
+        assert_eq!(w.read_at(c).unwrap(), op_record(2));
+        // Non-boundary read fails.
+        assert!(w.read_at(Lsn(b.0 + 1)).is_err());
+    }
+
+    #[test]
+    fn truncation_drops_prefix_and_validates_bounds() {
+        let mut w = wal();
+        let _a = w.append(&op_record(0));
+        let b = w.append(&op_record(1));
+        w.force();
+
+        w.truncate_to(b).unwrap();
+        assert_eq!(w.start_lsn(), b);
+        let recs: Vec<_> = w.scan(b).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, op_record(1));
+
+        // Before start or past forced end: rejected.
+        assert!(w.truncate_to(Lsn::ZERO).is_err());
+        assert!(w.truncate_to(w.forced_lsn().advance(1)).is_err());
+        // Scanning before the truncation point errors.
+        assert!(w.scan(Lsn::ZERO).next().unwrap().is_err());
+    }
+
+    #[test]
+    fn master_checkpoint_promoted_on_force_only() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        let cp = w.append(&LogRecord::Checkpoint(CheckpointRecord::default()));
+        assert_eq!(w.master_checkpoint(), None);
+        w.force();
+        assert_eq!(w.master_checkpoint(), Some(cp));
+    }
+
+    #[test]
+    fn crash_discards_pending_checkpoint() {
+        let mut w = wal();
+        w.append(&LogRecord::Checkpoint(CheckpointRecord::default()));
+        w.crash();
+        assert_eq!(w.master_checkpoint(), None);
+        // A fresh checkpoint works fine afterwards.
+        let cp2 = w.append(&LogRecord::Checkpoint(CheckpointRecord::default()));
+        w.force();
+        assert_eq!(w.master_checkpoint(), Some(cp2));
+    }
+
+    #[test]
+    fn truncating_past_master_clears_it() {
+        let mut w = wal();
+        let _cp = w.append(&LogRecord::Checkpoint(CheckpointRecord::default()));
+        w.force();
+        let end = w.forced_lsn();
+        w.truncate_to(end).unwrap();
+        assert_eq!(w.master_checkpoint(), None);
+    }
+
+    #[test]
+    fn mixed_record_stream_roundtrips() {
+        let mut w = wal();
+        let records = vec![
+            op_record(0),
+            LogRecord::Flush { obj: ObjectId(2), vsi: Lsn(0) },
+            LogRecord::FlushTxnBegin { objs: vec![ObjectId(1)] },
+            LogRecord::FlushTxnValue {
+                obj: ObjectId(1),
+                value: Value::from("v"),
+                vsi: Lsn(0),
+            },
+            LogRecord::FlushTxnCommit,
+            LogRecord::Checkpoint(CheckpointRecord::default()),
+        ];
+        for r in &records {
+            w.append(r);
+        }
+        w.force();
+        let got: Vec<_> = w
+            .scan(w.start_lsn())
+            .collect::<Result<Vec<_>>>()
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(got, records);
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared engine with a background cache-manager thread: four producer
+//! threads write through one recovery engine while the installer drains the
+//! write graph, then a crash and recovery prove nothing was lost.
+//!
+//! ```sh
+//! cargo run --example concurrent_engine
+//! ```
+
+use llog::core::{recover, EngineConfig, RedoPolicy, SharedEngine};
+use llog::ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog::types::{ObjectId, Value};
+
+fn main() {
+    let registry = TransformRegistry::with_builtins();
+    let engine = SharedEngine::new(EngineConfig::default(), registry.clone());
+
+    // Background cache manager: keep the uninstalled window under 25 ops.
+    let installer = engine.spawn_installer(25);
+
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let x = ObjectId(t * 1000 + i);
+                    engine
+                        .execute(
+                            OpKind::Physical,
+                            vec![],
+                            vec![x],
+                            Transform::new(
+                                builtin::CONST,
+                                builtin::encode_values(&[Value::from_slice(
+                                    &(t * 1000 + i).to_le_bytes(),
+                                )]),
+                            ),
+                        )
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    println!(
+        "4 threads wrote 1000 objects; uninstalled window now {}",
+        engine.uninstalled_count()
+    );
+    installer.stop();
+
+    engine.force_log();
+    let (store, wal) = engine.crash().ok().expect("all handles dropped");
+    println!(
+        "crash: {} objects already stable (installer's work), log holds the rest",
+        store.len()
+    );
+
+    let (mut recovered, outcome) = recover(
+        store,
+        wal,
+        registry,
+        EngineConfig::default(),
+        RedoPolicy::RsiExposed,
+    )
+    .unwrap();
+    println!(
+        "recovery: {} redone, {} skipped",
+        outcome.redone, outcome.skipped
+    );
+    for t in 0..4u64 {
+        for i in 0..250u64 {
+            let x = ObjectId(t * 1000 + i);
+            assert_eq!(
+                recovered.read_value(x),
+                Value::from_slice(&(t * 1000 + i).to_le_bytes())
+            );
+        }
+    }
+    println!("all 1000 values intact after crash + recovery ✓");
+}

@@ -1,0 +1,89 @@
+//! Quickstart: log two logical operations, crash, recover.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! This is Figure 1(a) end to end: operation A (`Y ← f(X,Y)`) and
+//! operation B (`X ← g(Y)`) are logged *logically* — the log carries only
+//! object ids and the function ids, never the data — and redo recovery
+//! reconstructs both objects after a crash.
+
+use llog::core::{recover, Engine, EngineConfig, RedoPolicy};
+use llog::ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog::types::{ObjectId, Value};
+
+const X: ObjectId = ObjectId(1);
+const Y: ObjectId = ObjectId(2);
+
+fn main() {
+    let registry = TransformRegistry::with_builtins();
+    let mut engine = Engine::new(EngineConfig::default(), registry.clone());
+
+    // Seed X and Y with initial values (physical writes: data entering the
+    // recoverable world must be logged once).
+    for (obj, v) in [(X, "value-of-x"), (Y, "value-of-y")] {
+        engine
+            .execute(
+                OpKind::Physical,
+                vec![],
+                vec![obj],
+                Transform::new(builtin::CONST, builtin::encode_values(&[Value::from(v)])),
+            )
+            .unwrap();
+    }
+    engine.install_all().unwrap();
+
+    // Operation A: Y ← f(X, Y) — logical, reads both objects, writes Y.
+    engine
+        .execute(
+            OpKind::Logical,
+            vec![X, Y],
+            vec![Y],
+            Transform::new(builtin::HASH_MIX, Value::from_slice(b"A")),
+        )
+        .unwrap();
+    // Operation B: X ← g(Y) — logical blind write of X.
+    engine
+        .execute(
+            OpKind::Logical,
+            vec![Y],
+            vec![X],
+            Transform::new(builtin::HASH_MIX, Value::from_slice(b"B")),
+        )
+        .unwrap();
+
+    let want_x = engine.peek_value(X);
+    let want_y = engine.peek_value(Y);
+    println!("before crash: X = {:?}, Y = {:?}", want_x, want_y);
+    println!(
+        "log so far: {} records, {} bytes (no object values for A and B!)",
+        engine.metrics().snapshot().log_records,
+        engine.metrics().snapshot().log_bytes,
+    );
+
+    // Make the log stable, then crash: the cache is gone, neither A's nor
+    // B's results ever reached the stable store.
+    engine.wal_mut().force();
+    let (store, wal) = engine.crash();
+    assert!(store.peek(X).is_some()); // only the seeds are stable
+    println!("crash! stable store has {} objects (the seeds)", store.len());
+
+    // Recover with the paper's generalized REDO test.
+    let (mut recovered, outcome) = recover(
+        store,
+        wal,
+        registry,
+        EngineConfig::default(),
+        RedoPolicy::RsiExposed,
+    )
+    .unwrap();
+    println!(
+        "recovery: {} ops redone, {} skipped, redo scan from lsn {}",
+        outcome.redone, outcome.skipped, outcome.redo_start
+    );
+
+    assert_eq!(recovered.read_value(X), want_x);
+    assert_eq!(recovered.read_value(Y), want_y);
+    println!("recovered: X and Y match the pre-crash state ✓");
+}

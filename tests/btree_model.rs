@@ -1,0 +1,99 @@
+//! Model-based B-tree testing: random insert/remove/get/compact sequences
+//! checked against `std::collections::BTreeMap`, with crash-recovery
+//! injected mid-sequence.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use llog::core::{recover, Engine, EngineConfig, RedoPolicy};
+use llog::domains::btree::BTree;
+use llog::domains::register_domain_transforms;
+use llog::ops::TransformRegistry;
+use llog::types::ObjectId;
+
+const META: ObjectId = ObjectId(0x7400_0000_0000_0000);
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Insert(u8, u8),
+    Remove(u8),
+    Get(u8),
+    Compact,
+    CrashRecover,
+    Install,
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Cmd::Insert(k, v)),
+        3 => any::<u8>().prop_map(Cmd::Remove),
+        3 => any::<u8>().prop_map(Cmd::Get),
+        1 => Just(Cmd::Compact),
+        1 => Just(Cmd::CrashRecover),
+        1 => Just(Cmd::Install),
+    ]
+}
+
+fn registry() -> TransformRegistry {
+    let mut r = TransformRegistry::with_builtins();
+    register_domain_transforms(&mut r);
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_matches_std_btreemap(cmds in vec(cmd_strategy(), 1..60), order in 3usize..8) {
+        let reg = registry();
+        let mut engine = Engine::new(EngineConfig::default(), reg.clone());
+        let tree = BTree::create(&mut engine, META, order, true).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+
+        for cmd in cmds {
+            match cmd {
+                Cmd::Insert(k, v) => {
+                    tree.insert(&mut engine, k as u64, &[v]).unwrap();
+                    model.insert(k as u64, vec![v]);
+                }
+                Cmd::Remove(k) => {
+                    let removed = tree.remove(&mut engine, k as u64).unwrap();
+                    let expected = model.remove(&(k as u64)).is_some();
+                    prop_assert_eq!(removed, expected);
+                }
+                Cmd::Get(k) => {
+                    let got = tree.get(&mut engine, k as u64).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&(k as u64)));
+                }
+                Cmd::Compact => {
+                    tree.compact(&mut engine).unwrap();
+                }
+                Cmd::Install => {
+                    engine.install_one().unwrap();
+                }
+                Cmd::CrashRecover => {
+                    engine.wal_mut().force();
+                    let (store, wal) = engine.crash();
+                    let (recovered, _) = recover(
+                        store,
+                        wal,
+                        reg.clone(),
+                        EngineConfig::default(),
+                        RedoPolicy::RsiExposed,
+                    )
+                    .unwrap();
+                    engine = recovered;
+                }
+            }
+        }
+
+        // Final agreement on full contents and structure.
+        tree.check_invariants(&mut engine).unwrap();
+        let scanned = tree.scan_all(&mut engine).unwrap();
+        let expected: Vec<(u64, Vec<u8>)> =
+            model.iter().map(|(&k, v)| (k, v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+    }
+}

@@ -1,0 +1,171 @@
+//! Exhaustive crash-point matrix: for several workloads and cache-manager
+//! configurations, crash after *every* operation count (and at torn-tail
+//! byte offsets) and verify recovery against the replay oracle.
+
+use llog::core::{EngineConfig, FlushStrategy, GraphKind, RedoPolicy};
+use llog::ops::TransformRegistry;
+use llog::sim::{run_crash_recover_verify, CrashPoint, Workload, WorkloadKind};
+
+fn registry() -> TransformRegistry {
+    TransformRegistry::with_builtins()
+}
+
+fn rw_config() -> EngineConfig {
+    EngineConfig {
+        graph: GraphKind::RW,
+        flush: FlushStrategy::IdentityWrites,
+        audit: false,
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_app_mix() {
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1001).generate();
+    for cut in 0..=ops.len() {
+        run_crash_recover_verify(
+            rw_config(),
+            &registry(),
+            &ops,
+            3,
+            CrashPoint::AfterOp(cut),
+            RedoPolicy::RsiExposed,
+        )
+        .unwrap_or_else(|e| panic!("crash at {cut}: {e}"));
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_under_vsi_policy() {
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1002).generate();
+    for cut in 0..=ops.len() {
+        run_crash_recover_verify(
+            rw_config(),
+            &registry(),
+            &ops,
+            3,
+            CrashPoint::AfterOp(cut),
+            RedoPolicy::Vsi,
+        )
+        .unwrap_or_else(|e| panic!("crash at {cut}: {e}"));
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_with_flush_txns() {
+    let cfg = EngineConfig {
+        graph: GraphKind::RW,
+        flush: FlushStrategy::FlushTxn,
+        audit: false,
+    };
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1003).generate();
+    for cut in 0..=ops.len() {
+        run_crash_recover_verify(
+            cfg,
+            &registry(),
+            &ops,
+            2,
+            CrashPoint::AfterOp(cut),
+            RedoPolicy::RsiExposed,
+        )
+        .unwrap_or_else(|e| panic!("crash at {cut}: {e}"));
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_with_shadow_flushes() {
+    let cfg = EngineConfig {
+        graph: GraphKind::RW,
+        flush: FlushStrategy::Shadow,
+        audit: false,
+    };
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1004).generate();
+    for cut in 0..=ops.len() {
+        run_crash_recover_verify(
+            cfg,
+            &registry(),
+            &ops,
+            2,
+            CrashPoint::AfterOp(cut),
+            RedoPolicy::RsiExposed,
+        )
+        .unwrap_or_else(|e| panic!("crash at {cut}: {e}"));
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_under_w_graph() {
+    let cfg = EngineConfig {
+        graph: GraphKind::W,
+        flush: FlushStrategy::FlushTxn,
+        audit: false,
+    };
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1005).generate();
+    for cut in 0..=ops.len() {
+        run_crash_recover_verify(
+            cfg,
+            &registry(),
+            &ops,
+            2,
+            CrashPoint::AfterOp(cut),
+            RedoPolicy::Vsi,
+        )
+        .unwrap_or_else(|e| panic!("crash at {cut}: {e}"));
+    }
+}
+
+#[test]
+fn torn_tail_bytes_sweep() {
+    let ops = Workload::new(7, 25, WorkloadKind::app_mix(), 1006).generate();
+    for torn in (0..400).step_by(7) {
+        run_crash_recover_verify(
+            rw_config(),
+            &registry(),
+            &ops,
+            0,
+            CrashPoint::TornTail(torn),
+            RedoPolicy::RsiExposed,
+        )
+        .unwrap_or_else(|e| panic!("torn at {torn}: {e}"));
+    }
+}
+
+#[test]
+fn physiological_only_matrix() {
+    let ops = Workload::new(5, 50, WorkloadKind::physiological_only(), 1007).generate();
+    for cut in (0..=ops.len()).step_by(5) {
+        for policy in [RedoPolicy::Vsi, RedoPolicy::RsiExposed] {
+            run_crash_recover_verify(
+                rw_config(),
+                &registry(),
+                &ops,
+                4,
+                CrashPoint::AfterOp(cut),
+                policy,
+            )
+            .unwrap_or_else(|e| panic!("cut {cut} {policy:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn delete_heavy_workload_matrix() {
+    let mix = WorkloadKind {
+        logical_update: 30,
+        logical_blind: 20,
+        physiological: 10,
+        physical: 15,
+        delete: 25,
+    };
+    let ops = Workload::new(6, 60, mix, 1008).generate();
+    for cut in (0..=ops.len()).step_by(4) {
+        run_crash_recover_verify(
+            rw_config(),
+            &registry(),
+            &ops,
+            3,
+            CrashPoint::AfterOp(cut),
+            RedoPolicy::RsiExposed,
+        )
+        .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+    }
+}
