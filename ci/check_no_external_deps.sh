@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Guard: the workspace must stay free of crates.io dependencies so it
+# builds hermetically (`cargo build --offline --locked` with an empty
+# registry cache). Fails if any non-`llog-*` registry dependency appears
+# in a manifest or in Cargo.lock.
+#
+# Usage: ci/check_no_external_deps.sh   (run from the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. Manifests: every [dependencies]/[dev-dependencies]/[build-dependencies]
+#    entry and every [workspace.dependencies] entry must be an llog-* path
+#    crate. Flag the historical offenders by name, and any version-ranged
+#    (registry) requirement.
+banned='rand|proptest|criterion|parking_lot|bytes|serde|tokio|rayon|crossbeam'
+manifests=(Cargo.toml crates/*/Cargo.toml)
+
+if grep -nE "^[[:space:]]*(${banned})[[:space:]]*(=|\.workspace)" "${manifests[@]}"; then
+    echo "ERROR: banned external dependency in a manifest (see above)" >&2
+    fail=1
+fi
+
+# Inside any *dependencies* section, every entry must either be an
+# `llog-*` name or carry an explicit `path =`; anything else is a
+# registry dependency.
+if awk '
+    /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+    in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+        if ($0 !~ /^[[:space:]]*llog-/ && $0 !~ /path[[:space:]]*=/) {
+            printf "%s:%d:%s\n", FILENAME, FNR, $0
+            bad = 1
+        }
+    }
+    END { exit bad }
+' "${manifests[@]}"; then
+    : # clean
+else
+    echo "ERROR: non-llog registry dependency in a manifest (see above)" >&2
+    fail=1
+fi
+
+# 2. Lockfile: every package must be ours (no `source =` registry lines).
+if [[ ! -f Cargo.lock ]]; then
+    echo "ERROR: Cargo.lock missing — commit the dependency-free lockfile" >&2
+    fail=1
+else
+    if grep -n '^source = ' Cargo.lock; then
+        echo "ERROR: Cargo.lock references a registry source (see above)" >&2
+        fail=1
+    fi
+    if grep -E '^name = ' Cargo.lock | grep -vE '^name = "llog(-[a-z0-9]+)?"'; then
+        echo "ERROR: non-llog package in Cargo.lock (see above)" >&2
+        fail=1
+    fi
+fi
+
+if [[ $fail -ne 0 ]]; then
+    exit 1
+fi
+echo "OK: no external registry dependencies in manifests or Cargo.lock"

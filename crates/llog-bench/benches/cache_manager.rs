@@ -1,15 +1,16 @@
-//! Criterion bench: normal-execution throughput of the cache manager under
-//! each flush strategy and graph kind (execute + install, end to end).
+//! Bench: normal-execution throughput of the cache manager under each
+//! flush strategy and graph kind (execute + install, end to end). Runs on
+//! the in-workspace `llog_testkit::bench` runner.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use llog_core::{Engine, EngineConfig, FlushStrategy, GraphKind};
 use llog_ops::TransformRegistry;
 use llog_sim::{Workload, WorkloadKind};
+use llog_testkit::BenchGroup;
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let specs = Workload::new(24, 300, WorkloadKind::app_mix(), 7).generate();
-    let mut g = c.benchmark_group("cache_manager");
-    g.throughput(Throughput::Elements(specs.len() as u64));
+    let mut g = BenchGroup::new("cache_manager");
+    g.throughput_elems(specs.len() as u64);
     let configs = [
         ("rw_identity", GraphKind::RW, FlushStrategy::IdentityWrites),
         ("rw_flushtxn", GraphKind::RW, FlushStrategy::FlushTxn),
@@ -17,31 +18,30 @@ fn bench_engine(c: &mut Criterion) {
         ("w_flushtxn", GraphKind::W, FlushStrategy::FlushTxn),
     ];
     for (name, graph, flush) in configs {
-        g.bench_with_input(BenchmarkId::new(name, specs.len()), &specs, |b, specs| {
-            b.iter(|| {
-                let mut e = Engine::new(
-                    EngineConfig { graph, flush, audit: false },
-                    TransformRegistry::with_builtins(),
-                );
-                for (i, s) in specs.iter().enumerate() {
-                    e.execute(
-                        s.kind,
-                        s.reads.clone(),
-                        s.writes.clone(),
-                        s.transform.clone(),
-                    )
-                    .unwrap();
-                    if i % 6 == 5 {
-                        e.install_one().unwrap();
-                    }
+        g.bench(&format!("{name}/{}", specs.len()), || {
+            let mut e = Engine::new(
+                EngineConfig {
+                    graph,
+                    flush,
+                    audit: false,
+                },
+                TransformRegistry::with_builtins(),
+            );
+            for (i, s) in specs.iter().enumerate() {
+                e.execute(
+                    s.kind,
+                    s.reads.clone(),
+                    s.writes.clone(),
+                    s.transform.clone(),
+                )
+                .unwrap();
+                if i % 6 == 5 {
+                    e.install_one().unwrap();
                 }
-                e.install_all().unwrap();
-                e
-            })
+            }
+            e.install_all().unwrap();
+            e
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,22 +1,20 @@
-//! Criterion bench for E1: normal-execution throughput of logical vs
-//! physiological logging across object sizes (Figure 1).
+//! Bench for E1: normal-execution throughput of logical vs physiological
+//! logging across object sizes (Figure 1). Runs on the in-workspace
+//! `llog_testkit::bench` runner (median/p95, JSON output).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use llog_bench::e1_logging_cost;
+use llog_testkit::BenchGroup;
 
-fn bench_logging(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_logging_cost");
+fn main() {
+    let mut g = BenchGroup::new("e1_logging_cost");
     for &size in &[1024usize, 16 * 1024, 256 * 1024] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("logical", size), &size, |b, &s| {
-            b.iter(|| e1_logging_cost::run_logical(s))
+        g.throughput_bytes(size as u64);
+        g.bench(&format!("logical/{size}"), || {
+            e1_logging_cost::run_logical(size)
         });
-        g.bench_with_input(BenchmarkId::new("physiological", size), &size, |b, &s| {
-            b.iter(|| e1_logging_cost::run_physiological(s))
+        g.bench(&format!("physiological/{size}"), || {
+            e1_logging_cost::run_physiological(size)
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_logging);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! Criterion bench for E5/E6: end-to-end recovery latency under the vSI
-//! test vs the generalized rSI + exposure test (§5).
+//! Bench for E5/E6: end-to-end recovery latency under the vSI test vs the
+//! generalized rSI + exposure test (§5). Runs on the in-workspace
+//! `llog_testkit::bench` runner.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llog_core::{recover, Engine, RedoPolicy};
 use llog_ops::TransformRegistry;
 use llog_sim::{run_workload, Workload, WorkloadKind};
 use llog_storage::StableStore;
+use llog_testkit::BenchGroup;
 use llog_wal::Wal;
 
 fn crashed_image(n_ops: usize) -> (StableStore, Wal) {
@@ -17,32 +18,23 @@ fn crashed_image(n_ops: usize) -> (StableStore, Wal) {
     e.crash()
 }
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("recovery");
+fn main() {
+    let mut g = BenchGroup::new("recovery");
     for &n in &[500usize, 2000] {
         let (store, wal) = crashed_image(n);
         for policy in [RedoPolicy::Vsi, RedoPolicy::RsiExposed] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{policy:?}"), n),
-                &(store.clone(), wal.clone()),
-                |b, (store, wal)| {
-                    let registry = TransformRegistry::with_builtins();
-                    b.iter(|| {
-                        recover(
-                            store.clone(),
-                            wal.clone(),
-                            registry.clone(),
-                            llog_bench::default_config(),
-                            policy,
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+            let registry = TransformRegistry::with_builtins();
+            g.bench(&format!("{policy:?}/{n}"), || {
+                recover(
+                    store.clone(),
+                    wal.clone(),
+                    registry.clone(),
+                    llog_bench::default_config(),
+                    policy,
+                )
+                .unwrap()
+            });
         }
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_recovery);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! Criterion bench for E3/E6 machinery: write-graph construction cost —
-//! the batch double-collapse of `W` (Figure 3) vs the incremental
-//! `addop_rW` (Figure 6).
+//! Bench for E3/E6 machinery: write-graph construction cost — the batch
+//! double-collapse of `W` (Figure 3) vs the incremental `addop_rW`
+//! (Figure 6). Runs on the in-workspace `llog_testkit::bench` runner.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llog_core::{RWGraph, WriteGraph};
 use llog_ops::Operation;
 use llog_sim::{Workload, WorkloadKind};
+use llog_testkit::bench::black_box;
+use llog_testkit::BenchGroup;
 use llog_types::OpId;
 
 fn ops_for(n: usize) -> Vec<Operation> {
@@ -13,31 +14,24 @@ fn ops_for(n: usize) -> Vec<Operation> {
         .generate()
         .into_iter()
         .enumerate()
-        .map(|(i, s)| {
-            Operation::new(OpId(i as u64), s.kind, s.reads, s.writes, s.transform)
-        })
+        .map(|(i, s)| Operation::new(OpId(i as u64), s.kind, s.reads, s.writes, s.transform))
         .collect()
 }
 
-fn bench_graphs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("write_graph_construction");
+fn main() {
+    let mut g = BenchGroup::new("write_graph_construction");
     for &n in &[50usize, 200, 800] {
         let ops = ops_for(n);
-        g.bench_with_input(BenchmarkId::new("W_batch", n), &ops, |b, ops| {
-            b.iter(|| WriteGraph::build(ops))
+        g.bench(&format!("W_batch/{n}"), || {
+            WriteGraph::build(black_box(&ops))
         });
-        g.bench_with_input(BenchmarkId::new("rW_incremental", n), &ops, |b, ops| {
-            b.iter(|| {
-                let mut rw = RWGraph::new();
-                for op in ops {
-                    rw.add_op(op);
-                }
-                rw
-            })
+        g.bench(&format!("rW_incremental/{n}"), || {
+            let mut rw = RWGraph::new();
+            for op in black_box(&ops) {
+                rw.add_op(op);
+            }
+            rw
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_graphs);
-criterion_main!(benches);

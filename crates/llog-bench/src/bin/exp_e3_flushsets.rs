@@ -5,7 +5,9 @@ fn main() {
     println!("E3b — random logical workloads, sweeping the blind-write share:");
     println!("{}", llog_bench::e3_flushsets::sweep_table());
     let (w, rw) = llog_bench::e3_flushsets::physiological_degenerate(200);
-    println!("E3c — physiological-only workload: max flush set W = {w}, rW = {rw} (both degenerate, §3)");
+    println!(
+        "E3c — physiological-only workload: max flush set W = {w}, rW = {rw} (both degenerate, §3)"
+    );
     println!("Paper claim: in W atomic sets only grow; rW removes unexposed objects, so");
     println!("blind writes shrink its sets (Figure 7: rW flushes X and Y separately).");
 }

@@ -3,5 +3,8 @@ fn main() {
     println!("E6 — recovery work vs checkpoint interval (1000-op workload)");
     println!("{}", llog_bench::e6_checkpointing::table());
     let ok = (1..=5u64).all(llog_bench::e6_checkpointing::idempotency_check);
-    println!("Theorem 2 (idempotent recovery, crash during recovery): {}", if ok { "HOLDS over 5 seeds" } else { "VIOLATED" });
+    println!(
+        "Theorem 2 (idempotent recovery, crash during recovery): {}",
+        if ok { "HOLDS over 5 seeds" } else { "VIOLATED" }
+    );
 }

@@ -67,10 +67,17 @@ pub fn run_one(install_every: usize, skew: f64, seed: u64) -> Row {
         physical: 0,
         delete: 0,
     };
-    let specs = Workload::new(24, n_ops, mix, seed).with_skew(skew).generate();
+    let specs = Workload::new(24, n_ops, mix, seed)
+        .with_skew(skew)
+        .generate();
     for (i, s) in specs.iter().enumerate() {
-        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
-            .unwrap();
+        e.execute(
+            s.kind,
+            s.reads.clone(),
+            s.writes.clone(),
+            s.transform.clone(),
+        )
+        .unwrap();
         if install_every > 0 && (i + 1) % install_every == 0 {
             e.install_one().unwrap();
         }

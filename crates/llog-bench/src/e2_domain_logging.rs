@@ -103,7 +103,8 @@ pub fn btree_load(logical_splits: bool, n_keys: u64, value_size: usize) -> u64 {
     e.metrics().reset();
     let value = vec![3u8; value_size];
     for k in 0..n_keys {
-        t.insert(&mut e, (k * 2654435761) % n_keys.max(1), &value).unwrap();
+        t.insert(&mut e, (k * 2654435761) % n_keys.max(1), &value)
+            .unwrap();
     }
     e.metrics().snapshot().log_bytes
 }
@@ -129,13 +130,21 @@ pub fn run() -> Vec<Row> {
 }
 
 pub fn table() -> Table {
-    let mut t = Table::new(vec!["scenario", "logical log", "value-logging log", "ratio"]);
+    let mut t = Table::new(vec![
+        "scenario",
+        "logical log",
+        "value-logging log",
+        "ratio",
+    ]);
     for r in run() {
         t.row(vec![
             r.scenario.clone(),
             human_bytes(r.logical_bytes),
             human_bytes(r.fallback_bytes),
-            format!("{:.1}x", r.fallback_bytes as f64 / r.logical_bytes.max(1) as f64),
+            format!(
+                "{:.1}x",
+                r.fallback_bytes as f64 / r.logical_bytes.max(1) as f64
+            ),
         ]);
     }
     t

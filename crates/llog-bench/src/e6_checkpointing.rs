@@ -27,8 +27,13 @@ pub fn run_cell(checkpoint_every: usize, n_ops: usize, seed: u64) -> Row {
     let mut e = Engine::new(default_config(), registry.clone());
     let specs = Workload::new(16, n_ops, WorkloadKind::app_mix(), seed).generate();
     for (i, s) in specs.iter().enumerate() {
-        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
-            .unwrap();
+        e.execute(
+            s.kind,
+            s.reads.clone(),
+            s.writes.clone(),
+            s.transform.clone(),
+        )
+        .unwrap();
         if (i + 1) % 5 == 0 {
             e.install_one().unwrap();
         }
@@ -39,8 +44,14 @@ pub fn run_cell(checkpoint_every: usize, n_ops: usize, seed: u64) -> Row {
     e.wal_mut().force();
     let (store, wal) = e.crash();
     let stable_log_bytes = wal.stable_len();
-    let (_, out) = recover(store, wal, registry, default_config(), RedoPolicy::RsiExposed)
-        .unwrap();
+    let (_, out) = recover(
+        store,
+        wal,
+        registry,
+        default_config(),
+        RedoPolicy::RsiExposed,
+    )
+    .unwrap();
     Row {
         checkpoint_every,
         stable_log_bytes,
@@ -64,19 +75,36 @@ pub fn idempotency_check(seed: u64) -> bool {
     let mut e = Engine::new(default_config(), registry.clone());
     let specs = Workload::new(10, 150, WorkloadKind::app_mix(), seed).generate();
     for s in &specs {
-        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
-            .unwrap();
+        e.execute(
+            s.kind,
+            s.reads.clone(),
+            s.writes.clone(),
+            s.transform.clone(),
+        )
+        .unwrap();
     }
     e.wal_mut().force();
     let (store, wal) = e.crash();
 
     let want = replay_stable_log(&wal, &registry).unwrap();
-    let (e1, _) = recover(store, wal, registry.clone(), default_config(), RedoPolicy::RsiExposed)
-        .unwrap();
+    let (e1, _) = recover(
+        store,
+        wal,
+        registry.clone(),
+        default_config(),
+        RedoPolicy::RsiExposed,
+    )
+    .unwrap();
     let view1: Vec<_> = want.keys().map(|&x| e1.peek_value(x)).collect();
     let (store2, wal2) = e1.crash();
-    let (e2, _) =
-        recover(store2, wal2, registry, default_config(), RedoPolicy::RsiExposed).unwrap();
+    let (e2, _) = recover(
+        store2,
+        wal2,
+        registry,
+        default_config(),
+        RedoPolicy::RsiExposed,
+    )
+    .unwrap();
     let view2: Vec<_> = want.keys().map(|&x| e2.peek_value(x)).collect();
     let oracle: Vec<_> = want.keys().map(|x: &ObjectId| want[x].clone()).collect();
     view1 == view2 && view1 == oracle

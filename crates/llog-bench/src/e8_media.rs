@@ -34,16 +34,26 @@ pub fn run_one(mode: BackupMode, seed: u64) -> Row {
 
     // Warm up: run a third, install everything so the store is populated.
     for s in &specs[..100] {
-        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
-            .unwrap();
+        e.execute(
+            s.kind,
+            s.reads.clone(),
+            s.writes.clone(),
+            s.transform.clone(),
+        )
+        .unwrap();
     }
     e.install_all().unwrap();
 
     // Fuzzy backup concurrent with the rest of the workload.
     e.begin_backup(mode).unwrap();
     for (i, s) in specs[100..].iter().enumerate() {
-        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
-            .unwrap();
+        e.execute(
+            s.kind,
+            s.reads.clone(),
+            s.writes.clone(),
+            s.transform.clone(),
+        )
+        .unwrap();
         if i % 5 == 0 {
             e.install_one().unwrap();
         }
@@ -60,17 +70,9 @@ pub fn run_one(mode: BackupMode, seed: u64) -> Row {
     let (_lost_store, wal) = e.crash();
     let want = replay_stable_log(&wal, &registry).unwrap();
 
-    let (recovered, out) = media_recover(
-        &backup,
-        wal,
-        registry,
-        default_config(),
-        RedoPolicy::Vsi,
-    )
-    .unwrap();
-    let ok = want
-        .iter()
-        .all(|(&x, v)| &recovered.peek_value(x) == v);
+    let (recovered, out) =
+        media_recover(&backup, wal, registry, default_config(), RedoPolicy::Vsi).unwrap();
+    let ok = want.iter().all(|(&x, v)| &recovered.peek_value(x) == v);
     Row {
         mode,
         seed,
@@ -93,13 +95,18 @@ pub fn run(seeds: &[u64]) -> Vec<Row> {
 pub fn table() -> Table {
     let seeds: Vec<u64> = (1..=8).collect();
     let rows = run(&seeds);
-    let mut t = Table::new(vec!["mode", "runs", "correct recoveries", "avg copies", "avg redone"]);
+    let mut t = Table::new(vec![
+        "mode",
+        "runs",
+        "correct recoveries",
+        "avg copies",
+        "avg redone",
+    ]);
     for mode in [BackupMode::Snapshot, BackupMode::Naive] {
         let sel: Vec<&Row> = rows.iter().filter(|r| r.mode == mode).collect();
         let correct = sel.iter().filter(|r| r.recovered_correctly).count();
-        let avg = |f: &dyn Fn(&Row) -> u64| {
-            sel.iter().map(|r| f(r)).sum::<u64>() / sel.len() as u64
-        };
+        let avg =
+            |f: &dyn Fn(&Row) -> u64| sel.iter().map(|r| f(r)).sum::<u64>() / sel.len() as u64;
         t.row(vec![
             format!("{mode:?}"),
             format!("{}", sel.len()),
@@ -128,7 +135,8 @@ mod tests {
         // The §1 warning made concrete: across seeds, at least one naive
         // fuzzy backup must be unrecoverable (if all passed, the experiment
         // would show nothing).
-        let any_failure = (1..=10).any(|seed| !run_one(BackupMode::Naive, seed).recovered_correctly);
+        let any_failure =
+            (1..=10).any(|seed| !run_one(BackupMode::Naive, seed).recovered_correctly);
         assert!(any_failure, "expected at least one naive-mode corruption");
     }
 }

@@ -34,8 +34,13 @@ pub fn run_one(capacity: Option<usize>, strategy: FlushStrategy, seed: u64) -> R
     e.set_cache_capacity(capacity);
     let specs = Workload::new(32, 600, WorkloadKind::app_mix(), seed).generate();
     for s in &specs {
-        e.execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
-            .unwrap();
+        e.execute(
+            s.kind,
+            s.reads.clone(),
+            s.writes.clone(),
+            s.transform.clone(),
+        )
+        .unwrap();
     }
     e.install_all().unwrap();
     Row {
@@ -67,7 +72,8 @@ pub fn table() -> Table {
     ]);
     for r in run() {
         t.row(vec![
-            r.capacity.map_or("unbounded".to_string(), |c| c.to_string()),
+            r.capacity
+                .map_or("unbounded".to_string(), |c| c.to_string()),
             format!("{:?}", r.strategy),
             format!("{}", r.metrics.evictions),
             format!("{}", r.metrics.obj_writes),

@@ -18,6 +18,7 @@
 //! | [`e9_cache_pressure`] | §3: bounded cache, eviction and forced installs |
 //! | [`e10_amortization`] | §4: updates amortized per flush |
 
+pub mod e10_amortization;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;
@@ -27,7 +28,6 @@ pub mod e6_checkpointing;
 pub mod e7_ablation;
 pub mod e8_media;
 pub mod e9_cache_pressure;
-pub mod e10_amortization;
 
 use llog_core::{EngineConfig, FlushStrategy, GraphKind};
 

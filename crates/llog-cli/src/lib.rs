@@ -6,8 +6,7 @@ use std::path::Path;
 use llog_core::{media_recover, recover, Backup, BackupMode, Engine, EngineConfig, RedoPolicy};
 use llog_ops::{OpKind, TransformRegistry};
 use llog_sim::{
-    human_bytes, replay_stable_log, run_workload, verify_against_log, Table, Workload,
-    WorkloadKind,
+    human_bytes, replay_stable_log, run_workload, verify_against_log, Table, Workload, WorkloadKind,
 };
 use llog_storage::{Metrics, StableStore};
 use llog_types::{LlogError, Result};
@@ -23,7 +22,9 @@ fn registry() -> TransformRegistry {
 }
 
 fn io_err(e: std::io::Error) -> LlogError {
-    LlogError::Codec { reason: e.to_string() }
+    LlogError::Codec {
+        reason: e.to_string(),
+    }
 }
 
 /// Load `(store, wal)` from a database directory.
@@ -112,10 +113,7 @@ fn describe(rec: &LogRecord) -> String {
                 op.transform.params.len()
             )
         }
-        LogRecord::Install(ir) => format!(
-            "INSTALL  vars={:?} notx={:?}",
-            ir.vars, ir.notx
-        ),
+        LogRecord::Install(ir) => format!("INSTALL  vars={:?} notx={:?}", ir.vars, ir.notx),
         LogRecord::Flush { obj, vsi } => format!("FLUSH    {obj:?} vsi={vsi}"),
         LogRecord::FlushTxnBegin { objs } => format!("FTXN-BEG {objs:?}"),
         LogRecord::FlushTxnValue { obj, value, vsi } => {
@@ -160,7 +158,11 @@ pub fn cmd_stats(dir: &Path) -> Result<()> {
     }
     let mut t = Table::new(vec!["record kind", "count", "payload bytes"]);
     for (name, (count, bytes)) in &by_kind {
-        t.row(vec![name.to_string(), count.to_string(), human_bytes(*bytes)]);
+        t.row(vec![
+            name.to_string(),
+            count.to_string(),
+            human_bytes(*bytes),
+        ]);
     }
     println!("{t}");
     let obj_bytes: usize = store.iter().map(|(_, o)| o.value.len()).sum();
@@ -200,7 +202,11 @@ pub fn cmd_recover(dir: &Path, policy: &str) -> Result<()> {
         outcome.skipped,
         outcome.deletes_applied,
         outcome.voided,
-        if outcome.torn_tail { " (torn tail)" } else { "" },
+        if outcome.torn_tail {
+            " (torn tail)"
+        } else {
+            ""
+        },
     );
     engine.install_all()?;
     engine.checkpoint(true)?;

@@ -274,7 +274,9 @@ impl Engine {
     }
 
     fn enforce_capacity(&mut self) {
-        let Some(cap) = self.cache_capacity else { return };
+        let Some(cap) = self.cache_capacity else {
+            return;
+        };
         if self.enforcing {
             return; // re-entered from an install's own identity writes
         }
@@ -317,11 +319,7 @@ impl Engine {
     ) -> Result<(OpId, Lsn)> {
         let id = OpId(self.next_op);
         let op = Operation::new(id, kind, reads, writes, transform);
-        let inputs: Vec<Value> = op
-            .reads
-            .iter()
-            .map(|&x| self.read_entry(x).value)
-            .collect();
+        let inputs: Vec<Value> = op.reads.iter().map(|&x| self.read_entry(x).value).collect();
         let outputs = self
             .registry
             .apply(op.id, &op.transform, &inputs, op.writes.len())?;
@@ -332,7 +330,13 @@ impl Engine {
         if self.config.graph == GraphKind::RW {
             self.rw.add_op(&op);
         }
-        self.live_ops.insert(id, LiveOp { op: op.clone(), lsn });
+        self.live_ops.insert(
+            id,
+            LiveOp {
+                op: op.clone(),
+                lsn,
+            },
+        );
         if self.config.audit {
             self.full_history.push(op);
         }
@@ -344,11 +348,7 @@ impl Engine {
     /// original lSI is kept. The caller has already decided (via the REDO
     /// test) that the operation must be redone.
     pub fn apply_logged(&mut self, op: &Operation, lsn: Lsn) -> Result<()> {
-        let inputs: Vec<Value> = op
-            .reads
-            .iter()
-            .map(|&x| self.read_entry(x).value)
-            .collect();
+        let inputs: Vec<Value> = op.reads.iter().map(|&x| self.read_entry(x).value).collect();
         let outputs = self
             .registry
             .apply(op.id, &op.transform, &inputs, op.writes.len())?;
@@ -356,7 +356,13 @@ impl Engine {
         if self.config.graph == GraphKind::RW {
             self.rw.add_op(op);
         }
-        self.live_ops.insert(op.id, LiveOp { op: op.clone(), lsn });
+        self.live_ops.insert(
+            op.id,
+            LiveOp {
+                op: op.clone(),
+                lsn,
+            },
+        );
         self.next_op = self.next_op.max(op.id.0 + 1);
         if self.config.audit {
             self.full_history.push(op.clone());
@@ -407,9 +413,7 @@ impl Engine {
                 if minimals.is_empty() {
                     return Ok(false);
                 }
-                minimals.sort_by_key(|&n| {
-                    self.rw.node(n).and_then(|nd| nd.ops().first().copied())
-                });
+                minimals.sort_by_key(|&n| self.rw.node(n).and_then(|nd| nd.ops().first().copied()));
                 self.install_rw_node(minimals[0])?;
                 Ok(true)
             }
@@ -470,17 +474,15 @@ impl Engine {
                     let here = self.rw.node_of_op(rep_op).ok_or_else(|| {
                         LlogError::CacheProtocol("node lost during breakup".into())
                     })?;
-                    let still_in = self
-                        .rw
-                        .node(here)
-                        .is_some_and(|nd| nd.vars().contains(&x));
+                    let still_in = self.rw.node(here).is_some_and(|nd| nd.vars().contains(&x));
                     if x != keep && still_in {
                         self.identity_write(x)?;
                     }
                 }
-                current = self.rw.node_of_op(rep_op).ok_or_else(|| {
-                    LlogError::CacheProtocol("node lost during breakup".into())
-                })?;
+                current = self
+                    .rw
+                    .node_of_op(rep_op)
+                    .ok_or_else(|| LlogError::CacheProtocol("node lost during breakup".into()))?;
                 continue;
             }
 
@@ -490,18 +492,20 @@ impl Engine {
             // guaranteed).
             if !node.preds().is_empty() {
                 let mut minimals = self.rw.minimal_nodes();
-                minimals.sort_by_key(|&m| {
-                    self.rw.node(m).and_then(|nd| nd.ops().first().copied())
-                });
-                let m = minimals.into_iter().find(|&m| m != current).ok_or_else(|| {
-                    LlogError::CacheProtocol(
-                        "no installable predecessor for broken-up node".into(),
-                    )
-                })?;
+                minimals.sort_by_key(|&m| self.rw.node(m).and_then(|nd| nd.ops().first().copied()));
+                let m = minimals
+                    .into_iter()
+                    .find(|&m| m != current)
+                    .ok_or_else(|| {
+                        LlogError::CacheProtocol(
+                            "no installable predecessor for broken-up node".into(),
+                        )
+                    })?;
                 self.install_rw_node(m)?;
-                current = self.rw.node_of_op(rep_op).ok_or_else(|| {
-                    LlogError::CacheProtocol("node lost during breakup".into())
-                })?;
+                current = self
+                    .rw
+                    .node_of_op(rep_op)
+                    .ok_or_else(|| LlogError::CacheProtocol("node lost during breakup".into()))?;
                 continue;
             }
 
@@ -517,8 +521,7 @@ impl Engine {
     /// W-mode: rebuild `W` from the live operations, install one minimal
     /// node.
     fn install_w_minimal(&mut self) -> Result<bool> {
-        let ops_in_order: Vec<Operation> =
-            self.live_ops.values().map(|l| l.op.clone()).collect();
+        let ops_in_order: Vec<Operation> = self.live_ops.values().map(|l| l.op.clone()).collect();
         if ops_in_order.is_empty() {
             return Ok(false);
         }
@@ -612,15 +615,25 @@ impl Engine {
         if let Some(b) = self.backup.as_mut() {
             b.before_overwrite(&self.store, x);
         }
-        let entry = self.cache.get(&x).expect("flushing uncached object").clone();
+        let entry = self
+            .cache
+            .get(&x)
+            .expect("flushing uncached object")
+            .clone();
         if entry.deleted {
             self.store.remove(x);
             self.cache.remove(&x);
-            self.wal.append(&LogRecord::Flush { obj: x, vsi: entry.vsi });
+            self.wal.append(&LogRecord::Flush {
+                obj: x,
+                vsi: entry.vsi,
+            });
             return;
         }
         self.store.write(x, entry.value.clone(), entry.vsi);
-        self.wal.append(&LogRecord::Flush { obj: x, vsi: entry.vsi });
+        self.wal.append(&LogRecord::Flush {
+            obj: x,
+            vsi: entry.vsi,
+        });
     }
 
     /// Flush several objects atomically via the configured §4 baseline.
@@ -629,14 +642,18 @@ impl Engine {
             FlushStrategy::Forbid | FlushStrategy::IdentityWrites => {
                 // IdentityWrites should have reduced |vars| before we got
                 // here; reaching this arm is a protocol error.
-                Err(LlogError::AtomicityUnavailable { objects: vars.len() })
+                Err(LlogError::AtomicityUnavailable {
+                    objects: vars.len(),
+                })
             }
             FlushStrategy::FlushTxn => {
                 // Freeze the system for the duration (§4).
                 Metrics::bump(&self.metrics.quiesces, 1);
                 Metrics::bump(&self.metrics.atomic_groups, 1);
                 Metrics::bump(&self.metrics.atomic_group_objects, vars.len() as u64);
-                self.wal.append(&LogRecord::FlushTxnBegin { objs: vars.to_vec() });
+                self.wal.append(&LogRecord::FlushTxnBegin {
+                    objs: vars.to_vec(),
+                });
                 for &x in vars {
                     let e = self.cache.get(&x).expect("flushing uncached object");
                     self.wal.append(&LogRecord::FlushTxnValue {
@@ -647,13 +664,17 @@ impl Engine {
                 }
                 self.wal.append(&LogRecord::FlushTxnCommit);
                 self.wal.force(); // commit point
-                // In-place writes, one I/O each, safe now that the txn is
-                // committed (recovery completes them from the log).
+                                  // In-place writes, one I/O each, safe now that the txn is
+                                  // committed (recovery completes them from the log).
                 for &x in vars {
                     if let Some(b) = self.backup.as_mut() {
                         b.before_overwrite(&self.store, x);
                     }
-                    let e = self.cache.get(&x).expect("flushing uncached object").clone();
+                    let e = self
+                        .cache
+                        .get(&x)
+                        .expect("flushing uncached object")
+                        .clone();
                     if e.deleted {
                         self.store.remove(x);
                         self.cache.remove(&x);
@@ -670,7 +691,11 @@ impl Engine {
                     if let Some(b) = self.backup.as_mut() {
                         b.before_overwrite(&self.store, x);
                     }
-                    let e = self.cache.get(&x).expect("flushing uncached object").clone();
+                    let e = self
+                        .cache
+                        .get(&x)
+                        .expect("flushing uncached object")
+                        .clone();
                     if e.deleted {
                         deletes.push(x);
                     } else {
@@ -746,7 +771,9 @@ impl Engine {
     /// time.
     pub fn begin_backup(&mut self, mode: BackupMode) -> Result<()> {
         if self.backup.is_some() {
-            return Err(LlogError::CacheProtocol("backup already in progress".into()));
+            return Err(LlogError::CacheProtocol(
+                "backup already in progress".into(),
+            ));
         }
         self.wal.force();
         let start_lsn = self.wal.forced_lsn();
@@ -807,10 +834,7 @@ impl Engine {
     /// discarded log prefix moves into `archive` so media recovery can
     /// still roll a backup forward across it. An in-progress backup's
     /// redo-start pin is honored.
-    pub fn checkpoint_archiving(
-        &mut self,
-        archive: &mut llog_wal::LogArchive,
-    ) -> Result<Lsn> {
+    pub fn checkpoint_archiving(&mut self, archive: &mut llog_wal::LogArchive) -> Result<Lsn> {
         let lsn = self.checkpoint(false)?;
         let mut cut = self
             .dirty_rsi
@@ -909,7 +933,11 @@ mod tests {
 
     fn engine(flush: FlushStrategy) -> Engine {
         Engine::new(
-            EngineConfig { graph: GraphKind::RW, flush, audit: true },
+            EngineConfig {
+                graph: GraphKind::RW,
+                flush,
+                audit: true,
+            },
             TransformRegistry::with_builtins(),
         )
     }
@@ -1107,7 +1135,10 @@ mod tests {
         e.install_all().unwrap();
         let (_, keep_lsn) = exec_physical(&mut e, 2, "b"); // uninstalled
         e.checkpoint(true).unwrap();
-        assert!(e.wal().start_lsn() <= keep_lsn, "uninstalled op truncated away");
+        assert!(
+            e.wal().start_lsn() <= keep_lsn,
+            "uninstalled op truncated away"
+        );
     }
 
     #[test]

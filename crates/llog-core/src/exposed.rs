@@ -109,7 +109,10 @@ pub fn find_explanation(
     registry: &TransformRegistry,
 ) -> Result<Option<BTreeSet<OpId>>> {
     let n = h.len();
-    assert!(n <= 20, "find_explanation is exponential; keep histories tiny");
+    assert!(
+        n <= 20,
+        "find_explanation is exponential; keep histories tiny"
+    );
     // Enumerate subsets from largest to smallest so we prefer the maximal
     // explanation (most installed).
     let mut subsets: Vec<u32> = (0..(1u32 << n)).collect();

@@ -70,7 +70,10 @@ impl InstallGraph {
                 }
             }
         }
-        InstallGraph { ops: ops.to_vec(), edges }
+        InstallGraph {
+            ops: ops.to_vec(),
+            edges,
+        }
     }
 
     /// Number of entries.
@@ -133,9 +136,7 @@ impl InstallGraph {
     pub fn minimal_uninstalled(&self, installed: &BTreeSet<usize>) -> Vec<usize> {
         (0..self.ops.len())
             .filter(|j| !installed.contains(j))
-            .filter(|&j| {
-                (0..j).all(|i| installed.contains(&i) || !self.has_edge(i, j))
-            })
+            .filter(|&j| (0..j).all(|i| installed.contains(&i) || !self.has_edge(i, j)))
             .collect()
     }
 
@@ -198,10 +199,7 @@ mod tests {
         assert!(g.is_prefix_set(&[0, 1].into_iter().collect()));
 
         assert_eq!(g.minimal_uninstalled(&BTreeSet::new()), vec![0]);
-        assert_eq!(
-            g.minimal_uninstalled(&[0].into_iter().collect()),
-            vec![1]
-        );
+        assert_eq!(g.minimal_uninstalled(&[0].into_iter().collect()), vec![1]);
         assert!(g
             .minimal_uninstalled(&[0, 1].into_iter().collect())
             .is_empty());

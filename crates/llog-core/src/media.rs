@@ -138,7 +138,10 @@ impl BackupInProgress {
                 // Tombstone: the object did not exist at backup start.
                 self.objects.insert(
                     x,
-                    StoredObject { value: llog_types::Value::empty(), vsi: Lsn::ZERO },
+                    StoredObject {
+                        value: llog_types::Value::empty(),
+                        vsi: Lsn::ZERO,
+                    },
                 );
             }
         }
@@ -221,7 +224,9 @@ impl Backup {
                 return Err(err("truncated entry"));
             }
             let id = ObjectId(u64::from_le_bytes(body[at..at + 8].try_into().unwrap()));
-            let vsi = Lsn(u64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap()));
+            let vsi = Lsn(u64::from_le_bytes(
+                body[at + 8..at + 16].try_into().unwrap(),
+            ));
             let len = u32::from_le_bytes(body[at + 16..at + 20].try_into().unwrap()) as usize;
             at += 20;
             if body.len() < at + len {
@@ -239,7 +244,12 @@ impl Backup {
         if at != body.len() {
             return Err(err("trailing bytes"));
         }
-        Ok(Backup { mode, start_lsn, redo_start, objects })
+        Ok(Backup {
+            mode,
+            start_lsn,
+            redo_start,
+            objects,
+        })
     }
 
     /// Save to a file.
@@ -322,9 +332,7 @@ pub fn media_recover_archived(
     config: EngineConfig,
     policy: RedoPolicy,
 ) -> Result<(Engine, RecoveryOutcome)> {
-    let earliest = archive
-        .start_lsn()
-        .unwrap_or_else(|| wal.start_lsn());
+    let earliest = archive.start_lsn().unwrap_or_else(|| wal.start_lsn());
     if earliest > backup.redo_start {
         return Err(LlogError::LsnOutOfRange {
             lsn: backup.redo_start,
@@ -364,7 +372,6 @@ fn media_roll_forward(
     outcome: &mut RecoveryOutcome,
     _policy: RedoPolicy,
 ) -> Result<()> {
-
     let mut pending_ftxn: Vec<(llog_types::ObjectId, llog_types::Value, Lsn)> = Vec::new();
     let mut max_op_id: Option<u64> = None;
     for (lsn, rec) in records {
@@ -570,7 +577,10 @@ mod tests {
         let mut objects = backup.objects.clone();
         objects.insert(
             Y,
-            StoredObject { value: Value::from("y0"), vsi: Lsn::ZERO },
+            StoredObject {
+                value: Value::from("y0"),
+                vsi: Lsn::ZERO,
+            },
         );
         let broken = Backup { objects, ..backup };
 
@@ -682,7 +692,9 @@ mod tests {
             .copied()
             .min()
             .unwrap_or_else(|| e.wal().forced_lsn());
-        e.wal_mut().truncate_to_archiving(cut, &mut archive).unwrap();
+        e.wal_mut()
+            .truncate_to_archiving(cut, &mut archive)
+            .unwrap();
         assert!(archive.n_segments() > 0);
 
         logical(&mut e, &[X, Y], &[Y], b"C");

@@ -167,7 +167,9 @@ pub fn recover(
     };
     outcome.redo_start = redo_from;
 
-    let ctx = RedoContext { dirty: &analysis.dirty };
+    let ctx = RedoContext {
+        dirty: &analysis.dirty,
+    };
 
     // Collect the op records first (the scan borrows the WAL immutably while
     // redo mutates the engine).

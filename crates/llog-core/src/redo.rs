@@ -188,8 +188,7 @@ mod tests {
     fn vsi_one_witness_suffices_under_atomic_installation() {
         let dirty = BTreeMap::new();
         // X flushed with vSI 10, Y not flushed (vSI 0): installed.
-        let vsis: BTreeMap<ObjectId, Lsn> =
-            [(X, Lsn(10)), (Y, Lsn(0))].into_iter().collect();
+        let vsis: BTreeMap<ObjectId, Lsn> = [(X, Lsn(10)), (Y, Lsn(0))].into_iter().collect();
         assert!(!should_redo(
             RedoPolicy::Vsi,
             &op_writing(&[X, Y]),
@@ -273,7 +272,10 @@ mod tests {
     fn dead_when_only_feeding_deleted_objects() {
         // ingest scratch; transform scratch; delete scratch.
         let ops = vec![
-            (Lsn(1), Operation::physical(0, 1, llog_types::Value::from("v"))),
+            (
+                Lsn(1),
+                Operation::physical(0, 1, llog_types::Value::from("v")),
+            ),
             (Lsn(2), Operation::physiological(1, 1)),
             (Lsn(3), del(2, 1)),
         ];
@@ -302,7 +304,10 @@ mod tests {
         // version is dead (nothing read it).
         let ops = vec![
             (Lsn(1), Operation::logical(0, &[9], &[1])),
-            (Lsn(2), Operation::physical(1, 1, llog_types::Value::from("v"))),
+            (
+                Lsn(2),
+                Operation::physical(1, 1, llog_types::Value::from("v")),
+            ),
         ];
         let dead = dead_records(&ops, &BTreeSet::new());
         assert_eq!(dead, [Lsn(1)].into_iter().collect());
@@ -329,9 +334,15 @@ mod tests {
     fn deleted_then_recreated_object_is_live() {
         // delete X, then recreate it: the final version matters.
         let ops = vec![
-            (Lsn(1), Operation::physical(0, 1, llog_types::Value::from("old"))),
+            (
+                Lsn(1),
+                Operation::physical(0, 1, llog_types::Value::from("old")),
+            ),
             (Lsn(2), del(1, 1)),
-            (Lsn(3), Operation::physical(2, 1, llog_types::Value::from("new"))),
+            (
+                Lsn(3),
+                Operation::physical(2, 1, llog_types::Value::from("new")),
+            ),
         ];
         // X not deleted at end (recreated).
         let dead = dead_records(&ops, &BTreeSet::new());

@@ -160,8 +160,16 @@ impl RWGraph {
         if from == to {
             return;
         }
-        self.nodes.get_mut(&from).expect("edge from dead node").succs.insert(to);
-        self.nodes.get_mut(&to).expect("edge to dead node").preds.insert(from);
+        self.nodes
+            .get_mut(&from)
+            .expect("edge from dead node")
+            .succs
+            .insert(to);
+        self.nodes
+            .get_mut(&to)
+            .expect("edge to dead node")
+            .preds
+            .insert(from);
     }
 
     /// `addop_rW` (Figure 6): incorporate the next operation, in conflict
@@ -233,7 +241,9 @@ impl RWGraph {
             self.add_edge(p, m);
             // Inverse write-read edges: q read Lastw(p, x) ⇒ q → p.
             for &x in &removed {
-                let Some(writer) = self.nodes[&p].lastw(x) else { continue };
+                let Some(writer) = self.nodes[&p].lastw(x) else {
+                    continue;
+                };
                 let readers: Vec<OpId> = self
                     .version_readers
                     .get(&(x, writer))
@@ -341,7 +351,9 @@ impl RWGraph {
     /// Collapse every strongly connected component with more than one node.
     fn collapse_cycles(&mut self) {
         loop {
-            let Some(cycle) = self.find_cycle_component() else { return };
+            let Some(cycle) = self.find_cycle_component() else {
+                return;
+            };
             self.merge_nodes(cycle);
         }
     }
@@ -404,12 +416,13 @@ impl RWGraph {
     /// `vars(n)`; the node must be minimal. Returns the removed node.
     pub fn remove_node(&mut self, id: NodeId) -> RwNode {
         let node = self.nodes.remove(&id).expect("remove of dead node");
-        assert!(
-            node.preds.is_empty(),
-            "removing non-minimal rW node {id:?}"
-        );
+        assert!(node.preds.is_empty(), "removing non-minimal rW node {id:?}");
         for &s in &node.succs {
-            self.nodes.get_mut(&s).expect("succ of removed node").preds.remove(&id);
+            self.nodes
+                .get_mut(&s)
+                .expect("succ of removed node")
+                .preds
+                .remove(&id);
         }
         for &op in &node.ops {
             self.op_node.remove(&op);
@@ -428,7 +441,8 @@ impl RWGraph {
         // Versions written by installed ops can no longer trigger inverse
         // edges (their node is gone).
         let dead_ops: BTreeSet<OpId> = node.ops.iter().copied().collect();
-        self.version_readers.retain(|(_, w), _| !dead_ops.contains(w));
+        self.version_readers
+            .retain(|(_, w), _| !dead_ops.contains(w));
         for &x in &node.vars {
             if self.var_home.get(&x) == Some(&id) {
                 self.var_home.remove(&x);
@@ -441,16 +455,9 @@ impl RWGraph {
     /// Debug/audit: assert internal consistency. Panics on violation.
     pub fn check_consistency(&self) {
         for (&id, node) in &self.nodes {
-            assert!(
-                node.vars.is_subset(&node.writes),
-                "vars ⊄ writes in {id:?}"
-            );
+            assert!(node.vars.is_subset(&node.writes), "vars ⊄ writes in {id:?}");
             for &x in &node.vars {
-                assert_eq!(
-                    self.var_home.get(&x),
-                    Some(&id),
-                    "var_home stale for {x:?}"
-                );
+                assert_eq!(self.var_home.get(&x), Some(&id), "var_home stale for {x:?}");
             }
             for &p in &node.preds {
                 assert!(

@@ -7,10 +7,8 @@
 //! the write graph (the "second reason" for flushing in §3: shortening
 //! recovery by keeping the uninstalled set small).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-
-use parking_lot::Mutex;
 
 use llog_ops::{OpKind, Transform, TransformRegistry};
 use llog_storage::StableStore;
@@ -18,6 +16,15 @@ use llog_types::{Lsn, ObjectId, OpId, Result, Value};
 use llog_wal::Wal;
 
 use crate::cache::{Engine, EngineConfig};
+
+/// Lock a mutex, recovering the data from a poisoned lock.
+///
+/// The engine's invariants are re-validated by recovery (and by
+/// `check_consistency` in audit mode), so a panic on another thread must
+/// not wedge every surviving handle — treat poison as a plain lock.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A cloneable, thread-safe handle to an [`Engine`].
 #[derive(Clone)]
@@ -35,12 +42,14 @@ impl SharedEngine {
 
     /// Wrap an existing engine (e.g. one returned by recovery).
     pub fn from_engine(engine: Engine) -> SharedEngine {
-        SharedEngine { inner: Arc::new(Mutex::new(engine)) }
+        SharedEngine {
+            inner: Arc::new(Mutex::new(engine)),
+        }
     }
 
     /// Run a closure with exclusive access to the engine.
     pub fn with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut lock(&self.inner))
     }
 
     /// Execute one operation under the lock.
@@ -51,44 +60,47 @@ impl SharedEngine {
         writes: Vec<ObjectId>,
         transform: Transform,
     ) -> Result<(OpId, Lsn)> {
-        self.inner.lock().execute(kind, reads, writes, transform)
+        lock(&self.inner).execute(kind, reads, writes, transform)
     }
 
     /// The engine's current view of an object.
     pub fn read_value(&self, x: ObjectId) -> Value {
-        self.inner.lock().read_value(x)
+        lock(&self.inner).read_value(x)
     }
 
     /// Install at most one write-graph node; true if something installed.
     pub fn install_one(&self) -> Result<bool> {
-        self.inner.lock().install_one()
+        lock(&self.inner).install_one()
     }
 
     /// Drain the write graph completely.
     pub fn install_all(&self) -> Result<()> {
-        self.inner.lock().install_all()
+        lock(&self.inner).install_all()
     }
 
     /// Write a checkpoint (optionally truncating the log).
     pub fn checkpoint(&self, truncate: bool) -> Result<Lsn> {
-        self.inner.lock().checkpoint(truncate)
+        lock(&self.inner).checkpoint(truncate)
     }
 
     /// Force the WAL to stable storage.
     pub fn force_log(&self) {
-        self.inner.lock().wal_mut().force();
+        lock(&self.inner).wal_mut().force();
     }
 
     /// Uninstalled operation count (for pacing background work).
     pub fn uninstalled_count(&self) -> usize {
-        self.inner.lock().uninstalled_count()
+        lock(&self.inner).uninstalled_count()
     }
 
     /// Crash: extract the surviving parts. Fails if other handles still
     /// hold the engine.
     pub fn crash(self) -> std::result::Result<(StableStore, Wal), SharedEngine> {
         match Arc::try_unwrap(self.inner) {
-            Ok(mutex) => Ok(mutex.into_inner().crash()),
+            Ok(mutex) => Ok(mutex
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .crash()),
             Err(inner) => Err(SharedEngine { inner }),
         }
     }
@@ -100,25 +112,26 @@ impl SharedEngine {
         let engine = self.clone();
         let stop = Arc::new(Mutex::new(false));
         let stop2 = stop.clone();
-        let thread = std::thread::spawn(move || {
-            loop {
-                if *stop2.lock() {
-                    return;
+        let thread = std::thread::spawn(move || loop {
+            if *lock(&stop2) {
+                return;
+            }
+            let worked = {
+                let mut e = lock(&engine.inner);
+                if e.uninstalled_count() > high_water {
+                    e.install_one().unwrap_or(false)
+                } else {
+                    false
                 }
-                let worked = {
-                    let mut e = engine.inner.lock();
-                    if e.uninstalled_count() > high_water {
-                        e.install_one().unwrap_or(false)
-                    } else {
-                        false
-                    }
-                };
-                if !worked {
-                    std::thread::yield_now();
-                }
+            };
+            if !worked {
+                std::thread::yield_now();
             }
         });
-        InstallerHandle { stop, thread: Some(thread) }
+        InstallerHandle {
+            stop,
+            thread: Some(thread),
+        }
     }
 }
 
@@ -136,7 +149,7 @@ impl InstallerHandle {
     }
 
     fn shutdown(&mut self) {
-        *self.stop.lock() = true;
+        *lock(&self.stop) = true;
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -187,9 +200,7 @@ mod tests {
                             vec![ObjectId(x)],
                             Transform::new(
                                 builtin::CONST,
-                                builtin::encode_values(&[Value::from_slice(
-                                    &x.to_le_bytes(),
-                                )]),
+                                builtin::encode_values(&[Value::from_slice(&x.to_le_bytes())]),
                             ),
                         )
                         .unwrap();

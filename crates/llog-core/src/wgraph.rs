@@ -104,7 +104,10 @@ impl WriteGraph {
         let scc = tarjan_scc(&class_edges);
         let n_scc = scc.iter().copied().max().map_or(0, |m| m + 1);
         let mut nodes: Vec<WNode> = (0..n_scc)
-            .map(|_| WNode { ops: Vec::new(), vars: BTreeSet::new() })
+            .map(|_| WNode {
+                ops: Vec::new(),
+                vars: BTreeSet::new(),
+            })
             .collect();
         let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_scc];
         for (c, group) in groups.iter().enumerate() {
@@ -368,8 +371,7 @@ mod tests {
         ];
         let g = WriteGraph::build(&ops);
         let order = g.flush_order();
-        let pos: BTreeMap<usize, usize> =
-            order.iter().enumerate().map(|(p, &n)| (n, p)).collect();
+        let pos: BTreeMap<usize, usize> = order.iter().enumerate().map(|(p, &n)| (n, p)).collect();
         for i in 0..g.len() {
             for j in g.successors(i) {
                 assert!(pos[&i] < pos[&j], "edge {i}->{j} violated");

@@ -42,7 +42,11 @@ impl Application {
     /// Start (or re-open after recovery) an application whose state lives in
     /// object `state`.
     pub fn new(state: ObjectId, write_mode: WriteMode) -> Application {
-        Application { state, write_mode, step: 0 }
+        Application {
+            state,
+            write_mode,
+            step: 0,
+        }
     }
 
     /// The application's recoverable state object.

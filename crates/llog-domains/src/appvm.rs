@@ -296,9 +296,9 @@ impl VmState {
                     let chunk: Vec<u8> = self.input.drain(..8).collect();
                     self.regs[reg(r)] = u64::from_le_bytes(chunk.try_into().unwrap());
                 }
-                Instr::Emit(r) => {
-                    self.output.extend_from_slice(&self.regs[reg(r)].to_le_bytes())
-                }
+                Instr::Emit(r) => self
+                    .output
+                    .extend_from_slice(&self.regs[reg(r)].to_le_bytes()),
                 Instr::EmitHash => {
                     let h = self.fnv();
                     self.output.extend_from_slice(&h.to_le_bytes());
@@ -405,7 +405,11 @@ pub struct RecoverableVm {
 impl RecoverableVm {
     /// Start a fresh VM: its initial state (program included) is written
     /// physically — the only time any of the application's data is logged.
-    pub fn start(engine: &mut Engine, state_obj: ObjectId, program: Vec<Instr>) -> Result<RecoverableVm> {
+    pub fn start(
+        engine: &mut Engine,
+        state_obj: ObjectId,
+        program: Vec<Instr>,
+    ) -> Result<RecoverableVm> {
         let init = VmState::new(program).encode();
         engine.execute(
             OpKind::Physical,
@@ -495,32 +499,32 @@ mod tests {
     /// Sum `n` u64 inputs, emit the total, halt.
     fn summing_program(n: u64) -> Vec<Instr> {
         vec![
-            Instr::LoadConst(0, 0),      // 0: acc = 0
-            Instr::LoadConst(1, n),      // 1: remaining = n
-            Instr::JmpIfZero(1, 7),      // 2: while remaining != 0
-            Instr::ReadInput(2),         // 3:   r2 = next input
-            Instr::Add(0, 2),            // 4:   acc += r2
-            Instr::LoadConst(3, 1),      // 5:   (r3 = 1)
-            Instr::Sub(1, 3),            // 6:   remaining -= 1 ; loop
+            Instr::LoadConst(0, 0), // 0: acc = 0
+            Instr::LoadConst(1, n), // 1: remaining = n
+            Instr::JmpIfZero(1, 7), // 2: while remaining != 0
+            Instr::ReadInput(2),    // 3:   r2 = next input
+            Instr::Add(0, 2),       // 4:   acc += r2
+            Instr::LoadConst(3, 1), // 5:   (r3 = 1)
+            Instr::Sub(1, 3),       // 6:   remaining -= 1 ; loop
             // 7 is reached when remaining == 0 via the jump below.
-            Instr::Emit(0),              // 7: emit acc
-            Instr::Halt,                 // 8
+            Instr::Emit(0), // 7: emit acc
+            Instr::Halt,    // 8
         ]
     }
 
     // The loop above needs a back-jump; rebuild with explicit layout.
     fn summing_program_fixed(n: u64) -> Vec<Instr> {
         vec![
-            Instr::LoadConst(0, 0),  // 0
-            Instr::LoadConst(1, n),  // 1
-            Instr::LoadConst(3, 1),  // 2
-            Instr::JmpIfZero(1, 8),  // 3: done?
-            Instr::ReadInput(2),     // 4
-            Instr::Add(0, 2),        // 5
-            Instr::Sub(1, 3),        // 6
-            Instr::Jmp(3),           // 7
-            Instr::Emit(0),          // 8
-            Instr::Halt,             // 9
+            Instr::LoadConst(0, 0), // 0
+            Instr::LoadConst(1, n), // 1
+            Instr::LoadConst(3, 1), // 2
+            Instr::JmpIfZero(1, 8), // 3: done?
+            Instr::ReadInput(2),    // 4
+            Instr::Add(0, 2),       // 5
+            Instr::Sub(1, 3),       // 6
+            Instr::Jmp(3),          // 7
+            Instr::Emit(0),         // 8
+            Instr::Halt,            // 9
         ]
     }
 
@@ -752,7 +756,10 @@ mod tests {
                 vm.step(&mut rec, 2).unwrap();
             }
             let final_state = vm.state(&mut rec).unwrap();
-            assert_eq!(final_state.output, golden.output, "crash_after={crash_after}");
+            assert_eq!(
+                final_state.output, golden.output,
+                "crash_after={crash_after}"
+            );
             assert_eq!(final_state.regs, golden.regs);
         }
     }

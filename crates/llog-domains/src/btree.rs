@@ -87,7 +87,9 @@ impl Page {
 
     /// Parse a page (empty bytes = empty leaf).
     pub fn decode(bytes: &[u8]) -> Result<Page> {
-        let err = |reason: &str| LlogError::Codec { reason: format!("btree page: {reason}") };
+        let err = |reason: &str| LlogError::Codec {
+            reason: format!("btree page: {reason}"),
+        };
         if bytes.is_empty() {
             // A never-written object decodes as an empty leaf.
             return Ok(Page::Leaf(Vec::new()));
@@ -183,7 +185,9 @@ impl TransformFn for InsertT {
         "bt_insert"
     }
     fn apply(&self, params: &[u8], inputs: &[Value], n_outputs: usize) -> Result<Vec<Value>> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if inputs.len() != 1 || n_outputs != 1 {
             return Err(err("bt_insert is single-page"));
         }
@@ -213,7 +217,9 @@ impl TransformFn for SplitT {
         "bt_split"
     }
     fn apply(&self, _params: &[u8], inputs: &[Value], n_outputs: usize) -> Result<Vec<Value>> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if inputs.len() != 1 || n_outputs != 2 {
             return Err(err("bt_split takes one page, produces two"));
         }
@@ -234,8 +240,7 @@ impl TransformFn for SplitT {
                 if seps.len() < 3 {
                     return Err(LlogError::NotApplicable {
                         op: llog_types::OpId(0),
-                        reason: "splitting an internal page with fewer than 3 separators"
-                            .into(),
+                        reason: "splitting an internal page with fewer than 3 separators".into(),
                     });
                 }
                 let mid = seps.len() / 2;
@@ -262,7 +267,9 @@ impl TransformFn for InsertChildT {
         "bt_insert_child"
     }
     fn apply(&self, params: &[u8], inputs: &[Value], n_outputs: usize) -> Result<Vec<Value>> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if inputs.len() != 1 || n_outputs != 1 || params.len() != 16 {
             return Err(err("bt_insert_child arity/params"));
         }
@@ -290,7 +297,9 @@ impl TransformFn for RemoveT {
         "bt_remove"
     }
     fn apply(&self, params: &[u8], inputs: &[Value], n_outputs: usize) -> Result<Vec<Value>> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if inputs.len() != 1 || n_outputs != 1 || params.len() != 8 {
             return Err(err("bt_remove takes one leaf and a key"));
         }
@@ -314,7 +323,9 @@ impl TransformFn for MergeT {
         "bt_merge"
     }
     fn apply(&self, _params: &[u8], inputs: &[Value], n_outputs: usize) -> Result<Vec<Value>> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if inputs.len() != 2 || n_outputs != 1 {
             return Err(err("bt_merge takes two leaves, produces one"));
         }
@@ -344,9 +355,13 @@ impl TransformFn for RemoveChildT {
         "bt_remove_child"
     }
     fn apply(&self, params: &[u8], inputs: &[Value], n_outputs: usize) -> Result<Vec<Value>> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if inputs.len() != 1 || n_outputs != 1 || params.len() != 8 {
-            return Err(err("bt_remove_child takes one internal page and a separator"));
+            return Err(err(
+                "bt_remove_child takes one internal page and a separator",
+            ));
         }
         let sep = u64::from_le_bytes(params.try_into().unwrap());
         let Page::Internal { child0, mut seps } = Page::decode(inputs[0].as_bytes())? else {
@@ -429,9 +444,19 @@ impl BTree {
         logical_splits: bool,
     ) -> Result<BTree> {
         assert!(order >= 2, "order must be at least 2");
-        let t = BTree { meta, order, logical_splits };
+        let t = BTree {
+            meta,
+            order,
+            logical_splits,
+        };
         // Root = page 0, an empty leaf; next allocation = 1.
-        t.write_meta(engine, Meta { root: 0, next_page: 1 })?;
+        t.write_meta(
+            engine,
+            Meta {
+                root: 0,
+                next_page: 1,
+            },
+        )?;
         engine.execute(
             OpKind::Physical,
             vec![],
@@ -445,8 +470,17 @@ impl BTree {
     }
 
     /// Re-open an existing tree (e.g. after recovery).
-    pub fn open(engine: &mut Engine, meta: ObjectId, order: usize, logical_splits: bool) -> Result<BTree> {
-        let t = BTree { meta, order, logical_splits };
+    pub fn open(
+        engine: &mut Engine,
+        meta: ObjectId,
+        order: usize,
+        logical_splits: bool,
+    ) -> Result<BTree> {
+        let t = BTree {
+            meta,
+            order,
+            logical_splits,
+        };
         t.read_meta(engine)?; // validate
         Ok(t)
     }
@@ -850,7 +884,10 @@ mod tests {
         let pages = vec![
             Page::Leaf(vec![]),
             Page::Leaf(vec![(1, b"a".to_vec()), (9, b"bb".to_vec())]),
-            Page::Internal { child0: 7, seps: vec![(10, 8), (20, 9)] },
+            Page::Internal {
+                child0: 7,
+                seps: vec![(10, 8), (20, 9)],
+            },
         ];
         for p in pages {
             assert_eq!(Page::decode(p.encode().as_bytes()).unwrap(), p);
@@ -908,7 +945,10 @@ mod tests {
                 t.insert(&mut e, (k * 13) % 100, b"v").unwrap();
             }
             t.check_invariants(&mut e).unwrap();
-            (t.scan_all(&mut e).unwrap(), e.metrics().snapshot().log_bytes)
+            (
+                t.scan_all(&mut e).unwrap(),
+                e.metrics().snapshot().log_bytes,
+            )
         };
         let (logical_scan, logical_bytes) = run(true);
         let (physio_scan, physio_bytes) = run(false);

@@ -104,11 +104,7 @@ impl FileSystem {
     }
 
     /// In-place transform of a file (physiological `W_PL`).
-    pub fn transform_in_place(
-        engine: &mut Engine,
-        path: &str,
-        salt: u64,
-    ) -> Result<(OpId, Lsn)> {
+    pub fn transform_in_place(engine: &mut Engine, path: &str, salt: u64) -> Result<(OpId, Lsn)> {
         engine.execute(
             OpKind::Physiological,
             vec![file_id(path)],

@@ -170,10 +170,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(
-            h.objects(),
-            vec![ObjectId(1), ObjectId(2), ObjectId(3)]
-        );
+        assert_eq!(h.objects(), vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
     }
 
     #[test]

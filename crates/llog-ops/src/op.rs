@@ -60,7 +60,13 @@ impl Operation {
             writes.iter().collect::<BTreeSet<_>>().len() == writes.len(),
             "duplicate objects in writeset"
         );
-        Operation { id, kind, reads, writes, transform }
+        Operation {
+            id,
+            kind,
+            reads,
+            writes,
+            transform,
+        }
     }
 
     /// Does this operation read `x`?

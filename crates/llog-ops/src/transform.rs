@@ -81,7 +81,9 @@ impl Default for TransformRegistry {
 impl TransformRegistry {
     /// An empty registry (no functions; even physical writes won't replay).
     pub fn empty() -> TransformRegistry {
-        TransformRegistry { map: HashMap::new() }
+        TransformRegistry {
+            map: HashMap::new(),
+        }
     }
 
     /// A registry with all [`builtin`] transforms installed.
@@ -165,7 +167,9 @@ pub mod builtin {
 
     /// Decode CONST parameters back into values.
     pub fn decode_values(params: &[u8]) -> Result<Vec<Value>> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if params.len() < 4 {
             return Err(err("const params shorter than count header"));
         }
@@ -278,7 +282,11 @@ pub mod builtin {
                 .max()
                 .unwrap_or(0);
             let mut out = vec![0u8; len];
-            for v in inputs.iter().map(Value::as_bytes).chain(std::iter::once(params)) {
+            for v in inputs
+                .iter()
+                .map(Value::as_bytes)
+                .chain(std::iter::once(params))
+            {
                 for (o, b) in out.iter_mut().zip(v) {
                     *o ^= b;
                 }
@@ -484,7 +492,9 @@ mod tests {
         let a = v("secret");
         let b = v("key");
         let t = Transform::new(XOR_FOLD, Value::empty());
-        let once = reg().apply(OpId(0), &t, &[a.clone(), b.clone()], 1).unwrap();
+        let once = reg()
+            .apply(OpId(0), &t, &[a.clone(), b.clone()], 1)
+            .unwrap();
         let twice = reg().apply(OpId(0), &t, &[once[0].clone(), b], 1).unwrap();
         // xor with the same key twice gives back `a` padded to max length.
         assert_eq!(&twice[0].as_bytes()[..a.len()], a.as_bytes());
@@ -571,6 +581,8 @@ mod tests {
     #[test]
     fn empty_registry_knows_nothing() {
         let t = Transform::new(CONST, encode_values(&[]));
-        assert!(TransformRegistry::empty().apply(OpId(0), &t, &[], 0).is_err());
+        assert!(TransformRegistry::empty()
+            .apply(OpId(0), &t, &[], 0)
+            .is_err());
     }
 }

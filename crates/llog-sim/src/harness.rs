@@ -241,7 +241,11 @@ mod tests {
     fn flush_txn_and_shadow_strategies_also_verify() {
         let ops = Workload::new(8, 100, WorkloadKind::app_mix(), 51).generate();
         for flush in [FlushStrategy::FlushTxn, FlushStrategy::Shadow] {
-            let cfg = EngineConfig { graph: GraphKind::RW, flush, audit: false };
+            let cfg = EngineConfig {
+                graph: GraphKind::RW,
+                flush,
+                audit: false,
+            };
             run_crash_recover_verify(
                 cfg,
                 &registry(),

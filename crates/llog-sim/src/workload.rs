@@ -5,9 +5,8 @@
 //! schedule of [`OpSpec`]s reproducible from the seed.
 
 use llog_ops::{builtin, OpKind, Transform};
+use llog_testkit::TestRng;
 use llog_types::{ObjectId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One operation to feed the engine.
 #[derive(Debug, Clone)]
@@ -29,10 +28,7 @@ impl OpSpec {
             kind: OpKind::Logical,
             reads,
             writes,
-            transform: Transform::new(
-                builtin::HASH_MIX,
-                Value::from_slice(&salt.to_le_bytes()),
-            ),
+            transform: Transform::new(builtin::HASH_MIX, Value::from_slice(&salt.to_le_bytes())),
         }
     }
 }
@@ -77,11 +73,7 @@ impl WorkloadKind {
     }
 
     fn total(&self) -> u32 {
-        self.logical_update
-            + self.logical_blind
-            + self.physiological
-            + self.physical
-            + self.delete
+        self.logical_update + self.logical_blind + self.physiological + self.physical + self.delete
     }
 }
 
@@ -151,7 +143,7 @@ impl Workload {
     pub fn generate(&self) -> Vec<OpSpec> {
         assert!(self.n_objects >= 2, "need at least two objects");
         assert!(self.mix.total() > 0, "empty mix");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = TestRng::seed_from_u64(self.seed);
         let mut out = Vec::with_capacity(self.n_ops);
         // Zipf CDF over object ids (identity when skew = 0).
         let cdf: Vec<f64> = {
@@ -168,16 +160,16 @@ impl Workload {
                 })
                 .collect()
         };
-        let pick_obj = |rng: &mut StdRng, cdf: &[f64]| {
-            let u: f64 = rng.random();
+        let pick_obj = |rng: &mut TestRng, cdf: &[f64]| {
+            let u: f64 = rng.f64();
             let idx = cdf.partition_point(|&c| c < u);
             ObjectId((idx as u64).min(self.n_objects - 1))
         };
         for i in 0..self.n_ops {
             let salt = self.seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
             let pick = rng.random_range(0..self.mix.total());
-            let obj = |rng: &mut StdRng| pick_obj(rng, &cdf);
-            let distinct_pair = |rng: &mut StdRng| {
+            let obj = |rng: &mut TestRng| pick_obj(rng, &cdf);
+            let distinct_pair = |rng: &mut TestRng| {
                 let a = pick_obj(rng, &cdf);
                 loop {
                     let b = pick_obj(rng, &cdf);
@@ -319,10 +311,7 @@ mod tests {
         };
         let uniform = count_hot(0.0);
         let skewed = count_hot(1.2);
-        assert!(
-            skewed > uniform * 2,
-            "skewed {skewed} vs uniform {uniform}"
-        );
+        assert!(skewed > uniform * 2, "skewed {skewed} vs uniform {uniform}");
     }
 
     #[test]

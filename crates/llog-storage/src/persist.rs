@@ -54,7 +54,9 @@ impl StableStore {
                 return Err(err("truncated entry header"));
             }
             let id = ObjectId(u64::from_le_bytes(body[at..at + 8].try_into().unwrap()));
-            let vsi = Lsn(u64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap()));
+            let vsi = Lsn(u64::from_le_bytes(
+                body[at + 8..at + 16].try_into().unwrap(),
+            ));
             let len = u32::from_le_bytes(body[at + 16..at + 20].try_into().unwrap()) as usize;
             at += 20;
             if body.len() < at + len {
@@ -62,7 +64,10 @@ impl StableStore {
             }
             objects.insert(
                 id,
-                StoredObject { value: Value::from_slice(&body[at..at + len]), vsi },
+                StoredObject {
+                    value: Value::from_slice(&body[at..at + len]),
+                    vsi,
+                },
             );
             at += len;
         }

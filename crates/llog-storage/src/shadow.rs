@@ -32,7 +32,9 @@ impl Default for ShadowStore {
 impl ShadowStore {
     /// Create a new instance.
     pub fn new() -> ShadowStore {
-        ShadowStore { staged: BTreeMap::new() }
+        ShadowStore {
+            staged: BTreeMap::new(),
+        }
     }
 
     /// Stage a write in the shadow area (counted: it is a device write).

@@ -33,7 +33,10 @@ pub struct StableStore {
 impl StableStore {
     /// Create a new instance.
     pub fn new(metrics: Arc<Metrics>) -> StableStore {
-        StableStore { objects: BTreeMap::new(), metrics }
+        StableStore {
+            objects: BTreeMap::new(),
+            metrics,
+        }
     }
 
     /// The cost ledger this store reports into.

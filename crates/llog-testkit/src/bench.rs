@@ -1,0 +1,380 @@
+//! A tiny statistics-aware micro-bench runner.
+//!
+//! Replaces Criterion for the `crates/llog-bench/benches/*` targets:
+//! per-bench warmup, a batched measurement phase, median/p95/min/max
+//! wall-clock statistics, and machine-readable JSON output.
+//!
+//! Functions faster than the timer's useful resolution are measured in
+//! batches (batch size chosen during warmup so each sample spans at least
+//! ~50 µs), and each sample is the batch wall-clock divided by the batch
+//! size.
+//!
+//! Environment knobs:
+//!
+//! - `LLOG_BENCH_FAST=1` — smoke mode: tiny warmup and few samples, for
+//!   CI pipelines that only check the benches still run.
+//! - `LLOG_BENCH_SAMPLES=<n>` — override the sample count.
+//! - `LLOG_BENCH_JSON=<path>` — also append one JSON document per group
+//!   to `<path>` (the JSON always goes to stdout regardless).
+//!
+//! ```no_run
+//! use llog_testkit::BenchGroup;
+//!
+//! let mut g = BenchGroup::new("example");
+//! g.throughput_bytes(1024);
+//! g.bench("hash/1k", || std::hint::black_box(17u64).wrapping_mul(31));
+//! g.finish();
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], Criterion-style.
+pub use std::hint::black_box;
+
+/// Wall-clock statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Benchmark id within its group (e.g. `"logical/1024"`).
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample (batching factor).
+    pub batch: u64,
+    /// Minimum ns/iter.
+    pub min_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter.
+    pub p95_ns: f64,
+    /// Maximum ns/iter.
+    pub max_ns: f64,
+    /// Optional throughput denominator (units per iteration).
+    pub throughput: Option<Throughput>,
+}
+
+/// Work per iteration, for derived rates (mirrors Criterion's enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+impl BenchStats {
+    /// Derived throughput at the median, as `(value, unit)`.
+    pub fn rate(&self) -> Option<(f64, &'static str)> {
+        let per_iter_s = self.median_ns / 1e9;
+        match self.throughput? {
+            Throughput::Bytes(b) => Some((b as f64 / per_iter_s / (1 << 20) as f64, "MiB/s")),
+            Throughput::Elements(e) => Some((e as f64 / per_iter_s, "elem/s")),
+        }
+    }
+
+    /// One JSON object (no external serializer; keys are fixed).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"name\":{:?},\"samples\":{},\"batch\":{},\"min_ns\":{:.1},\
+             \"mean_ns\":{:.1},\"median_ns\":{:.1},\"p95_ns\":{:.1},\"max_ns\":{:.1}",
+            self.name,
+            self.samples,
+            self.batch,
+            self.min_ns,
+            self.mean_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.max_ns,
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                let _ = write!(s, ",\"throughput_bytes\":{b}");
+            }
+            Some(Throughput::Elements(e)) => {
+                let _ = write!(s, ",\"throughput_elements\":{e}");
+            }
+            None => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Measurement budget; resolved once per group from the environment.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    samples: usize,
+    min_sample_time: Duration,
+}
+
+impl Budget {
+    fn from_env() -> Budget {
+        let fast = std::env::var("LLOG_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let mut b = if fast {
+            Budget {
+                warmup: Duration::from_millis(5),
+                samples: 5,
+                min_sample_time: Duration::from_micros(20),
+            }
+        } else {
+            Budget {
+                warmup: Duration::from_millis(150),
+                samples: 40,
+                min_sample_time: Duration::from_micros(50),
+            }
+        };
+        if let Ok(n) = std::env::var("LLOG_BENCH_SAMPLES") {
+            if let Ok(n) = n.trim().parse::<usize>() {
+                b.samples = n.max(1);
+            }
+        }
+        b
+    }
+}
+
+/// A named collection of benchmarks sharing output formatting.
+pub struct BenchGroup {
+    name: String,
+    budget: Budget,
+    throughput: Option<Throughput>,
+    results: Vec<BenchStats>,
+}
+
+impl BenchGroup {
+    /// Create a new instance.
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_string(),
+            budget: Budget::from_env(),
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Set the bytes-per-iteration denominator for subsequent benches.
+    pub fn throughput_bytes(&mut self, bytes: u64) {
+        self.throughput = Some(Throughput::Bytes(bytes));
+    }
+
+    /// Set the elements-per-iteration denominator for subsequent benches.
+    pub fn throughput_elems(&mut self, elements: u64) {
+        self.throughput = Some(Throughput::Elements(elements));
+    }
+
+    /// Warm up, measure, record and print one benchmark.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        let stats = measure(id, self.throughput, self.budget, &mut f);
+        let mut line = format!(
+            "{}/{}: median {} p95 {} ({} samples x {} iters)",
+            self.name,
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            stats.samples,
+            stats.batch,
+        );
+        if let Some((rate, unit)) = stats.rate() {
+            let _ = write!(line, " [{rate:.1} {unit}]");
+        }
+        println!("{line}");
+        self.results.push(stats);
+    }
+
+    /// Print the group's JSON document and return the collected stats.
+    pub fn finish(self) -> Vec<BenchStats> {
+        let body: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect();
+        let doc = format!(
+            "{{\"group\":{:?},\"results\":[\n{}\n]}}",
+            self.name,
+            body.join(",\n")
+        );
+        println!("{doc}");
+        if let Ok(path) = std::env::var("LLOG_BENCH_JSON") {
+            if !path.is_empty() {
+                use std::io::Write as _;
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(file, "{doc}");
+                }
+            }
+        }
+        self.results
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn measure<R>(
+    id: &str,
+    throughput: Option<Throughput>,
+    budget: Budget,
+    f: &mut impl FnMut() -> R,
+) -> BenchStats {
+    // Warmup: run until the budget elapses, estimating per-iter cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    loop {
+        black_box(f());
+        warm_iters += 1;
+        if warm_start.elapsed() >= budget.warmup {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+    // Batch so each sample spans at least `min_sample_time`.
+    let min_s = budget.min_sample_time.as_secs_f64();
+    let batch = if per_iter <= 0.0 {
+        1
+    } else {
+        ((min_s / per_iter).ceil() as u64).max(1)
+    };
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(budget.samples);
+    for _ in 0..budget.samples {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        samples_ns.push(elapsed / batch as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+
+    let n = samples_ns.len();
+    let pct = |p: f64| samples_ns[((n as f64 - 1.0) * p).round() as usize];
+    BenchStats {
+        name: id.to_string(),
+        samples: n,
+        batch,
+        min_ns: samples_ns[0],
+        mean_ns: samples_ns.iter().sum::<f64>() / n as f64,
+        median_ns: pct(0.5),
+        p95_ns: pct(0.95),
+        max_ns: samples_ns[n - 1],
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_budget() -> Budget {
+        Budget {
+            warmup: Duration::from_millis(2),
+            samples: 9,
+            min_sample_time: Duration::from_micros(20),
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_ordered() {
+        let stats = measure("spin", None, fast_budget(), &mut || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(stats.min_ns > 0.0);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns <= stats.p95_ns);
+        assert!(stats.p95_ns <= stats.max_ns);
+        assert!(stats.mean_ns >= stats.min_ns && stats.mean_ns <= stats.max_ns);
+        assert_eq!(stats.samples, 9);
+    }
+
+    #[test]
+    fn timings_are_monotone_in_work() {
+        // A function doing 50x the work must not report a smaller median.
+        let spin = |iters: u64| {
+            move || {
+                let mut acc = 0u64;
+                for i in 0..iters {
+                    acc = acc.wrapping_add(black_box(i).wrapping_mul(0x9E37_79B9));
+                }
+                acc
+            }
+        };
+        let small = measure("small", None, fast_budget(), &mut spin(100));
+        let large = measure("large", None, fast_budget(), &mut spin(5_000));
+        assert!(
+            large.median_ns > small.median_ns,
+            "median of 5000 iters ({}) <= median of 100 iters ({})",
+            large.median_ns,
+            small.median_ns
+        );
+    }
+
+    #[test]
+    fn json_carries_every_field() {
+        let stats = BenchStats {
+            name: "x/1".into(),
+            samples: 3,
+            batch: 10,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+            median_ns: 2.0,
+            p95_ns: 3.0,
+            max_ns: 3.0,
+            throughput: Some(Throughput::Bytes(1024)),
+        };
+        let json = stats.to_json();
+        for key in [
+            "\"name\"",
+            "\"samples\"",
+            "\"batch\"",
+            "\"min_ns\"",
+            "\"mean_ns\"",
+            "\"median_ns\"",
+            "\"p95_ns\"",
+            "\"max_ns\"",
+            "\"throughput_bytes\":1024",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn rates_derive_from_median() {
+        let stats = BenchStats {
+            name: "r".into(),
+            samples: 1,
+            batch: 1,
+            min_ns: 1e9,
+            mean_ns: 1e9,
+            median_ns: 1e9, // 1 second per iteration
+            p95_ns: 1e9,
+            max_ns: 1e9,
+            throughput: Some(Throughput::Elements(500)),
+        };
+        let (rate, unit) = stats.rate().unwrap();
+        assert_eq!(unit, "elem/s");
+        assert!((rate - 500.0).abs() < 1e-9);
+    }
+}

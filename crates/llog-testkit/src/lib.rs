@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # llog-testkit — hermetic randomness, property tests, and micro-benches
+//!
+//! The llog workspace builds and tests **offline** (`cargo build --offline
+//! --locked` with an empty crates.io cache). This crate supplies the three
+//! pieces of test infrastructure that used to come from crates.io:
+//!
+//! - [`rng`]: a deterministic [SplitMix64](rng::SplitMix64)-seeded
+//!   [xoshiro256**](rng::TestRng) PRNG with the small `Rng` surface the
+//!   codebase uses (`random_range`, `shuffle`, bool/f64 draws,
+//!   seed-from-u64). Same seed ⇒ same stream, forever.
+//! - [`prop`]: a minimal property-testing harness — seeded case
+//!   generation, an iteration budget, greedy input shrinking on failure,
+//!   and failure-seed reporting — with a [`proptest!`]-compatible macro
+//!   surface (`prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `vec`,
+//!   `any`, `Just`, `.prop_map`).
+//! - [`bench`]: a tiny statistics-aware micro-bench runner (warmup, N
+//!   timed iterations, median/p95 wall-clock, JSON output) standing in for
+//!   Criterion in `crates/llog-bench/benches/*`.
+//!
+//! ## Deterministic seeding policy
+//!
+//! Every randomized test derives its stream from an explicit `u64` seed.
+//! Property tests pick their base seed from `LLOG_PROP_SEED` (default: a
+//! stable hash of the property name, so CI is reproducible run-over-run)
+//! and print the failing seed + shrunk counterexample on failure;
+//! re-running with `LLOG_PROP_SEED=<seed>` replays the exact failure.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{BenchGroup, BenchStats};
+pub use prop::{Config, Just, Strategy, StrategyExt};
+pub use rng::TestRng;

@@ -1,0 +1,163 @@
+//! Plain-`std` byte cursor helpers for the WAL's binary codecs.
+//!
+//! These replace the `bytes` crate's `Buf`/`BufMut` with the same call
+//! surface over `Vec<u8>` (writer) and `&[u8]` (advancing reader), so the
+//! workspace builds hermetically with zero external dependencies.
+//!
+//! Reader methods **panic** on underflow, exactly like `bytes::Buf`;
+//! codecs must bounds-check with [`ByteReader::remaining`] first (which
+//! the WAL codec does for every field).
+//!
+//! ```
+//! use llog_types::{ByteReader, ByteWriter};
+//!
+//! let mut out = Vec::new();
+//! out.put_u8(7);
+//! out.put_u32_le(0xDEAD_BEEF);
+//! out.put_slice(b"ok");
+//!
+//! let mut buf: &[u8] = &out;
+//! assert_eq!(buf.get_u8(), 7);
+//! assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+//! assert_eq!(buf.remaining(), 2);
+//! assert_eq!(buf, b"ok");
+//! ```
+
+/// Little-endian appending writes over a growable byte buffer.
+pub trait ByteWriter {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u16`, little endian.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a `u32`, little endian.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a `u64`, little endian.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl ByteWriter for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Little-endian consuming reads over an advancing byte slice.
+///
+/// Each `get_*` consumes from the front of the slice; `remaining` is the
+/// unconsumed length. Reads past the end panic (bounds-check first).
+pub trait ByteReader {
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+macro_rules! take_le {
+    ($buf:expr, $t:ty) => {{
+        const N: usize = std::mem::size_of::<$t>();
+        let (head, rest) = $buf.split_at(N);
+        let v = <$t>::from_le_bytes(head.try_into().expect("split_at returned N bytes"));
+        *$buf = rest;
+        v
+    }};
+}
+
+impl ByteReader for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        take_le!(self, u8)
+    }
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        take_le!(self, u16)
+    }
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        take_le!(self, u32)
+    }
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        take_le!(self, u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_slice(&[1, 2, 3]);
+        assert_eq!(out.len(), 1 + 2 + 4 + 8 + 3);
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), out.len());
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16_le(), 0x1234);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.remaining(), 3);
+        assert_eq!(buf, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut out = Vec::new();
+        out.put_u32_le(1);
+        assert_eq!(out, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics_like_bytes_buf() {
+        let mut buf: &[u8] = &[1, 2];
+        let _ = buf.get_u32_le();
+    }
+
+    #[test]
+    fn reads_through_a_mut_reference_advance_the_caller() {
+        // The WAL codec passes `&mut &[u8]` into helpers; consumption must
+        // be visible to the caller.
+        fn eat(buf: &mut &[u8]) -> u16 {
+            buf.get_u16_le()
+        }
+        let data = [5u8, 0, 9];
+        let mut buf: &[u8] = &data;
+        assert_eq!(eat(&mut buf), 5);
+        assert_eq!(buf.remaining(), 1);
+    }
+}

@@ -6,11 +6,13 @@
 //! Everything in this crate is deliberately small and dependency-free: these
 //! are the vocabulary types every other crate speaks.
 
+mod bytesio;
 mod crc;
 mod error;
 mod id;
 mod value;
 
+pub use bytesio::{ByteReader, ByteWriter};
 pub use crc::crc32c;
 pub use error::{LlogError, Result};
 pub use id::{FnId, Lsn, ObjectId, OpId, Si};

@@ -86,12 +86,7 @@ impl LogArchive {
 
 /// Parse frames out of one archived segment starting at absolute LSN
 /// `from` (a record boundary).
-fn scan_segment(
-    bytes: &[u8],
-    base: u64,
-    from: u64,
-    out: &mut Vec<Result<(Lsn, LogRecord)>>,
-) {
+fn scan_segment(bytes: &[u8], base: u64, from: u64, out: &mut Vec<Result<(Lsn, LogRecord)>>) {
     let mut off = (from - base) as usize;
     while off < bytes.len() {
         if bytes.len() < off + FRAME_HEADER {

@@ -117,7 +117,10 @@ mod tests {
         let mut image = w.serialize();
         for i in [0usize, 9, image.len() / 2, image.len() - 1] {
             image[i] ^= 0xFF;
-            assert!(Wal::deserialize(&image, Metrics::new()).is_err(), "flip {i}");
+            assert!(
+                Wal::deserialize(&image, Metrics::new()).is_err(),
+                "flip {i}"
+            );
             image[i] ^= 0xFF;
         }
         assert!(Wal::deserialize(&image[..10], Metrics::new()).is_err());

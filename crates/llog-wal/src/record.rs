@@ -4,9 +4,8 @@
 //! torn tails; the scan stops at the first frame that fails bounds or
 //! checksum validation.
 
-use bytes::{Buf, BufMut};
-use llog_types::{FnId, LlogError, Lsn, ObjectId, OpId, Result, Value};
 use llog_ops::{OpKind, Operation, Transform};
+use llog_types::{ByteReader, ByteWriter, FnId, LlogError, Lsn, ObjectId, OpId, Result, Value};
 
 /// §5 installation record: node `n` of the write graph was installed by
 /// flushing `vars`; the objects of `notx` were installed *without* flushing
@@ -166,7 +165,9 @@ impl LogRecord {
 
     /// Decode a payload produced by [`encode`](Self::encode).
     pub fn decode(mut buf: &[u8]) -> Result<LogRecord> {
-        let err = |reason: &str| LlogError::Codec { reason: reason.to_string() };
+        let err = |reason: &str| LlogError::Codec {
+            reason: reason.to_string(),
+        };
         if buf.is_empty() {
             return Err(err("empty payload"));
         }
@@ -320,7 +321,10 @@ mod tests {
             vars: vec![(ObjectId(1), Lsn(10))],
             notx: vec![(ObjectId(2), Lsn(20)), (ObjectId(3), Lsn::MAX)],
         }));
-        roundtrip(LogRecord::Flush { obj: ObjectId(4), vsi: Lsn(44) });
+        roundtrip(LogRecord::Flush {
+            obj: ObjectId(4),
+            vsi: Lsn(44),
+        });
         roundtrip(LogRecord::FlushTxnBegin {
             objs: vec![ObjectId(1), ObjectId(2)],
         });
@@ -363,9 +367,12 @@ mod tests {
     #[test]
     fn logical_record_is_small_physical_is_not() {
         let logical = LogRecord::Op(Operation::logical(1, &[1, 2], &[2])).encode();
-        assert!(logical.len() < 64, "logical record was {} bytes", logical.len());
-        let physical =
-            LogRecord::Op(Operation::physical(2, 1, Value::filled(0, 8192))).encode();
+        assert!(
+            logical.len() < 64,
+            "logical record was {} bytes",
+            logical.len()
+        );
+        let physical = LogRecord::Op(Operation::physical(2, 1, Value::filled(0, 8192))).encode();
         assert!(physical.len() > 8192);
     }
 }

@@ -93,7 +93,8 @@ impl Wal {
         self.buffer.reserve(FRAME_HEADER + payload.len());
         self.buffer
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buffer.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        self.buffer
+            .extend_from_slice(&crc32c(&payload).to_le_bytes());
         self.buffer.extend_from_slice(&payload);
         Metrics::bump(&self.metrics.log_records, 1);
         Metrics::bump(
@@ -198,7 +199,10 @@ impl Wal {
     /// the stable end or at the first torn/corrupt frame. Recovery never
     /// sees the volatile buffer — it did not survive the crash.
     pub fn scan(&self, from: Lsn) -> WalScan<'_> {
-        WalScan { wal: self, at: from }
+        WalScan {
+            wal: self,
+            at: from,
+        }
     }
 
     /// Read the single record at `lsn`.
@@ -458,8 +462,13 @@ mod tests {
         let mut w = wal();
         let records = vec![
             op_record(0),
-            LogRecord::Flush { obj: ObjectId(2), vsi: Lsn(0) },
-            LogRecord::FlushTxnBegin { objs: vec![ObjectId(1)] },
+            LogRecord::Flush {
+                obj: ObjectId(2),
+                vsi: Lsn(0),
+            },
+            LogRecord::FlushTxnBegin {
+                objs: vec![ObjectId(1)],
+            },
             LogRecord::FlushTxnValue {
                 obj: ObjectId(1),
                 value: Value::from("v"),

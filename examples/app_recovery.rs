@@ -57,7 +57,11 @@ fn run_session(mode: WriteMode) -> (u64, Value) {
         RedoPolicy::RsiExposed,
     )
     .unwrap();
-    assert_eq!(recovered.read_value(OUTPUT), want, "output lost in recovery");
+    assert_eq!(
+        recovered.read_value(OUTPUT),
+        want,
+        "output lost in recovery"
+    );
     assert!(outcome.redone > 0);
     (log_bytes, want)
 }

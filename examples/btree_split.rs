@@ -22,7 +22,8 @@ fn load(logical_splits: bool) -> u64 {
     engine.metrics().reset();
     for k in 0..2000u64 {
         let key = k.wrapping_mul(2_654_435_761) % 2000;
-        tree.insert(&mut engine, key, &key.to_be_bytes().repeat(8)).unwrap();
+        tree.insert(&mut engine, key, &key.to_be_bytes().repeat(8))
+            .unwrap();
     }
     engine.metrics().snapshot().log_bytes
 }
@@ -34,9 +35,7 @@ fn main() {
     println!("bulk-loading 2000 keys (64 B values, order-16 pages):");
     println!("  logical splits        : {} logged", human_bytes(logical));
     println!("  physiological splits  : {} logged", human_bytes(physio));
-    println!(
-        "  (the difference is the new-page images the logical split never logs)\n"
-    );
+    println!("  (the difference is the new-page images the logical split never logs)\n");
 
     // Crash mid-load and recover.
     let mut registry = TransformRegistry::with_builtins();

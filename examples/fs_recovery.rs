@@ -16,7 +16,9 @@ fn main() {
     let mut engine = Engine::new(EngineConfig::default(), registry.clone());
 
     // Ingest a 1 MiB unsorted file (the only data that must be logged).
-    let data: Vec<u8> = (0..1024 * 1024u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+    let data: Vec<u8> = (0..1024 * 1024u32)
+        .map(|i| (i.wrapping_mul(2_654_435_761)) as u8)
+        .collect();
     FileSystem::ingest(&mut engine, "/data/input", &data).unwrap();
     engine.install_all().unwrap();
     engine.metrics().reset();
@@ -58,5 +60,8 @@ fn main() {
         FileSystem::read(&mut recovered, "/tmp/scratch").is_empty(),
         "the deleted scratch file stays deleted"
     );
-    println!("recovered /data/sorted intact ({}); /tmp/scratch stayed deleted ✓", human_bytes(got.len() as u64));
+    println!(
+        "recovered /data/sorted intact ({}); /tmp/scratch stayed deleted ✓",
+        human_bytes(got.len() as u64)
+    );
 }

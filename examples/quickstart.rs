@@ -67,7 +67,10 @@ fn main() {
     engine.wal_mut().force();
     let (store, wal) = engine.crash();
     assert!(store.peek(X).is_some()); // only the seeds are stable
-    println!("crash! stable store has {} objects (the seeds)", store.len());
+    println!(
+        "crash! stable store has {} objects (the seeds)",
+        store.len()
+    );
 
     // Recover with the paper's generalized REDO test.
     let (mut recovered, outcome) = recover(

@@ -16,6 +16,8 @@
 //!   REDO tests and recovery
 //! - [`domains`]: application recovery, file systems, B-trees
 //! - [`sim`]: workload generation, crash injection and the recovery oracle
+//! - [`testkit`]: deterministic PRNG, seeded property-test harness and
+//!   micro-bench runner (the workspace has zero external dependencies)
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 //!
@@ -50,5 +52,6 @@ pub use llog_domains as domains;
 pub use llog_ops as ops;
 pub use llog_sim as sim;
 pub use llog_storage as storage;
+pub use llog_testkit as testkit;
 pub use llog_types as types;
 pub use llog_wal as wal;

@@ -4,8 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use llog::testkit::prop::*;
 
 use llog::core::{recover, Engine, EngineConfig, RedoPolicy};
 use llog::domains::btree::BTree;

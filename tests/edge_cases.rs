@@ -36,7 +36,11 @@ fn failed_execute_leaves_no_trace() {
         )
         .unwrap_err();
     assert!(matches!(err, LlogError::UnknownTransform(_)));
-    assert_eq!(e.metrics().snapshot().log_records, records, "nothing logged");
+    assert_eq!(
+        e.metrics().snapshot().log_records,
+        records,
+        "nothing logged"
+    );
     assert_eq!(e.read_value(X), Value::from("before"), "state unchanged");
 
     // Arity-violating CONST: also rejected pre-log.
@@ -45,7 +49,10 @@ fn failed_execute_leaves_no_trace() {
             OpKind::Physical,
             vec![],
             vec![X, ObjectId(2)],
-            Transform::new(builtin::CONST, builtin::encode_values(&[Value::from("one")])),
+            Transform::new(
+                builtin::CONST,
+                builtin::encode_values(&[Value::from("one")]),
+            ),
         )
         .unwrap_err();
     assert!(matches!(err, LlogError::Codec { .. }));
@@ -182,7 +189,10 @@ fn writeset_mismatch_is_voided_during_recovery() {
     .unwrap();
     assert_eq!(out.voided, 1);
     assert_eq!(out.redone, 0);
-    assert!(engine2.peek_value(X).is_empty(), "voided op changed nothing");
+    assert!(
+        engine2.peek_value(X).is_empty(),
+        "voided op changed nothing"
+    );
 }
 
 #[test]

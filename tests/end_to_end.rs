@@ -34,21 +34,31 @@ fn three_generations_of_crashes() {
     let gen1 = Workload::new(8, 60, WorkloadKind::app_mix(), 42).generate();
     for s in &gen1 {
         engine
-            .execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
+            .execute(
+                s.kind,
+                s.reads.clone(),
+                s.writes.clone(),
+                s.transform.clone(),
+            )
             .unwrap();
     }
     engine.install_one().unwrap();
     engine.wal_mut().force();
     let (store, wal) = engine.crash();
-    let (mut engine, _) = recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed)
-        .unwrap();
+    let (mut engine, _) =
+        recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed).unwrap();
     verify_against_log(&engine, &reg).unwrap();
 
     // Generation 2: continue the same engine.
     let gen2 = Workload::new(8, 60, WorkloadKind::app_mix(), 43).generate();
     for s in &gen2 {
         engine
-            .execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
+            .execute(
+                s.kind,
+                s.reads.clone(),
+                s.writes.clone(),
+                s.transform.clone(),
+            )
             .unwrap();
     }
     engine.install_one().unwrap();
@@ -63,12 +73,16 @@ fn three_generations_of_crashes() {
     let gen3 = Workload::new(8, 30, WorkloadKind::app_mix(), 44).generate();
     for s in &gen3 {
         engine
-            .execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
+            .execute(
+                s.kind,
+                s.reads.clone(),
+                s.writes.clone(),
+                s.transform.clone(),
+            )
             .unwrap();
     }
     let (store, wal) = engine.shutdown().unwrap();
-    let (engine, out) = recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed)
-        .unwrap();
+    let (engine, out) = recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed).unwrap();
     assert_eq!(out.redone, 0);
     verify_against_log(&engine, &reg).unwrap();
 }
@@ -106,20 +120,20 @@ fn mixed_domain_workload_recovers() {
     let report_before = FileSystem::read(&mut engine, "/data/report");
     let (store, wal) = engine.crash();
 
-    let (mut engine, _) = recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed)
-        .unwrap();
+    let (mut engine, _) =
+        recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed).unwrap();
     verify_against_log(&engine, &reg).unwrap();
 
     // Domain-level checks after recovery.
     let tree = BTree::open(&mut engine, meta, 4, true).unwrap();
     tree.check_invariants(&mut engine).unwrap();
     for k in 0..40u64 {
-        assert_eq!(tree.get(&mut engine, k).unwrap(), Some(k.to_le_bytes().to_vec()));
+        assert_eq!(
+            tree.get(&mut engine, k).unwrap(),
+            Some(k.to_le_bytes().to_vec())
+        );
     }
-    assert_eq!(
-        FileSystem::read(&mut engine, "/data/report"),
-        report_before
-    );
+    assert_eq!(FileSystem::read(&mut engine, "/data/report"), report_before);
 }
 
 /// Cache pressure: evictions of clean objects must never break recovery.
@@ -130,7 +144,12 @@ fn eviction_pressure_with_recovery() {
     let ops = Workload::new(10, 120, WorkloadKind::app_mix(), 7).generate();
     for (i, s) in ops.iter().enumerate() {
         engine
-            .execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
+            .execute(
+                s.kind,
+                s.reads.clone(),
+                s.writes.clone(),
+                s.transform.clone(),
+            )
             .unwrap();
         if i % 3 == 0 {
             engine.install_one().unwrap();
@@ -142,8 +161,7 @@ fn eviction_pressure_with_recovery() {
     }
     engine.wal_mut().force();
     let (store, wal) = engine.crash();
-    let (engine, _) = recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed)
-        .unwrap();
+    let (engine, _) = recover(store, wal, reg.clone(), config(), RedoPolicy::RsiExposed).unwrap();
     verify_against_log(&engine, &reg).unwrap();
 }
 
@@ -166,7 +184,10 @@ fn truncated_log_recovery_preserves_values() {
     let want = FileSystem::read(&mut engine, "/f");
     engine.wal_mut().force();
     let (store, wal) = engine.crash();
-    assert!(wal.start_lsn() > llog::types::Lsn(1), "log must have been truncated");
+    assert!(
+        wal.start_lsn() > llog::types::Lsn(1),
+        "log must have been truncated"
+    );
 
     let (mut engine, _) = recover(store, wal, reg, config(), RedoPolicy::RsiExposed).unwrap();
     assert_eq!(FileSystem::read(&mut engine, "/f"), want);

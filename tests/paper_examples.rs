@@ -192,7 +192,10 @@ fn section4_cycle_costs_atomic_flush_under_w() {
 #[test]
 fn figure1_logging_cost_shape() {
     let rows = llog_bench_check();
-    assert!(rows > 100.0, "logical logging must win by orders of magnitude");
+    assert!(
+        rows > 100.0,
+        "logical logging must win by orders of magnitude"
+    );
 }
 
 fn llog_bench_check() -> f64 {

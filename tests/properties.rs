@@ -1,16 +1,17 @@
-//! Property-based tests (proptest) over the recovery stack's invariants.
+//! Property-based tests over the recovery stack's invariants, on the
+//! in-workspace `llog_testkit::prop` harness (seeded, shrinking,
+//! reproducible via `LLOG_PROP_SEED`).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use llog::testkit::prop::*;
 
 use llog::core::exposed::{expected_state, explains};
 use llog::core::igraph::InstallGraph;
 use llog::core::{EngineConfig, FlushStrategy, GraphKind, RWGraph, RedoPolicy, WriteGraph};
-use std::collections::{BTreeMap, BTreeSet};
 use llog::ops::{builtin, OpKind, Operation, Transform, TransformRegistry};
 use llog::sim::{run_crash_recover_verify, CrashPoint, OpSpec, Workload, WorkloadKind};
 use llog::types::{ObjectId, OpId, Value};
 use llog::wal::LogRecord;
+use std::collections::{BTreeMap, BTreeSet};
 
 const N_OBJECTS: u64 = 6;
 
@@ -29,8 +30,10 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
     prop_oneof![
         (vec(0..N_OBJECTS as u8, 1..3), obj.clone())
             .prop_map(|(reads, write)| Shape::Logical { reads, write }),
-        (obj.clone(), obj.clone(), obj.clone())
-            .prop_map(|(read, a, b)| Shape::MultiWrite { read, writes: (a, b) }),
+        (obj.clone(), obj.clone(), obj.clone()).prop_map(|(read, a, b)| Shape::MultiWrite {
+            read,
+            writes: (a, b)
+        }),
         obj.clone().prop_map(Shape::Physiological),
         obj.clone().prop_map(Shape::Physical),
         obj.prop_map(Shape::Delete),
@@ -78,10 +81,7 @@ fn to_operation(i: usize, s: &Shape) -> Operation {
             OpKind::Physical,
             vec![],
             vec![ObjectId(*x as u64)],
-            Transform::new(
-                builtin::CONST,
-                builtin::encode_values(&[salt]),
-            ),
+            Transform::new(builtin::CONST, builtin::encode_values(&[salt])),
         ),
         Shape::Delete(x) => Operation::new(
             id,

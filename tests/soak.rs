@@ -6,9 +6,7 @@
 //! with both a crash recovery and a from-backup media recovery, each
 //! validated against golden values captured before the failures.
 
-use llog::core::{
-    media_recover_archived, recover, BackupMode, Engine, EngineConfig, RedoPolicy,
-};
+use llog::core::{media_recover_archived, recover, BackupMode, Engine, EngineConfig, RedoPolicy};
 use llog::domains::btree::BTree;
 use llog::domains::queue::Queue;
 use llog::domains::register_domain_transforms;
@@ -37,11 +35,15 @@ fn everything_at_once_over_three_generations() {
 
     let mut next_key = 0u64;
     for generation in 0..3 {
-        let specs =
-            Workload::new(12, 150, WorkloadKind::app_mix(), 900 + generation).generate();
+        let specs = Workload::new(12, 150, WorkloadKind::app_mix(), 900 + generation).generate();
         for (i, s) in specs.iter().enumerate() {
             engine
-                .execute(s.kind, s.reads.clone(), s.writes.clone(), s.transform.clone())
+                .execute(
+                    s.kind,
+                    s.reads.clone(),
+                    s.writes.clone(),
+                    s.transform.clone(),
+                )
                 .unwrap();
             // Interleave domain traffic.
             if i % 5 == 0 {
@@ -50,7 +52,8 @@ fn everything_at_once_over_three_generations() {
                 next_key += 1;
             }
             if i % 7 == 0 {
-                q.enqueue(&mut engine, &[generation as u8, i as u8]).unwrap();
+                q.enqueue(&mut engine, &[generation as u8, i as u8])
+                    .unwrap();
             }
             if i % 11 == 0 && !q.is_empty(&mut engine).unwrap() {
                 q.ack(&mut engine).unwrap();

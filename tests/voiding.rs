@@ -89,18 +89,16 @@ fn lost_install_record_voids_trial_execution() {
     physical(&mut e, Y, "c-value");
     // E: blind write advancing S past what A executed against.
     let (e_id, _) = {
-        
-        e
-            .execute(
-                OpKind::Physical,
-                vec![],
-                vec![S],
-                Transform::new(
-                    builtin::CONST,
-                    builtin::encode_values(&[Value::from("changed")]),
-                ),
-            )
-            .unwrap()
+        e.execute(
+            OpKind::Physical,
+            vec![],
+            vec![S],
+            Transform::new(
+                builtin::CONST,
+                builtin::encode_values(&[Value::from("changed")]),
+            ),
+        )
+        .unwrap()
     };
 
     // Everything is on the stable log...
@@ -117,7 +115,10 @@ fn lost_install_record_voids_trial_execution() {
 
     let (store, wal) = e.crash(); // unforced install records are lost
     assert_eq!(store.peek(S).unwrap().value, Value::from("changed"));
-    assert!(store.peek(X).is_none(), "X installed unexposed: never flushed");
+    assert!(
+        store.peek(X).is_none(),
+        "X installed unexposed: never flushed"
+    );
 
     let (mut rec, out) = recover(
         store,
