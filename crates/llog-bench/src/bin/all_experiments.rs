@@ -40,6 +40,11 @@ fn main() {
         println!("== {name} ==");
         println!("{table}");
     }
+    let p = llog_bench::e11_sharding::Params::from_env();
+    let e11 = llog_bench::e11_sharding::run(&p);
+    println!("== E11 — sharded engines + group commit ==");
+    println!("{}", llog_bench::e11_sharding::scaling_table(&e11));
+    println!("{}", llog_bench::e11_sharding::batch_table(&e11));
     let ok = (1..=5u64).all(llog_bench::e6_checkpointing::idempotency_check);
     println!(
         "Theorem 2 idempotency: {}",

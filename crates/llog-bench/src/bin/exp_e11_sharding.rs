@@ -1,0 +1,45 @@
+//! E11: sharded execution and group commit (`llog-engine`).
+//!
+//! Writes `BENCH_e11.json` (override the path with `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI smoke runs.
+
+use llog_bench::e11_sharding::{batch_table, run, scaling_table, Params};
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "E11 — sharded engines + group commit: {} committers/shard x {} ops, \
+         {:?} simulated force latency",
+        p.committers_per_shard, p.ops_per_committer, p.force_latency
+    );
+    let report = run(&p);
+
+    println!(
+        "\nPart A — throughput vs shard count (group commit, batch {}):",
+        p.batch_ops
+    );
+    println!("{}", scaling_table(&report));
+    println!(
+        "speedup at 4 shards vs 1: {:.2}x (target > 2x)",
+        report.speedup_4x()
+    );
+
+    println!(
+        "\nPart B — commit policy tradeoff (1 shard, {} committers):",
+        p.committers_per_shard
+    );
+    println!("{}", batch_table(&report));
+    println!(
+        "force reduction, sync vs group batch 8: {:.2}x (target >= 4x)",
+        report.force_reduction_batch8()
+    );
+
+    let json = report.to_json();
+    println!("\n{json}");
+    let path = std::env::var("LLOG_BENCH_JSON").unwrap_or_else(|_| "BENCH_e11.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}

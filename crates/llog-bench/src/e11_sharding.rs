@@ -1,0 +1,467 @@
+//! E11 — sharded execution and group commit (`llog-engine`).
+//!
+//! The paper's write graph is per-engine state, so hash-partitioning the
+//! object space yields N independently recoverable engines (no cross-shard
+//! installation edges). Two measured claims ride on that:
+//!
+//! - **Part A (scaling)**: with a simulated stable-device force latency,
+//!   per-shard log devices overlap their waits, so committed throughput
+//!   scales with shard count even on one core — the latency, not the CPU,
+//!   is the bottleneck being parallelized.
+//! - **Part B (group commit)**: batching `Wal::force` across committers
+//!   divides the force count per committed operation by roughly the batch
+//!   size, at the price of a bounded commit-latency wait.
+//!
+//! The `exp_e11_sharding` binary prints both tables and writes the
+//! machine-readable `BENCH_e11.json` (path overridable via
+//! `LLOG_BENCH_JSON`); `LLOG_BENCH_FAST=1` shrinks the workload for CI.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use llog_engine::{CommitPolicy, GroupCommitPolicy, ShardedConfig, ShardedEngine};
+use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog_sim::Table;
+use llog_types::Value;
+
+/// Workload knobs shared by both parts.
+///
+/// The scaling part's `force_latency` must *dominate* the per-cycle CPU
+/// cost of waking a batch of committers (hundreds of microseconds on one
+/// core): the claim under test is that per-shard log **devices** overlap
+/// their waits, so the simulated device has to be the bottleneck, as it
+/// is for a real synchronous log write. The batch part instead measures
+/// force *counts*, which don't depend on the latency at all, so it uses a
+/// small one to keep the sync baseline quick.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Committer threads per shard.
+    pub committers_per_shard: usize,
+    /// Operations each committer executes (waiting out every ticket).
+    pub ops_per_committer: usize,
+    /// Simulated stable-device latency per log force (Part A, scaling).
+    pub force_latency: Duration,
+    /// Simulated force latency for the batch-size sweep (Part B).
+    pub batch_force_latency: Duration,
+    /// Group-commit time trigger.
+    pub max_delay: Duration,
+    /// Group-commit size trigger for the scaling part.
+    pub batch_ops: usize,
+}
+
+impl Params {
+    /// Full-size run (a few hundred milliseconds).
+    pub fn full() -> Params {
+        Params {
+            committers_per_shard: 8,
+            ops_per_committer: 25,
+            force_latency: Duration::from_millis(3),
+            batch_force_latency: Duration::from_micros(200),
+            max_delay: Duration::from_millis(25),
+            batch_ops: 8,
+        }
+    }
+
+    /// CI smoke run (tens of milliseconds).
+    pub fn fast() -> Params {
+        Params {
+            committers_per_shard: 8,
+            ops_per_committer: 8,
+            force_latency: Duration::from_millis(3),
+            batch_force_latency: Duration::from_micros(200),
+            max_delay: Duration::from_millis(25),
+            batch_ops: 8,
+        }
+    }
+
+    /// `fast()` when `LLOG_BENCH_FAST=1`, else `full()`.
+    pub fn from_env() -> Params {
+        let fast = std::env::var("LLOG_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if fast {
+            Params::fast()
+        } else {
+            Params::full()
+        }
+    }
+}
+
+/// One row of the Part A scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Total committed (acknowledged) operations.
+    pub ops: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed_ns: u64,
+    /// Total log forces across shards.
+    pub log_forces: u64,
+    /// Mean operations per batched force.
+    pub mean_batch: f64,
+}
+
+impl ScaleRow {
+    /// Committed operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+/// One row of the Part B batch-size sweep.
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Policy label (`sync` or `group<N>`).
+    pub policy: String,
+    /// Size trigger (0 for sync).
+    pub batch_ops: usize,
+    /// Total committed operations.
+    pub ops: u64,
+    /// Total log forces.
+    pub log_forces: u64,
+    /// Mean nanoseconds a committer waited for durability.
+    pub mean_wait_ns: f64,
+    /// Mean operations per batched force (0 for sync).
+    pub mean_batch: f64,
+}
+
+impl BatchRow {
+    /// Log forces per committed operation (the cost group commit cuts).
+    pub fn forces_per_op(&self) -> f64 {
+        self.log_forces as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Run the standard workload on `shards` shards under `commit`, returning
+/// `(ops, elapsed, snapshot)`. Every operation waits out its ticket, so
+/// `ops` counts *acknowledged* commits only.
+fn run_workload(
+    shards: usize,
+    commit: CommitPolicy,
+    force_latency: Duration,
+    p: &Params,
+) -> (u64, Duration, llog_engine::ShardedSnapshot) {
+    let registry = TransformRegistry::with_builtins();
+    let config = ShardedConfig {
+        shards,
+        commit,
+        force_latency,
+        ..ShardedConfig::default()
+    };
+    let engine = ShardedEngine::new(config, &registry);
+    let committers = p.committers_per_shard;
+    let n_ops = p.ops_per_committer;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..shards {
+            let objs = engine.router().objects_for_shard(s, committers);
+            for &x in objs.iter().take(committers) {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for i in 0..n_ops {
+                        let ticket = engine
+                            .execute(
+                                OpKind::Physical,
+                                vec![],
+                                vec![x],
+                                Transform::new(
+                                    builtin::CONST,
+                                    builtin::encode_values(&[Value::from_slice(
+                                        &(i as u64).to_le_bytes(),
+                                    )]),
+                                ),
+                            )
+                            .expect("shard-local op");
+                        assert!(ticket.wait(), "no crash here: every commit is acked");
+                    }
+                });
+            }
+        }
+    });
+    let elapsed = start.elapsed();
+    let snap = engine.metrics_snapshot();
+    drop(engine);
+    ((shards * committers * n_ops) as u64, elapsed, snap)
+}
+
+/// Part A: throughput vs shard count (group commit, fixed batch policy).
+pub fn run_scale(shards: usize, p: &Params) -> ScaleRow {
+    let policy = CommitPolicy::Group(GroupCommitPolicy {
+        batch_ops: p.batch_ops,
+        max_delay: p.max_delay,
+    });
+    let (ops, elapsed, snap) = run_workload(shards, policy, p.force_latency, p);
+    ScaleRow {
+        shards,
+        ops,
+        elapsed_ns: elapsed.as_nanos() as u64,
+        log_forces: snap.aggregate.log_forces,
+        mean_batch: snap.group_commit.mean_batch(),
+    }
+}
+
+/// Part B: one shard, `sync` vs group commit at `batch_ops` (0 = sync).
+pub fn run_batch(batch_ops: usize, p: &Params) -> BatchRow {
+    let (policy, label) = if batch_ops == 0 {
+        (CommitPolicy::Sync, "sync".to_string())
+    } else {
+        (
+            CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops,
+                max_delay: p.max_delay,
+            }),
+            format!("group{batch_ops}"),
+        )
+    };
+    let (ops, _elapsed, snap) = run_workload(1, policy, p.batch_force_latency, p);
+    BatchRow {
+        policy: label,
+        batch_ops,
+        ops,
+        log_forces: snap.aggregate.log_forces,
+        mean_wait_ns: snap.group_commit.mean_wait_ns(),
+        mean_batch: snap.group_commit.mean_batch(),
+    }
+}
+
+/// Everything the binary reports.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Part A rows (1, 2, 4 shards).
+    pub scaling: Vec<ScaleRow>,
+    /// Part B rows (sync, group 2/4/8).
+    pub batches: Vec<BatchRow>,
+}
+
+impl Report {
+    /// ops/sec at 4 shards over ops/sec at 1 shard.
+    pub fn speedup_4x(&self) -> f64 {
+        let at = |n: usize| {
+            self.scaling
+                .iter()
+                .find(|r| r.shards == n)
+                .map(|r| r.ops_per_sec())
+                .unwrap_or(0.0)
+        };
+        let base = at(1);
+        if base == 0.0 {
+            0.0
+        } else {
+            at(4) / base
+        }
+    }
+
+    /// Sync forces/op over group-commit(batch 8) forces/op.
+    pub fn force_reduction_batch8(&self) -> f64 {
+        let sync = self
+            .batches
+            .iter()
+            .find(|r| r.batch_ops == 0)
+            .map(BatchRow::forces_per_op)
+            .unwrap_or(0.0);
+        let g8 = self
+            .batches
+            .iter()
+            .find(|r| r.batch_ops == 8)
+            .map(BatchRow::forces_per_op)
+            .unwrap_or(f64::INFINITY);
+        if g8 == 0.0 {
+            f64::INFINITY
+        } else {
+            sync / g8
+        }
+    }
+
+    /// The machine-readable document behind `BENCH_e11.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"experiment\":\"e11_sharding\",\"scaling\":[");
+        for (i, r) in self.scaling.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"shards\":{},\"ops\":{},\"elapsed_ns\":{},\"ops_per_sec\":{:.1},\
+                 \"log_forces\":{},\"mean_batch\":{:.2}}}",
+                r.shards,
+                r.ops,
+                r.elapsed_ns,
+                r.ops_per_sec(),
+                r.log_forces,
+                r.mean_batch
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"speedup_4x\":{:.2},\"batch_tradeoff\":[",
+            self.speedup_4x()
+        );
+        for (i, r) in self.batches.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"policy\":{:?},\"batch_ops\":{},\"ops\":{},\"log_forces\":{},\
+                 \"forces_per_op\":{:.3},\"mean_wait_ns\":{:.1},\"mean_batch\":{:.2}}}",
+                r.policy,
+                r.batch_ops,
+                r.ops,
+                r.log_forces,
+                r.forces_per_op(),
+                r.mean_wait_ns,
+                r.mean_batch
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"force_reduction_batch8\":{:.2}}}",
+            self.force_reduction_batch8()
+        );
+        s
+    }
+}
+
+/// Run both parts with `p`.
+pub fn run(p: &Params) -> Report {
+    let scaling = [1usize, 2, 4].iter().map(|&n| run_scale(n, p)).collect();
+    let batches = [0usize, 2, 4, 8].iter().map(|&b| run_batch(b, p)).collect();
+    Report { scaling, batches }
+}
+
+/// Part A as a printable table.
+pub fn scaling_table(report: &Report) -> Table {
+    let mut t = Table::new(vec![
+        "shards",
+        "acked ops",
+        "elapsed ms",
+        "ops/sec",
+        "log forces",
+        "mean batch",
+    ]);
+    for r in &report.scaling {
+        t.row(vec![
+            format!("{}", r.shards),
+            format!("{}", r.ops),
+            format!("{:.1}", r.elapsed_ns as f64 / 1e6),
+            format!("{:.0}", r.ops_per_sec()),
+            format!("{}", r.log_forces),
+            format!("{:.1}", r.mean_batch),
+        ]);
+    }
+    t
+}
+
+/// Part B as a printable table.
+pub fn batch_table(report: &Report) -> Table {
+    let mut t = Table::new(vec![
+        "commit policy",
+        "acked ops",
+        "log forces",
+        "forces/op",
+        "mean commit wait",
+        "mean batch",
+    ]);
+    for r in &report.batches {
+        t.row(vec![
+            r.policy.clone(),
+            format!("{}", r.ops),
+            format!("{}", r.log_forces),
+            format!("{:.3}", r.forces_per_op()),
+            format!("{:.0} us", r.mean_wait_ns / 1e3),
+            format!("{:.1}", r.mean_batch),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            committers_per_shard: 8,
+            ops_per_committer: 5,
+            force_latency: Duration::from_millis(6),
+            batch_force_latency: Duration::from_micros(200),
+            max_delay: Duration::from_millis(25),
+            batch_ops: 8,
+        }
+    }
+
+    #[test]
+    fn four_shards_beat_one() {
+        // Unit tests run unoptimized, so the per-cycle CPU overhead is
+        // large; a fat simulated device latency keeps the device (the
+        // thing being parallelized) the bottleneck. Fewer committers cut
+        // the wakeup chain the single CPU must serialize per cycle.
+        let p = Params {
+            committers_per_shard: 4,
+            batch_ops: 4,
+            ..tiny()
+        };
+        let one = run_scale(1, &p);
+        let four = run_scale(4, &p);
+        let speedup = four.ops_per_sec() / one.ops_per_sec();
+        assert!(
+            speedup > 2.0,
+            "4 shards gave only {speedup:.2}x over 1 shard \
+             ({:.0} vs {:.0} ops/sec)",
+            four.ops_per_sec(),
+            one.ops_per_sec()
+        );
+    }
+
+    #[test]
+    fn group_commit_cuts_forces_at_least_4x() {
+        let p = tiny();
+        let sync = run_batch(0, &p);
+        let g8 = run_batch(8, &p);
+        // Sync is exactly one force per op by construction.
+        assert_eq!(sync.log_forces, sync.ops);
+        let reduction = sync.forces_per_op() / g8.forces_per_op();
+        assert!(
+            reduction >= 4.0,
+            "batch-8 group commit reduced forces only {reduction:.2}x \
+             ({} forces for {} ops)",
+            g8.log_forces,
+            g8.ops
+        );
+    }
+
+    #[test]
+    fn json_carries_the_acceptance_fields() {
+        let report = Report {
+            scaling: vec![ScaleRow {
+                shards: 1,
+                ops: 10,
+                elapsed_ns: 1_000_000,
+                log_forces: 2,
+                mean_batch: 5.0,
+            }],
+            batches: vec![BatchRow {
+                policy: "sync".into(),
+                batch_ops: 0,
+                ops: 10,
+                log_forces: 10,
+                mean_wait_ns: 0.0,
+                mean_batch: 0.0,
+            }],
+        };
+        let json = report.to_json();
+        for key in [
+            "\"experiment\":\"e11_sharding\"",
+            "\"scaling\":[",
+            "\"speedup_4x\":",
+            "\"batch_tradeoff\":[",
+            "\"force_reduction_batch8\":",
+            "\"ops_per_sec\":",
+            "\"forces_per_op\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! llogtool demo <dir> [ops] [seed]   run a workload and crash mid-flight
+//! llogtool shard-demo <dir> [shards] [ops] [seed]
+//!                                    sharded run + group commit + parallel recovery
 //! llogtool dump <dir>                print every stable log record
 //! llogtool stats <dir>               store/log statistics
 //! llogtool recover <dir> [policy]    recover (vsi|rsi), install, save back
@@ -15,14 +17,16 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use llog_cli::{
-    cmd_backup, cmd_demo, cmd_dump, cmd_media_recover, cmd_recover, cmd_stats, cmd_verify,
+    cmd_backup, cmd_demo, cmd_dump, cmd_media_recover, cmd_recover, cmd_shard_demo, cmd_stats,
+    cmd_verify,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: llogtool <demo|dump|stats|recover|verify|backup|media-recover> <dir> [args]\n\
+        "usage: llogtool <demo|shard-demo|dump|stats|recover|verify|backup|media-recover> <dir> [args]\n\
          \n\
          demo <dir> [ops=200] [seed=42]   run a workload, crash, save the image\n\
+         shard-demo <dir> [n=4] [ops] [seed] sharded run, group commit, crash, parallel recovery\n\
          dump <dir>                       print the stable log records\n\
          stats <dir>                      store and log statistics\n\
          recover <dir> [vsi|rsi]          recover, install everything, save back\n\
@@ -44,6 +48,12 @@ fn main() -> ExitCode {
             let ops = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
             let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
             cmd_demo(&dir, ops, seed)
+        }
+        "shard-demo" => {
+            let shards = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let ops = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200);
+            let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(42);
+            cmd_shard_demo(&dir, shards, ops, seed)
         }
         "dump" => cmd_dump(&dir),
         "stats" => cmd_stats(&dir),

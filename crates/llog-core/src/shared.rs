@@ -6,9 +6,16 @@
 //! around the whole engine, with a background cache-manager thread draining
 //! the write graph (the "second reason" for flushing in §3: shortening
 //! recovery by keeping the uninstalled set small).
+//!
+//! The installer parks on a [`WorkSignal`] when idle — it burns no CPU
+//! between operations — and is woken by [`SharedEngine::execute`]. The same
+//! primitive drives the per-shard installers and log flushers of
+//! `llog-engine`.
 
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use llog_ops::{OpKind, Transform, TransformRegistry};
 use llog_storage::StableStore;
@@ -22,37 +29,134 @@ use crate::cache::{Engine, EngineConfig};
 /// The engine's invariants are re-validated by recovery (and by
 /// `check_consistency` in audit mode), so a panic on another thread must
 /// not wedge every surviving handle — treat poison as a plain lock.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A park/wake primitive for background workers (installers, log flushers).
+///
+/// Producers call [`notify`](WorkSignal::notify) after publishing work;
+/// workers snapshot the [`epoch`](WorkSignal::epoch), look for work, and if
+/// none is found park in [`wait_past`](WorkSignal::wait_past) until the
+/// epoch moves (or [`stop`](WorkSignal::stop) is raised). The epoch makes
+/// the park race-free: a notification between the snapshot and the wait is
+/// never lost, because the epoch has already moved past the snapshot.
+#[derive(Debug, Default)]
+pub struct WorkSignal {
+    state: Mutex<SignalState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SignalState {
+    epoch: u64,
+    stop: bool,
+}
+
+impl WorkSignal {
+    /// Create a new instance.
+    pub fn new() -> WorkSignal {
+        WorkSignal::default()
+    }
+
+    /// Publish work: advance the epoch and wake every parked worker.
+    pub fn notify(&self) {
+        lock(&self.state).epoch += 1;
+        self.cv.notify_all();
+    }
+
+    /// Raise the stop flag and wake every parked worker.
+    pub fn stop(&self) {
+        lock(&self.state).stop = true;
+        self.cv.notify_all();
+    }
+
+    /// Has [`stop`](WorkSignal::stop) been raised?
+    pub fn is_stopped(&self) -> bool {
+        lock(&self.state).stop
+    }
+
+    /// Current epoch (snapshot before scanning for work).
+    pub fn epoch(&self) -> u64 {
+        lock(&self.state).epoch
+    }
+
+    /// Park until the epoch moves past `seen` or stop is raised. Returns
+    /// `(current_epoch, stopped)`.
+    pub fn wait_past(&self, seen: u64) -> (u64, bool) {
+        let mut st = lock(&self.state);
+        while st.epoch == seen && !st.stop {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        (st.epoch, st.stop)
+    }
+
+    /// Like [`wait_past`](WorkSignal::wait_past) but gives up after
+    /// `timeout`: park until the epoch moves past `seen`, stop is raised,
+    /// or the timeout elapses. Returns `(current_epoch, stopped)` either
+    /// way — periodic workers (e.g. a checkpoint coordinator) use the
+    /// timeout as their tick.
+    pub fn wait_past_timeout(&self, seen: u64, timeout: Duration) -> (u64, bool) {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.state);
+        while st.epoch == seen && !st.stop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+        (st.epoch, st.stop)
+    }
+}
+
+/// The shared parts behind every [`SharedEngine`] clone.
+struct Inner {
+    engine: Mutex<Engine>,
+    /// Wakes parked installers when new operations arrive (or on stop).
+    signal: WorkSignal,
+    /// Spawned installer threads, joined by [`SharedEngine::crash`].
+    installers: Mutex<Vec<InstallerSlot>>,
+}
+
+struct InstallerSlot {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
 }
 
 /// A cloneable, thread-safe handle to an [`Engine`].
 #[derive(Clone)]
 pub struct SharedEngine {
-    inner: Arc<Mutex<Engine>>,
+    inner: Arc<Inner>,
 }
 
 impl SharedEngine {
     /// Create a new instance.
     pub fn new(config: EngineConfig, registry: TransformRegistry) -> SharedEngine {
-        SharedEngine {
-            inner: Arc::new(Mutex::new(Engine::new(config, registry))),
-        }
+        SharedEngine::from_engine(Engine::new(config, registry))
     }
 
     /// Wrap an existing engine (e.g. one returned by recovery).
     pub fn from_engine(engine: Engine) -> SharedEngine {
         SharedEngine {
-            inner: Arc::new(Mutex::new(engine)),
+            inner: Arc::new(Inner {
+                engine: Mutex::new(engine),
+                signal: WorkSignal::new(),
+                installers: Mutex::new(Vec::new()),
+            }),
         }
     }
 
     /// Run a closure with exclusive access to the engine.
     pub fn with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
-        f(&mut lock(&self.inner))
+        f(&mut lock(&self.inner.engine))
     }
 
-    /// Execute one operation under the lock.
+    /// Execute one operation under the lock and wake parked installers.
     pub fn execute(
         &self,
         kind: OpKind,
@@ -60,44 +164,71 @@ impl SharedEngine {
         writes: Vec<ObjectId>,
         transform: Transform,
     ) -> Result<(OpId, Lsn)> {
-        lock(&self.inner).execute(kind, reads, writes, transform)
+        let out = lock(&self.inner.engine).execute(kind, reads, writes, transform);
+        if out.is_ok() {
+            self.inner.signal.notify();
+        }
+        out
     }
 
     /// The engine's current view of an object.
     pub fn read_value(&self, x: ObjectId) -> Value {
-        lock(&self.inner).read_value(x)
+        lock(&self.inner.engine).read_value(x)
     }
 
     /// Install at most one write-graph node; true if something installed.
     pub fn install_one(&self) -> Result<bool> {
-        lock(&self.inner).install_one()
+        lock(&self.inner.engine).install_one()
     }
 
     /// Drain the write graph completely.
     pub fn install_all(&self) -> Result<()> {
-        lock(&self.inner).install_all()
+        lock(&self.inner.engine).install_all()
     }
 
     /// Write a checkpoint (optionally truncating the log).
     pub fn checkpoint(&self, truncate: bool) -> Result<Lsn> {
-        lock(&self.inner).checkpoint(truncate)
+        lock(&self.inner.engine).checkpoint(truncate)
     }
 
     /// Force the WAL to stable storage.
     pub fn force_log(&self) {
-        lock(&self.inner).wal_mut().force();
+        lock(&self.inner.engine).wal_mut().force();
     }
 
     /// Uninstalled operation count (for pacing background work).
     pub fn uninstalled_count(&self) -> usize {
-        lock(&self.inner).uninstalled_count()
+        lock(&self.inner.engine).uninstalled_count()
     }
 
-    /// Crash: extract the surviving parts. Fails if other handles still
-    /// hold the engine.
+    /// Stop and join every installer this handle's engine spawned. Their
+    /// engine clones are released in the process.
+    fn stop_installers(&self) {
+        let slots: Vec<InstallerSlot> = lock(&self.inner.installers).drain(..).collect();
+        for slot in &slots {
+            slot.stop.store(true, Ordering::SeqCst);
+        }
+        self.inner.signal.notify();
+        for slot in slots {
+            let _ = slot.thread.join();
+        }
+    }
+
+    /// Crash: stop-and-join any spawned installers (they hold engine clones
+    /// and would otherwise pin the engine forever), then extract the
+    /// surviving parts.
+    ///
+    /// # Errors
+    ///
+    /// Still fails — returning the handle unchanged — when *other
+    /// user-held* `SharedEngine` clones are alive: a crash cannot
+    /// confiscate an engine another thread may be about to use. Drop those
+    /// clones (or join the threads owning them) and retry.
     pub fn crash(self) -> std::result::Result<(StableStore, Wal), SharedEngine> {
+        self.stop_installers();
         match Arc::try_unwrap(self.inner) {
-            Ok(mutex) => Ok(mutex
+            Ok(inner) => Ok(inner
+                .engine
                 .into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .crash()),
@@ -107,39 +238,66 @@ impl SharedEngine {
 
     /// Spawn a background installer that drains the write graph whenever
     /// more than `high_water` operations are uninstalled, until
-    /// [`InstallerHandle::stop`] is called.
+    /// [`InstallerHandle::stop`] is called (or the engine [`crash`]es —
+    /// `crash` stops and joins spawned installers itself).
+    ///
+    /// The installer *parks* when idle: it waits on the engine's
+    /// [`WorkSignal`] and is woken by [`execute`](SharedEngine::execute),
+    /// burning no CPU between operations.
+    ///
+    /// [`crash`]: SharedEngine::crash
     pub fn spawn_installer(&self, high_water: usize) -> InstallerHandle {
         let engine = self.clone();
-        let stop = Arc::new(Mutex::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let thread = std::thread::spawn(move || loop {
-            if *lock(&stop2) {
-                return;
-            }
-            let worked = {
-                let mut e = lock(&engine.inner);
-                if e.uninstalled_count() > high_water {
-                    e.install_one().unwrap_or(false)
-                } else {
-                    false
+        let thread = std::thread::spawn(move || {
+            let inner = &engine.inner;
+            let mut seen = inner.signal.epoch();
+            loop {
+                if stop2.load(Ordering::SeqCst) || inner.signal.is_stopped() {
+                    return;
                 }
-            };
-            if !worked {
-                std::thread::yield_now();
+                let worked = {
+                    let mut e = lock(&inner.engine);
+                    if e.uninstalled_count() > high_water {
+                        e.install_one().unwrap_or(false)
+                    } else {
+                        false
+                    }
+                };
+                if worked {
+                    continue;
+                }
+                // Idle: park until execute()/stop moves the signal. The
+                // epoch snapshot makes a concurrent notify impossible to
+                // miss.
+                let (epoch, stopped) = inner.signal.wait_past(seen);
+                seen = epoch;
+                if stopped || stop2.load(Ordering::SeqCst) {
+                    return;
+                }
             }
+        });
+        lock(&self.inner.installers).push(InstallerSlot {
+            stop: stop.clone(),
+            thread,
         });
         InstallerHandle {
             stop,
-            thread: Some(thread),
+            inner: Arc::downgrade(&self.inner),
         }
     }
 }
 
 /// Handle to a background installer thread; stops it on
 /// [`stop`](InstallerHandle::stop) or drop.
+///
+/// The handle holds only a *weak* reference to the engine, so forgetting to
+/// stop it never blocks [`SharedEngine::crash`]; conversely, stopping after
+/// a crash already joined the thread is a no-op.
 pub struct InstallerHandle {
-    stop: Arc<Mutex<bool>>,
-    thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    inner: Weak<Inner>,
 }
 
 impl InstallerHandle {
@@ -149,9 +307,20 @@ impl InstallerHandle {
     }
 
     fn shutdown(&mut self) {
-        *lock(&self.stop) = true;
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
+        self.stop.store(true, Ordering::SeqCst);
+        let Some(inner) = self.inner.upgrade() else {
+            return; // engine crashed: thread already joined
+        };
+        inner.signal.notify();
+        let slot = {
+            let mut slots = lock(&inner.installers);
+            slots
+                .iter()
+                .position(|s| Arc::ptr_eq(&s.stop, &self.stop))
+                .map(|i| slots.remove(i))
+        };
+        if let Some(slot) = slot {
+            let _ = slot.thread.join();
         }
     }
 }
@@ -258,6 +427,31 @@ mod tests {
     }
 
     #[test]
+    fn parked_installer_wakes_for_late_work() {
+        // Regression test for the condvar rework: an installer that went
+        // idle (parked) must be woken by later execute() calls.
+        let e = shared();
+        let installer = e.spawn_installer(0);
+        // Let the installer reach its parked state with nothing to do.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        for i in 0..50 {
+            physical(&e, i, "late");
+        }
+        for _ in 0..1000 {
+            if e.uninstalled_count() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(
+            e.uninstalled_count(),
+            0,
+            "parked installer never woke for late work"
+        );
+        installer.stop();
+    }
+
+    #[test]
     fn crash_with_outstanding_handle_is_rejected() {
         let e = shared();
         let extra = e.clone();
@@ -267,5 +461,56 @@ mod tests {
         };
         drop(extra);
         assert!(e.crash().is_ok());
+    }
+
+    #[test]
+    fn crash_joins_live_installers() {
+        // The old footgun: a spawned installer held an engine clone, so
+        // crash() failed unless the caller remembered to stop it first.
+        let e = shared();
+        let _installer = e.spawn_installer(10);
+        let _second = e.spawn_installer(20);
+        for i in 0..30 {
+            physical(&e, i, "v");
+        }
+        e.force_log();
+        let (store, _wal) = e
+            .crash()
+            .ok()
+            .expect("crash must stop-and-join spawned installers");
+        // Installer handles outlive the crash; stopping them is a no-op.
+        drop(_installer);
+        drop(_second);
+        drop(store);
+    }
+
+    #[test]
+    fn installer_stop_after_crash_is_noop() {
+        let e = shared();
+        let installer = e.spawn_installer(5);
+        physical(&e, 1, "v");
+        e.force_log();
+        assert!(e.crash().is_ok());
+        installer.stop(); // must not hang or panic
+    }
+
+    #[test]
+    fn work_signal_epoch_prevents_lost_wakeups() {
+        let sig = Arc::new(WorkSignal::new());
+        let seen = sig.epoch();
+        // Notify *before* the waiter parks: the epoch moved, so wait_past
+        // returns immediately instead of sleeping forever.
+        sig.notify();
+        let (epoch, stopped) = sig.wait_past(seen);
+        assert!(epoch > seen);
+        assert!(!stopped);
+        // Stop wakes a parked waiter.
+        let sig2 = sig.clone();
+        let t = std::thread::spawn(move || sig2.wait_past(sig2.epoch()));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sig.stop();
+        let (_, stopped) = t.join().unwrap();
+        assert!(stopped);
+        assert!(sig.is_stopped());
     }
 }

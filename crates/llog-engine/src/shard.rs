@@ -1,0 +1,430 @@
+//! One shard: an engine, its group-commit state, and its durability
+//! watermark.
+//!
+//! The durability protocol is a classic group commit. `execute` appends
+//! the operation to the shard's WAL under the shard lock and records a
+//! *durability target* — the WAL end LSN right after the append. The
+//! shard's flusher thread batches `Wal::force` calls; after each force it
+//! advances the shard's durable-LSN watermark to the forced LSN and wakes
+//! every [`CommitTicket`] waiter whose target the watermark now covers.
+//! An operation is **acknowledged** exactly when its ticket's target is at
+//! or below the watermark — and only acknowledged operations are promised
+//! to survive a crash.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use llog_core::shared::lock;
+use llog_core::shared::WorkSignal;
+use llog_core::Engine;
+use llog_types::{Lsn, OpId};
+
+use crate::snapshot::GroupCommitSnapshot;
+
+/// How a shard's background threads are asked to exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StopMode {
+    /// Orderly shutdown: the flusher forces any leftover batch (and
+    /// advances the watermark over it) before exiting.
+    Drain,
+    /// Simulated crash: exit immediately; pending operations stay
+    /// unforced, exactly as a power failure would leave them.
+    Abandon,
+}
+
+/// Group-commit bookkeeping, guarded by `Shard::gc`.
+#[derive(Debug, Default)]
+pub(crate) struct GcState {
+    /// Operations appended but not yet covered by a force.
+    pub pending: usize,
+    /// Arrival time of the oldest pending operation (drives `max_delay`).
+    pub oldest: Option<Instant>,
+    /// Set once by shutdown/crash; the flusher honours it at the next
+    /// wakeup.
+    pub stop: Option<StopMode>,
+}
+
+/// Monotonic event counters for one shard's commit pipeline.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    /// Batched forces performed by the flusher.
+    pub batches: AtomicU64,
+    /// Operations covered by those batched forces.
+    pub batched_ops: AtomicU64,
+    /// Largest single batch.
+    pub max_batch: AtomicU64,
+    /// Synchronous (one-op) commits under `CommitPolicy::Sync`.
+    pub sync_commits: AtomicU64,
+    /// Completed `CommitTicket::wait` calls.
+    pub waits: AtomicU64,
+    /// Total nanoseconds those waits spent blocked on durability.
+    pub flush_wait_ns: AtomicU64,
+    /// Times `execute` parked because the uninstalled window was full.
+    pub backpressure_waits: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn snapshot(&self) -> GroupCommitSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        GroupCommitSnapshot {
+            batches: g(&self.batches),
+            batched_ops: g(&self.batched_ops),
+            max_batch: g(&self.max_batch),
+            sync_commits: g(&self.sync_commits),
+            waits: g(&self.waits),
+            flush_wait_ns: g(&self.flush_wait_ns),
+            backpressure_waits: g(&self.backpressure_waits),
+        }
+    }
+}
+
+/// One partition of the object space: an engine plus its commit pipeline.
+pub(crate) struct Shard {
+    /// Shard index (for diagnostics).
+    pub index: usize,
+    /// The engine, or `None` once crashed/shut down. `Option` lets
+    /// `ShardedEngine::crash` *take* the engine even while outstanding
+    /// [`CommitTicket`]s still hold `Arc<Shard>` clones.
+    pub engine: Mutex<Option<Engine>>,
+    /// Group-commit state.
+    pub gc: Mutex<GcState>,
+    /// Wakes the flusher when pending work (or a stop request) appears.
+    pub gc_cv: Condvar,
+    /// Durable-LSN watermark: every LSN strictly below it is on stable
+    /// storage.
+    durable: Mutex<Lsn>,
+    /// Wakes ticket waiters when the watermark advances (or on death).
+    durable_cv: Condvar,
+    /// Raised by crash: parked ticket waiters wake and report
+    /// not-durable instead of hanging on a watermark that will never
+    /// advance.
+    dead: AtomicBool,
+    /// Backpressure epoch: bumped by the installer after every install so
+    /// parked executors re-check the uninstalled window.
+    bp_epoch: Mutex<u64>,
+    /// Wakes executors parked on backpressure.
+    bp_cv: Condvar,
+    /// Wakes the shard's parked installer (new work / stop).
+    pub signal: WorkSignal,
+    /// Commit-pipeline counters.
+    pub counters: ShardCounters,
+}
+
+impl Shard {
+    /// Wrap `engine` as shard `index`. The watermark starts at the WAL's
+    /// already-forced LSN so operations recovered from the log are born
+    /// durable.
+    pub fn new(index: usize, engine: Engine) -> Shard {
+        let forced = engine.wal().forced_lsn();
+        Shard {
+            index,
+            engine: Mutex::new(Some(engine)),
+            gc: Mutex::new(GcState::default()),
+            gc_cv: Condvar::new(),
+            durable: Mutex::new(forced),
+            durable_cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+            bp_epoch: Mutex::new(0),
+            bp_cv: Condvar::new(),
+            signal: WorkSignal::new(),
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// The current durable-LSN watermark.
+    pub fn durable_lsn(&self) -> Lsn {
+        *lock(&self.durable)
+    }
+
+    /// Advance the watermark to `to` (monotonic) and wake ticket waiters.
+    pub fn advance_durable(&self, to: Lsn) {
+        let mut d = lock(&self.durable);
+        if to > *d {
+            *d = to;
+            self.durable_cv.notify_all();
+        }
+    }
+
+    /// Mark the shard dead (crashed) and wake everything that could be
+    /// parked on it. Holding each lock while notifying makes the wakeups
+    /// race-free against waiters between their check and their park.
+    pub fn mark_dead(&self) {
+        {
+            let _d = lock(&self.durable);
+            self.dead.store(true, Ordering::SeqCst);
+            self.durable_cv.notify_all();
+        }
+        {
+            let _e = lock(&self.bp_epoch);
+            self.bp_cv.notify_all();
+        }
+    }
+
+    /// Has the shard crashed?
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Current backpressure epoch (snapshot before parking).
+    pub fn bp_epoch(&self) -> u64 {
+        *lock(&self.bp_epoch)
+    }
+
+    /// Bump the backpressure epoch: an install freed window space.
+    pub fn note_installed(&self) {
+        let mut e = lock(&self.bp_epoch);
+        *e += 1;
+        self.bp_cv.notify_all();
+    }
+
+    /// Park until the backpressure epoch moves past `seen`, the shard
+    /// dies, or `timeout` elapses (the timeout bounds the worst case if
+    /// installs race ahead of the epoch snapshot).
+    pub fn wait_backpressure(&self, seen: u64, timeout: Duration) {
+        let e = lock(&self.bp_epoch);
+        if *e != seen || self.is_dead() {
+            return;
+        }
+        let _unused = self
+            .bp_cv
+            .wait_timeout(e, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+
+    /// Register one appended-but-unforced operation and wake the flusher.
+    pub fn enqueue_commit(&self) {
+        let mut gc = lock(&self.gc);
+        gc.pending += 1;
+        if gc.oldest.is_none() {
+            gc.oldest = Some(Instant::now());
+        }
+        drop(gc);
+        self.gc_cv.notify_all();
+    }
+
+    /// Ask the flusher (and installer) to exit.
+    pub fn request_stop(&self, mode: StopMode) {
+        {
+            let mut gc = lock(&self.gc);
+            // A crash must not be downgraded to a drain.
+            if gc.stop != Some(StopMode::Abandon) {
+                gc.stop = Some(mode);
+            }
+        }
+        self.gc_cv.notify_all();
+        self.signal.stop();
+        if mode == StopMode::Abandon {
+            self.mark_dead();
+        }
+    }
+
+    /// Force the shard's WAL once and advance the watermark — the
+    /// single-force path used by checkpoints and explicit `force_shard`.
+    /// Returns `false` if the engine is gone.
+    pub fn force_now(&self) -> bool {
+        let forced = {
+            let mut g = lock(&self.engine);
+            let Some(e) = g.as_mut() else {
+                return false;
+            };
+            e.wal_mut().force();
+            e.wal().forced_lsn()
+        };
+        self.advance_durable(forced);
+        true
+    }
+}
+
+/// The per-shard log-flusher thread: batch `Wal::force` on a size/time
+/// policy, then publish durability.
+///
+/// `force_latency` models the stable device's synchronous write time; the
+/// sleep happens *outside* every lock, so concurrent shards overlap their
+/// device waits — the physical basis of multi-shard throughput scaling.
+pub(crate) fn flusher_loop(
+    shard: &Shard,
+    batch_ops: usize,
+    max_delay: Duration,
+    force_latency: Duration,
+) {
+    let batch_ops = batch_ops.max(1);
+    loop {
+        // Phase 1: wait for a trigger (batch full, oldest op too old, or
+        // stop).
+        let batch = {
+            let mut gc = lock(&shard.gc);
+            loop {
+                match gc.stop {
+                    Some(StopMode::Abandon) => return,
+                    Some(StopMode::Drain) if gc.pending == 0 => return,
+                    Some(StopMode::Drain) => break,
+                    None => {}
+                }
+                if gc.pending >= batch_ops {
+                    break;
+                }
+                if gc.pending > 0 {
+                    let waited = gc.oldest.map(|t| t.elapsed()).unwrap_or_default();
+                    if waited >= max_delay {
+                        break;
+                    }
+                    let (g, _) = shard
+                        .gc_cv
+                        .wait_timeout(gc, max_delay - waited)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    gc = g;
+                } else {
+                    gc = shard.gc_cv.wait(gc).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            let n = gc.pending;
+            gc.pending = 0;
+            gc.oldest = None;
+            n
+        };
+
+        // Phase 2: one force covers the whole batch (and anything that
+        // slipped in after the pending count was captured — the force
+        // writes the entire buffered tail, so over-coverage is safe).
+        let forced = {
+            let mut g = lock(&shard.engine);
+            let Some(e) = g.as_mut() else {
+                return; // crashed underneath us
+            };
+            e.wal_mut().force();
+            e.wal().forced_lsn()
+        };
+
+        // Phase 3: the device write is in flight; new appends may buffer
+        // meanwhile (no lock held).
+        if !force_latency.is_zero() {
+            std::thread::sleep(force_latency);
+        }
+
+        // Phase 4: publish durability and account the batch.
+        shard.advance_durable(forced);
+        let c = &shard.counters;
+        c.batches.fetch_add(1, Ordering::Relaxed);
+        c.batched_ops.fetch_add(batch as u64, Ordering::Relaxed);
+        c.max_batch.fetch_max(batch as u64, Ordering::Relaxed);
+    }
+}
+
+/// The per-shard background installer: drains the write graph above a
+/// high-water mark, parks on the shard's [`WorkSignal`] when idle, and
+/// bumps the backpressure epoch after every install.
+pub(crate) fn installer_loop(shard: &Shard, high_water: usize) {
+    let mut seen = shard.signal.epoch();
+    loop {
+        if shard.signal.is_stopped() {
+            return;
+        }
+        let worked = {
+            let mut g = lock(&shard.engine);
+            match g.as_mut() {
+                None => return,
+                Some(e) if e.uninstalled_count() > high_water => e.install_one().unwrap_or(false),
+                Some(_) => false,
+            }
+        };
+        if worked {
+            shard.note_installed();
+            continue;
+        }
+        let (epoch, stopped) = shard.signal.wait_past(seen);
+        seen = epoch;
+        if stopped {
+            return;
+        }
+    }
+}
+
+/// Receipt for one executed operation; redeemable for durability.
+///
+/// The ticket is handed back by [`ShardedEngine::execute`] *before* the
+/// operation is on stable storage (under [`CommitPolicy::Group`]). The
+/// caller may:
+///
+/// - [`wait`](CommitTicket::wait) — block until the shard's flusher has
+///   forced the operation's log record (group commit), or
+/// - [`is_durable`](CommitTicket::is_durable) — poll the watermark, e.g.
+///   to batch application-level acknowledgements.
+///
+/// Only a ticket whose target the durable watermark covers is
+/// *acknowledged*; everything else may legitimately vanish in a crash.
+///
+/// [`ShardedEngine::execute`]: crate::ShardedEngine::execute
+/// [`CommitPolicy::Group`]: crate::CommitPolicy::Group
+pub struct CommitTicket {
+    pub(crate) shard: Arc<Shard>,
+    pub(crate) shard_index: usize,
+    pub(crate) op: OpId,
+    pub(crate) lsn: Lsn,
+    pub(crate) target: Lsn,
+}
+
+impl CommitTicket {
+    /// The executed operation's id.
+    pub fn op(&self) -> OpId {
+        self.op
+    }
+
+    /// The operation's log sequence number (its lSI).
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// The shard the operation ran on.
+    pub fn shard(&self) -> usize {
+        self.shard_index
+    }
+
+    /// The durability target: the operation is stable once the shard's
+    /// durable watermark reaches this LSN.
+    pub fn target(&self) -> Lsn {
+        self.target
+    }
+
+    /// Is the operation on stable storage (covered by the watermark)?
+    pub fn is_durable(&self) -> bool {
+        self.shard.durable_lsn() >= self.target
+    }
+
+    /// Block until the operation is durable. Returns `true` once the
+    /// watermark covers it, `false` if the shard crashed first — a
+    /// `false` ticket was **never acknowledged** and makes no survival
+    /// promise.
+    pub fn wait(&self) -> bool {
+        let start = Instant::now();
+        let mut d = lock(&self.shard.durable);
+        while *d < self.target {
+            if self.shard.is_dead() {
+                return false;
+            }
+            d = self
+                .shard
+                .durable_cv
+                .wait(d)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(d);
+        let c = &self.shard.counters;
+        c.waits.fetch_add(1, Ordering::Relaxed);
+        c.flush_wait_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        true
+    }
+}
+
+impl std::fmt::Debug for CommitTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitTicket")
+            .field("shard", &self.shard_index)
+            .field("op", &self.op)
+            .field("lsn", &self.lsn)
+            .field("target", &self.target)
+            .field("durable", &self.is_durable())
+            .finish()
+    }
+}

@@ -1,0 +1,818 @@
+//! The sharded engine: N hash-partitioned recovery engines behind one
+//! handle, with a group-commit durability pipeline per shard.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use llog_core::shared::{lock, WorkSignal};
+use llog_core::{recover, Engine, EngineConfig, RecoveryOutcome, RedoPolicy};
+use llog_ops::{OpKind, Transform, TransformRegistry};
+use llog_storage::{MetricsSnapshot, StableStore};
+use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
+use llog_wal::Wal;
+
+use crate::router::ShardRouter;
+use crate::shard::{flusher_loop, installer_loop, CommitTicket, Shard, StopMode};
+use crate::snapshot::{GroupCommitSnapshot, ShardedSnapshot};
+
+/// When the per-shard flusher forces the log under
+/// [`CommitPolicy::Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitPolicy {
+    /// Force as soon as this many operations are pending.
+    pub batch_ops: usize,
+    /// ... or as soon as the oldest pending operation has waited this
+    /// long, whichever comes first.
+    pub max_delay: Duration,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        GroupCommitPolicy {
+            batch_ops: 8,
+            max_delay: Duration::from_micros(500),
+        }
+    }
+}
+
+/// How committed operations reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPolicy {
+    /// Every `execute` forces the shard's log before returning; the
+    /// ticket comes back already durable. One force per operation — the
+    /// baseline group commit is measured against.
+    Sync,
+    /// Appends return immediately with a pending [`CommitTicket`]; the
+    /// shard's flusher thread batches forces per the policy.
+    Group(GroupCommitPolicy),
+}
+
+/// Configuration for a [`ShardedEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of shards (independent engines + WALs).
+    pub shards: usize,
+    /// Per-shard engine configuration.
+    pub engine: EngineConfig,
+    /// Durability pipeline.
+    pub commit: CommitPolicy,
+    /// Simulated stable-device latency per log force. Forces (sync or
+    /// batched) take at least this long before durability is published;
+    /// distinct shards overlap their waits. Zero disables the model.
+    pub force_latency: Duration,
+    /// Backpressure: `execute` parks while a shard holds this many
+    /// uninstalled operations (0 = unbounded). Bounds write-graph growth
+    /// and post-crash redo work.
+    pub max_uninstalled: usize,
+    /// The per-shard background installer drains the write graph once it
+    /// exceeds this many uninstalled operations.
+    pub install_high_water: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            engine: EngineConfig::default(),
+            commit: CommitPolicy::Group(GroupCommitPolicy::default()),
+            force_latency: Duration::ZERO,
+            max_uninstalled: 1024,
+            install_high_water: 64,
+        }
+    }
+}
+
+/// N hash-partitioned [`Engine`]s behind one handle: shard-local
+/// execution, per-shard group commit, backpressure, parallel crash and
+/// recovery. See the crate docs for the full picture.
+///
+/// The handle is not `Clone`; share it across threads by reference
+/// (`std::thread::scope`) — every method takes `&self` except the
+/// consuming `crash`/`shutdown`.
+pub struct ShardedEngine {
+    config: ShardedConfig,
+    router: ShardRouter,
+    shards: Vec<Arc<Shard>>,
+    /// Flushers + installers + checkpointer, joined on halt.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Round-robin cursor for the checkpoint coordinator.
+    rr: Arc<AtomicUsize>,
+    /// Stops the checkpoint coordinator.
+    ctl: Arc<WorkSignal>,
+}
+
+impl ShardedEngine {
+    /// Create `config.shards` fresh engines (empty stores, empty logs).
+    pub fn new(config: ShardedConfig, registry: &TransformRegistry) -> ShardedEngine {
+        assert!(config.shards >= 1, "need at least one shard");
+        let engines = (0..config.shards)
+            .map(|_| Engine::new(config.engine, registry.clone()))
+            .collect();
+        ShardedEngine::from_engines(config, engines)
+    }
+
+    /// Wrap existing engines (the recovery path); `engines.len()`
+    /// overrides `config.shards`.
+    pub fn from_engines(mut config: ShardedConfig, engines: Vec<Engine>) -> ShardedEngine {
+        assert!(!engines.is_empty(), "need at least one shard");
+        config.shards = engines.len();
+        let shards: Vec<Arc<Shard>> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| Arc::new(Shard::new(i, e)))
+            .collect();
+        let mut threads = Vec::new();
+        for shard in &shards {
+            if let CommitPolicy::Group(policy) = config.commit {
+                let s = shard.clone();
+                let latency = config.force_latency;
+                threads.push(std::thread::spawn(move || {
+                    flusher_loop(&s, policy.batch_ops, policy.max_delay, latency);
+                }));
+            }
+            let s = shard.clone();
+            let high_water = config.install_high_water;
+            threads.push(std::thread::spawn(move || {
+                installer_loop(&s, high_water);
+            }));
+        }
+        ShardedEngine {
+            config,
+            router: ShardRouter::new(shards.len()),
+            shards,
+            threads: Mutex::new(threads),
+            rr: Arc::new(AtomicUsize::new(0)),
+            ctl: Arc::new(WorkSignal::new()),
+        }
+    }
+
+    /// The engine's configuration (with `shards` reflecting reality).
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// The object→shard router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Execute one shard-local operation.
+    ///
+    /// Routes by the operation's read/write sets (cross-shard sets are
+    /// rejected — see [`ShardRouter::shard_of_op`]), applies backpressure
+    /// if the shard's uninstalled window is full, runs the operation
+    /// under the shard lock, and registers it with the durability
+    /// pipeline. The returned [`CommitTicket`] says when (and whether)
+    /// the operation became durable.
+    pub fn execute(
+        &self,
+        kind: OpKind,
+        reads: Vec<ObjectId>,
+        writes: Vec<ObjectId>,
+        transform: Transform,
+    ) -> Result<CommitTicket> {
+        let idx = self.router.shard_of_op(&reads, &writes)?;
+        let shard = &self.shards[idx];
+
+        // Backpressure: park while the uninstalled window is full. The
+        // installer bumps the shard's epoch after every install; the
+        // timeout bounds the wait if an install raced the snapshot.
+        let mut guard = loop {
+            let g = lock(&shard.engine);
+            let under = match g.as_ref() {
+                None => return Err(LlogError::CacheProtocol(format!("shard {idx} has crashed"))),
+                Some(e) => {
+                    self.config.max_uninstalled == 0
+                        || e.uninstalled_count() < self.config.max_uninstalled
+                }
+            };
+            if under {
+                break g;
+            }
+            shard
+                .counters
+                .backpressure_waits
+                .fetch_add(1, Ordering::Relaxed);
+            let seen = shard.bp_epoch();
+            drop(g);
+            shard.signal.notify(); // make sure the installer is awake
+            shard.wait_backpressure(seen, Duration::from_millis(1));
+        };
+
+        let (op, lsn, target, sync_forced) = {
+            let e = guard.as_mut().expect("presence checked above");
+            let (op, lsn) = e.execute(kind, reads, writes, transform)?;
+            let target = e.wal().end_lsn();
+            let sync_forced = match self.config.commit {
+                CommitPolicy::Sync => {
+                    e.wal_mut().force();
+                    if !self.config.force_latency.is_zero() {
+                        // The device is busy with our force; commits on
+                        // this shard serialize behind it.
+                        std::thread::sleep(self.config.force_latency);
+                    }
+                    Some(e.wal().forced_lsn())
+                }
+                CommitPolicy::Group(_) => None,
+            };
+            (op, lsn, target, sync_forced)
+        };
+        drop(guard);
+
+        match sync_forced {
+            Some(forced) => {
+                shard.advance_durable(forced);
+                shard.counters.sync_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => shard.enqueue_commit(),
+        }
+        shard.signal.notify(); // new uninstalled work for the installer
+
+        Ok(CommitTicket {
+            shard: shard.clone(),
+            shard_index: idx,
+            op,
+            lsn,
+            target,
+        })
+    }
+
+    /// The owning shard's current view of object `x`.
+    pub fn read_value(&self, x: ObjectId) -> Result<Value> {
+        let idx = self.router.shard_of(x);
+        let mut g = lock(&self.shards[idx].engine);
+        match g.as_mut() {
+            Some(e) => Ok(e.read_value(x)),
+            None => Err(LlogError::CacheProtocol(format!("shard {idx} has crashed"))),
+        }
+    }
+
+    /// Force shard `i`'s WAL and advance its watermark.
+    pub fn force_shard(&self, i: usize) -> Result<()> {
+        if self.shards[i].force_now() {
+            Ok(())
+        } else {
+            Err(LlogError::CacheProtocol(format!("shard {i} has crashed")))
+        }
+    }
+
+    /// Force every shard's WAL (makes everything executed so far
+    /// durable).
+    pub fn force_all(&self) -> Result<()> {
+        for i in 0..self.shards.len() {
+            self.force_shard(i)?;
+        }
+        Ok(())
+    }
+
+    /// Shard `i`'s durable-LSN watermark.
+    pub fn durable_lsn(&self, i: usize) -> Lsn {
+        self.shards[i].durable_lsn()
+    }
+
+    /// Total uninstalled operations across all shards.
+    pub fn uninstalled_total(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock(&s.engine)
+                    .as_ref()
+                    .map(|e| e.uninstalled_count())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Drain every shard's write graph completely.
+    pub fn install_all(&self) -> Result<()> {
+        for s in &self.shards {
+            let mut g = lock(&s.engine);
+            if let Some(e) = g.as_mut() {
+                e.install_all()?;
+            }
+            drop(g);
+            s.note_installed();
+        }
+        Ok(())
+    }
+
+    /// Checkpoint shard `i` (optionally truncating its log) and advance
+    /// its watermark over the checkpoint's force.
+    pub fn checkpoint_shard(&self, i: usize, truncate: bool) -> Result<Lsn> {
+        checkpoint_one(&self.shards[i], truncate)
+    }
+
+    /// Round-robin checkpoint: checkpoint-and-truncate the next shard in
+    /// turn. Returns `(shard, checkpoint_lsn)`.
+    pub fn checkpoint_next(&self) -> Result<(usize, Lsn)> {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        Ok((i, self.checkpoint_shard(i, true)?))
+    }
+
+    /// Checkpoint every shard (optionally truncating the logs).
+    pub fn checkpoint_all(&self, truncate: bool) -> Result<Vec<Lsn>> {
+        (0..self.shards.len())
+            .map(|i| self.checkpoint_shard(i, truncate))
+            .collect()
+    }
+
+    /// Spawn the checkpoint coordinator: every `interval` it checkpoints
+    /// one shard round-robin and truncates that shard's log, bounding
+    /// both log length and recovery's redo scan. Stops at
+    /// `crash`/`shutdown`.
+    pub fn spawn_checkpointer(&self, interval: Duration) {
+        let shards = self.shards.clone();
+        let rr = self.rr.clone();
+        let ctl = self.ctl.clone();
+        let handle = std::thread::spawn(move || {
+            let mut seen = ctl.epoch();
+            loop {
+                let (epoch, stopped) = ctl.wait_past_timeout(seen, interval);
+                seen = epoch;
+                if stopped {
+                    return;
+                }
+                let i = rr.fetch_add(1, Ordering::Relaxed) % shards.len();
+                if checkpoint_one(&shards[i], true).is_err() {
+                    return; // shard crashed: coordinator retires
+                }
+            }
+        });
+        lock(&self.threads).push(handle);
+    }
+
+    /// Aggregated accounting: per-shard [`MetricsSnapshot`]s, their sum,
+    /// and the group-commit pipeline counters.
+    pub fn metrics_snapshot(&self) -> ShardedSnapshot {
+        let per_shard: Vec<MetricsSnapshot> = self
+            .shards
+            .iter()
+            .map(|s| {
+                lock(&s.engine)
+                    .as_ref()
+                    .map(|e| e.metrics().snapshot())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let aggregate = per_shard
+            .iter()
+            .fold(MetricsSnapshot::default(), |acc, m| acc.merged(m));
+        let group_commit = self
+            .shards
+            .iter()
+            .fold(GroupCommitSnapshot::default(), |acc, s| {
+                acc.merged(&s.counters.snapshot())
+            });
+        ShardedSnapshot {
+            shards: self.shards.len(),
+            aggregate,
+            group_commit,
+            per_shard,
+        }
+    }
+
+    /// Stop and join every background thread (flushers honour `mode`).
+    fn halt(&self, mode: StopMode) {
+        self.ctl.stop();
+        for s in &self.shards {
+            s.request_stop(mode);
+        }
+        let handles: Vec<JoinHandle<()>> = lock(&self.threads).drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+
+    /// Crash every shard simultaneously: background threads are abandoned
+    /// (pending group-commit batches are **not** forced — exactly what a
+    /// power failure does to unacknowledged operations) and each shard's
+    /// surviving `(store, wal)` parts are extracted, in shard order.
+    /// Outstanding [`CommitTicket`]s remain valid for `is_durable`
+    /// queries; parked `wait`ers wake and report `false`.
+    pub fn crash(self) -> Vec<(StableStore, Wal)> {
+        self.halt(StopMode::Abandon);
+        self.take_engines().into_iter().map(Engine::crash).collect()
+    }
+
+    /// Crash with torn log tails: shard `i` loses its unforced buffer
+    /// except the first `partials[i % partials.len()]` bytes (an empty
+    /// slice means clean tails everywhere).
+    pub fn crash_torn(self, partials: &[usize]) -> Vec<(StableStore, Wal)> {
+        self.halt(StopMode::Abandon);
+        self.take_engines()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let partial = if partials.is_empty() {
+                    0
+                } else {
+                    partials[i % partials.len()]
+                };
+                e.crash_torn(partial)
+            })
+            .collect()
+    }
+
+    /// Orderly shutdown: flushers drain their pending batches, write
+    /// graphs are fully installed, and every shard's parts come back
+    /// clean.
+    pub fn shutdown(self) -> Result<Vec<(StableStore, Wal)>> {
+        self.halt(StopMode::Drain);
+        self.take_engines()
+            .into_iter()
+            .map(Engine::shutdown)
+            .collect()
+    }
+
+    fn take_engines(&self) -> Vec<Engine> {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock(&s.engine)
+                    .take()
+                    .expect("engines are taken exactly once, by crash/shutdown")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Idempotent: crash/shutdown already halted and drained the
+        // thread list; a bare drop stops the background threads here.
+        self.halt(StopMode::Abandon);
+    }
+}
+
+/// Checkpoint one shard and advance its watermark (the checkpoint's
+/// record is forced as part of [`Engine::checkpoint`]).
+fn checkpoint_one(shard: &Shard, truncate: bool) -> Result<Lsn> {
+    let mut g = lock(&shard.engine);
+    let Some(e) = g.as_mut() else {
+        return Err(LlogError::CacheProtocol(format!(
+            "shard {} has crashed",
+            shard.index
+        )));
+    };
+    let lsn = e.checkpoint(truncate)?;
+    let forced = e.wal().forced_lsn();
+    drop(g);
+    shard.advance_durable(forced);
+    Ok(lsn)
+}
+
+/// Recover every shard of a crashed [`ShardedEngine`], **in parallel** —
+/// one thread per shard, each scanning only its own log (the per-shard rW
+/// graphs share no edges, so shard recoveries are independent). Returns
+/// the recovered engine plus each shard's [`RecoveryOutcome`], in shard
+/// order.
+pub fn recover_sharded(
+    parts: Vec<(StableStore, Wal)>,
+    registry: &TransformRegistry,
+    mut config: ShardedConfig,
+    policy: RedoPolicy,
+) -> Result<(ShardedEngine, Vec<RecoveryOutcome>)> {
+    assert!(!parts.is_empty(), "need at least one shard to recover");
+    config.shards = parts.len();
+    let engine_config = config.engine;
+    let results: Vec<Result<(Engine, RecoveryOutcome)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|(store, wal)| {
+                let registry = registry.clone();
+                scope.spawn(move || recover(store, wal, registry, engine_config, policy))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err(poisoned_recovery_thread())))
+            .collect()
+    });
+    let mut engines = Vec::with_capacity(results.len());
+    let mut outcomes = Vec::with_capacity(results.len());
+    for r in results {
+        let (e, o) = r?;
+        engines.push(e);
+        outcomes.push(o);
+    }
+    Ok((ShardedEngine::from_engines(config, engines), outcomes))
+}
+
+fn poisoned_recovery_thread() -> LlogError {
+    LlogError::Unexplainable("shard recovery thread panicked".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llog_ops::builtin;
+
+    fn registry() -> TransformRegistry {
+        TransformRegistry::with_builtins()
+    }
+
+    fn put(e: &ShardedEngine, x: ObjectId, v: &str) -> CommitTicket {
+        e.execute(
+            OpKind::Physical,
+            vec![],
+            vec![x],
+            Transform::new(builtin::CONST, builtin::encode_values(&[Value::from(v)])),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_commit_acknowledges_and_survives() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 4,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let tickets: Vec<CommitTicket> = (0..64u64).map(|i| put(&e, ObjectId(i), "gc")).collect();
+        for t in &tickets {
+            assert!(t.wait(), "flusher must eventually force every batch");
+            assert!(t.is_durable());
+        }
+        let snap = e.metrics_snapshot();
+        assert!(
+            snap.group_commit.batches >= 1,
+            "group commit must batch at least once"
+        );
+        let parts = e.crash();
+        let (rec, outcomes) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        for i in 0..64u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("gc"));
+        }
+    }
+
+    #[test]
+    fn sync_policy_forces_per_op() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..10u64 {
+            let t = put(&e, ObjectId(i), "sync");
+            assert!(t.is_durable(), "sync commits are durable on return");
+        }
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.group_commit.sync_commits, 10);
+        assert_eq!(snap.aggregate.log_forces, 10);
+        assert_eq!(snap.group_commit.batches, 0);
+        drop(e);
+    }
+
+    #[test]
+    fn group_commit_forces_fewer_than_ops() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: 8,
+                max_delay: Duration::from_millis(50),
+            }),
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        // 8 committer threads, each op waits for its ticket: pending
+        // commits pile up while the flusher works, so batches form.
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let e = &e;
+                s.spawn(move || {
+                    for i in 0..16u64 {
+                        let x = ObjectId(t * 1000 + i);
+                        let ticket = e
+                            .execute(
+                                OpKind::Physical,
+                                vec![],
+                                vec![x],
+                                Transform::new(
+                                    builtin::CONST,
+                                    builtin::encode_values(&[Value::from("b")]),
+                                ),
+                            )
+                            .unwrap();
+                        assert!(ticket.wait());
+                    }
+                });
+            }
+        });
+        let snap = e.metrics_snapshot();
+        let ops = 8 * 16;
+        assert_eq!(snap.group_commit.batched_ops, ops);
+        assert!(
+            snap.aggregate.log_forces < ops,
+            "group commit must force fewer times ({}) than ops ({})",
+            snap.aggregate.log_forces,
+            ops
+        );
+        assert!(snap.group_commit.max_batch >= 2);
+        drop(e);
+    }
+
+    #[test]
+    fn cross_shard_ops_are_rejected_at_the_top() {
+        let reg = registry();
+        let e = ShardedEngine::new(ShardedConfig::default(), &reg);
+        let r = e.router();
+        let a = ObjectId(0);
+        let b = (1..)
+            .map(ObjectId)
+            .find(|&x| r.shard_of(x) != r.shard_of(a))
+            .unwrap();
+        let err = e
+            .execute(
+                OpKind::Logical,
+                vec![a],
+                vec![b],
+                Transform::new(builtin::HASH_MIX, Value::from("x")),
+            )
+            .unwrap_err();
+        assert!(matches!(err, LlogError::CacheProtocol(_)));
+        drop(e);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_uninstalled_window() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            max_uninstalled: 8,
+            install_high_water: 0,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..256u64 {
+            put(&e, ObjectId(i), "bp");
+        }
+        // The window held: never more than max_uninstalled live ops at
+        // execute time (the installer may lag the last few).
+        assert!(
+            e.uninstalled_total() <= 8 + 1,
+            "window overflow: {} uninstalled",
+            e.uninstalled_total()
+        );
+        let snap = e.metrics_snapshot();
+        assert!(
+            snap.group_commit.backpressure_waits > 0,
+            "256 ops through a window of 8 must park at least once"
+        );
+        drop(e);
+    }
+
+    #[test]
+    fn checkpoint_coordinator_truncates_round_robin() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 2,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..64u64 {
+            put(&e, ObjectId(i), "ck").wait();
+        }
+        e.install_all().unwrap();
+        let before: Vec<usize> = (0..2)
+            .map(|i| {
+                lock(&e.shards[i].engine)
+                    .as_ref()
+                    .unwrap()
+                    .wal()
+                    .stable_len()
+            })
+            .collect();
+        let (s0, _) = e.checkpoint_next().unwrap();
+        let (s1, _) = e.checkpoint_next().unwrap();
+        assert_ne!(s0, s1, "round-robin must rotate shards");
+        for i in 0..2 {
+            let after = lock(&e.shards[i].engine)
+                .as_ref()
+                .unwrap()
+                .wal()
+                .stable_len();
+            assert!(
+                after <= before[i],
+                "checkpoint truncation must not grow shard {i}'s log"
+            );
+        }
+        // Checkpointed shards still recover.
+        let parts = e.crash();
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..64u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("ck"));
+        }
+    }
+
+    #[test]
+    fn spawned_checkpointer_runs_and_stops() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 2,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        e.spawn_checkpointer(Duration::from_millis(1));
+        for i in 0..128u64 {
+            put(&e, ObjectId(i), "bg").wait();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        let checkpoints: u64 = e.metrics_snapshot().aggregate.log_records; // just liveness
+        assert!(checkpoints > 0);
+        // crash() joins the coordinator; recovery still sees every
+        // acknowledged op.
+        let parts = e.crash();
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..128u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("bg"));
+        }
+    }
+
+    #[test]
+    fn crash_wakes_parked_ticket_waiters() {
+        let reg = registry();
+        // A flusher that will never trigger on its own: huge batch, huge
+        // delay.
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: usize::MAX,
+                max_delay: Duration::from_secs(3600),
+            }),
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let ticket = put(&e, ObjectId(1), "unacked");
+        assert!(!ticket.is_durable());
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        let parts = e.crash();
+        assert!(
+            !waiter.join().unwrap(),
+            "a crash must wake waiters with `false`, not hang them"
+        );
+        // The unacknowledged op is indeed gone.
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        assert_eq!(rec.read_value(ObjectId(1)).unwrap(), Value::empty());
+    }
+
+    #[test]
+    fn shutdown_drains_pending_batches() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 2,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: usize::MAX, // only the drain can flush these
+                max_delay: Duration::from_secs(3600),
+            }),
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let tickets: Vec<CommitTicket> =
+            (0..16u64).map(|i| put(&e, ObjectId(i), "drain")).collect();
+        let parts = e.shutdown().unwrap();
+        for t in &tickets {
+            assert!(t.is_durable(), "shutdown must drain pending commits");
+        }
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..16u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("drain"));
+        }
+    }
+
+    #[test]
+    fn parallel_recovery_matches_shard_count_and_state() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 8,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..200u64 {
+            put(&e, ObjectId(i), "par");
+        }
+        e.force_all().unwrap();
+        let parts = e.crash();
+        assert_eq!(parts.len(), 8);
+        let (rec, outcomes) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        assert_eq!(rec.shards(), 8);
+        assert_eq!(outcomes.len(), 8);
+        let total_redone: u64 = outcomes.iter().map(|o| o.redone).sum();
+        assert_eq!(total_redone, 200, "every forced op redoes on some shard");
+        for i in 0..200u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("par"));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Aggregated accounting for a sharded engine.
+
+use std::fmt::Write as _;
+
+use llog_storage::MetricsSnapshot;
+
+/// Point-in-time counters for the group-commit pipeline, summed across
+/// shards (or for one shard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitSnapshot {
+    /// Batched forces performed by shard flushers.
+    pub batches: u64,
+    /// Operations those batched forces covered.
+    pub batched_ops: u64,
+    /// Largest single batch observed on any shard.
+    pub max_batch: u64,
+    /// Synchronous one-op commits (under `CommitPolicy::Sync`).
+    pub sync_commits: u64,
+    /// Completed `CommitTicket::wait` calls.
+    pub waits: u64,
+    /// Total nanoseconds ticket waiters spent blocked on durability.
+    pub flush_wait_ns: u64,
+    /// Times `execute` parked on a full uninstalled window.
+    pub backpressure_waits: u64,
+}
+
+impl GroupCommitSnapshot {
+    /// Mean operations per batched force (0 if no batches yet).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_ops as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean nanoseconds a `wait` spent blocked (0 if no waits yet).
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.waits == 0 {
+            0.0
+        } else {
+            self.flush_wait_ns as f64 / self.waits as f64
+        }
+    }
+
+    /// Field-wise sum (`max_batch` takes the max), for cross-shard
+    /// aggregation.
+    pub fn merged(&self, other: &GroupCommitSnapshot) -> GroupCommitSnapshot {
+        GroupCommitSnapshot {
+            batches: self.batches + other.batches,
+            batched_ops: self.batched_ops + other.batched_ops,
+            max_batch: self.max_batch.max(other.max_batch),
+            sync_commits: self.sync_commits + other.sync_commits,
+            waits: self.waits + other.waits,
+            flush_wait_ns: self.flush_wait_ns + other.flush_wait_ns,
+            backpressure_waits: self.backpressure_waits + other.backpressure_waits,
+        }
+    }
+
+    /// One flat JSON object (fixed keys, no external serializer).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"batches\":{},\"batched_ops\":{},\"max_batch\":{},\
+             \"sync_commits\":{},\"waits\":{},\"flush_wait_ns\":{},\
+             \"backpressure_waits\":{},\"mean_batch\":{:.2},\"mean_wait_ns\":{:.1}}}",
+            self.batches,
+            self.batched_ops,
+            self.max_batch,
+            self.sync_commits,
+            self.waits,
+            self.flush_wait_ns,
+            self.backpressure_waits,
+            self.mean_batch(),
+            self.mean_wait_ns(),
+        )
+    }
+}
+
+/// The whole sharded engine's cost picture at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedSnapshot {
+    /// Number of shards.
+    pub shards: usize,
+    /// Per-shard storage/log ledgers summed (see
+    /// [`MetricsSnapshot::merged`]).
+    pub aggregate: MetricsSnapshot,
+    /// Group-commit pipeline counters summed across shards.
+    pub group_commit: GroupCommitSnapshot,
+    /// Each shard's own ledger, in shard order.
+    pub per_shard: Vec<MetricsSnapshot>,
+}
+
+impl ShardedSnapshot {
+    /// One JSON document:
+    /// `{"shards":N,"aggregate":{...},"group_commit":{...},"per_shard":[...]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"shards\":{},\"aggregate\":{},\"group_commit\":{},\"per_shard\":[",
+            self.shards,
+            self.aggregate.to_json(),
+            self.group_commit.to_json(),
+        );
+        for (i, m) in self.per_shard.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&m.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_sums_and_maxes() {
+        let a = GroupCommitSnapshot {
+            batches: 2,
+            batched_ops: 10,
+            max_batch: 6,
+            sync_commits: 1,
+            waits: 3,
+            flush_wait_ns: 300,
+            backpressure_waits: 1,
+        };
+        let b = GroupCommitSnapshot {
+            batches: 1,
+            batched_ops: 4,
+            max_batch: 4,
+            sync_commits: 0,
+            waits: 1,
+            flush_wait_ns: 100,
+            backpressure_waits: 0,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.batches, 3);
+        assert_eq!(m.batched_ops, 14);
+        assert_eq!(m.max_batch, 6, "max_batch merges by max, not sum");
+        assert_eq!(m.waits, 4);
+        assert!((m.mean_batch() - 14.0 / 3.0).abs() < 1e-9);
+        assert!((m.mean_wait_ns() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn means_are_zero_without_events() {
+        let z = GroupCommitSnapshot::default();
+        assert_eq!(z.mean_batch(), 0.0);
+        assert_eq!(z.mean_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn sharded_json_shape() {
+        let snap = ShardedSnapshot {
+            shards: 2,
+            aggregate: MetricsSnapshot::default(),
+            group_commit: GroupCommitSnapshot::default(),
+            per_shard: vec![MetricsSnapshot::default(), MetricsSnapshot::default()],
+        };
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"shards\":2,"));
+        for key in ["\"aggregate\":", "\"group_commit\":", "\"per_shard\":["] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"log_forces\"").count(), 3, "agg + 2 shards");
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -159,6 +159,79 @@ impl MetricsSnapshot {
         self.obj_writes + self.obj_reads + self.log_forces
     }
 
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The single source of truth for serialization and aggregation, so a
+    /// counter added to the struct cannot silently go missing from either.
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
+        [
+            ("obj_reads", self.obj_reads),
+            ("obj_read_bytes", self.obj_read_bytes),
+            ("obj_writes", self.obj_writes),
+            ("obj_write_bytes", self.obj_write_bytes),
+            ("atomic_groups", self.atomic_groups),
+            ("atomic_group_objects", self.atomic_group_objects),
+            ("shadow_commits", self.shadow_commits),
+            ("log_records", self.log_records),
+            ("log_bytes", self.log_bytes),
+            ("log_forces", self.log_forces),
+            ("quiesces", self.quiesces),
+            ("identity_writes", self.identity_writes),
+            ("redo_ops", self.redo_ops),
+            ("skipped_ops", self.skipped_ops),
+            ("voided_ops", self.voided_ops),
+            ("backup_copies", self.backup_copies),
+            ("backup_bytes", self.backup_bytes),
+            ("evictions", self.evictions),
+        ]
+    }
+
+    /// Serialize as one flat JSON object (no external serializer).
+    ///
+    /// Keys match the struct field names; values are plain integers. Used by
+    /// `llogtool stats`, the bench harness, and the sharded-engine snapshot
+    /// so counter formatting lives in exactly one place.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        for (i, (name, value)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{value}");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Field-wise sum `self + other` (saturating), for aggregating the
+    /// per-shard ledgers of a sharded engine into one cost picture.
+    pub fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            obj_reads: self.obj_reads.saturating_add(other.obj_reads),
+            obj_read_bytes: self.obj_read_bytes.saturating_add(other.obj_read_bytes),
+            obj_writes: self.obj_writes.saturating_add(other.obj_writes),
+            obj_write_bytes: self.obj_write_bytes.saturating_add(other.obj_write_bytes),
+            atomic_groups: self.atomic_groups.saturating_add(other.atomic_groups),
+            atomic_group_objects: self
+                .atomic_group_objects
+                .saturating_add(other.atomic_group_objects),
+            shadow_commits: self.shadow_commits.saturating_add(other.shadow_commits),
+            log_records: self.log_records.saturating_add(other.log_records),
+            log_bytes: self.log_bytes.saturating_add(other.log_bytes),
+            log_forces: self.log_forces.saturating_add(other.log_forces),
+            quiesces: self.quiesces.saturating_add(other.quiesces),
+            identity_writes: self.identity_writes.saturating_add(other.identity_writes),
+            redo_ops: self.redo_ops.saturating_add(other.redo_ops),
+            skipped_ops: self.skipped_ops.saturating_add(other.skipped_ops),
+            voided_ops: self.voided_ops.saturating_add(other.voided_ops),
+            backup_copies: self.backup_copies.saturating_add(other.backup_copies),
+            backup_bytes: self.backup_bytes.saturating_add(other.backup_bytes),
+            evictions: self.evictions.saturating_add(other.evictions),
+        }
+    }
+
     /// Counter deltas `self - earlier` (saturating).
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -201,6 +274,40 @@ mod tests {
         assert_eq!(s.total_ios(), 3);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn json_has_every_counter_once() {
+        let m = Metrics::new();
+        Metrics::bump(&m.log_forces, 9);
+        Metrics::bump(&m.evictions, 2);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for (name, value) in m.snapshot().fields() {
+            let needle = format!("\"{name}\":{value}");
+            assert!(json.contains(&needle), "missing {needle} in {json}");
+            assert_eq!(json.matches(&format!("\"{name}\"")).count(), 1);
+        }
+        assert!(json.contains("\"log_forces\":9"));
+        assert!(json.contains("\"evictions\":2"));
+    }
+
+    #[test]
+    fn merged_sums_fieldwise() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        Metrics::bump(&a.obj_writes, 3);
+        Metrics::bump(&b.obj_writes, 4);
+        Metrics::bump(&b.log_records, 11);
+        let sum = a.snapshot().merged(&b.snapshot());
+        assert_eq!(sum.obj_writes, 7);
+        assert_eq!(sum.log_records, 11);
+        // Identity: merging with default changes nothing.
+        assert_eq!(sum.merged(&MetricsSnapshot::default()), sum);
+        // Saturates rather than overflowing.
+        let mut max = MetricsSnapshot::default();
+        max.obj_writes = u64::MAX;
+        assert_eq!(max.merged(&sum).obj_writes, u64::MAX);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! - [`wal`]: the write-ahead log
 //! - [`core`]: installation graphs, write graphs W/rW, the cache manager,
 //!   REDO tests and recovery
+//! - [`engine`]: N hash-sharded engines behind one handle, with a
+//!   group-commit durability pipeline, backpressure and parallel recovery
 //! - [`domains`]: application recovery, file systems, B-trees
 //! - [`sim`]: workload generation, crash injection and the recovery oracle
 //! - [`testkit`]: deterministic PRNG, seeded property-test harness and
@@ -49,6 +51,7 @@
 
 pub use llog_core as core;
 pub use llog_domains as domains;
+pub use llog_engine as engine;
 pub use llog_ops as ops;
 pub use llog_sim as sim;
 pub use llog_storage as storage;

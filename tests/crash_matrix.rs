@@ -2,9 +2,15 @@
 //! configurations, crash after *every* operation count (and at torn-tail
 //! byte offsets) and verify recovery against the replay oracle.
 
+use std::time::Duration;
+
 use llog::core::{EngineConfig, FlushStrategy, GraphKind, RedoPolicy};
-use llog::ops::TransformRegistry;
+use llog::engine::{
+    recover_sharded, CommitPolicy, CommitTicket, GroupCommitPolicy, ShardedConfig, ShardedEngine,
+};
+use llog::ops::{builtin, OpKind, Transform, TransformRegistry};
 use llog::sim::{run_crash_recover_verify, CrashPoint, Workload, WorkloadKind};
+use llog::types::{ObjectId, Value};
 
 fn registry() -> TransformRegistry {
     TransformRegistry::with_builtins()
@@ -144,6 +150,194 @@ fn physiological_only_matrix() {
             )
             .unwrap_or_else(|e| panic!("cut {cut} {policy:?}: {e}"));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded crash matrix: the same durability contract, but across N engines
+// behind one `ShardedEngine` handle with a group-commit pipeline.
+// ---------------------------------------------------------------------------
+
+/// A group-commit policy whose flusher never fires on its own, so the test
+/// controls exactly which operations become durable (via `force_all`).
+fn manual_group() -> CommitPolicy {
+    CommitPolicy::Group(GroupCommitPolicy {
+        batch_ops: usize::MAX,
+        max_delay: Duration::from_secs(3600),
+    })
+}
+
+fn shard_objects(e: &ShardedEngine, per: usize) -> Vec<Vec<ObjectId>> {
+    (0..e.shards())
+        .map(|s| e.router().objects_for_shard(s, per))
+        .collect()
+}
+
+/// Run `n` shard-local logical ops round-robin across the shards, chaining
+/// each shard's objects. Returns every ticket.
+fn run_sharded_ops(
+    e: &ShardedEngine,
+    objs: &[Vec<ObjectId>],
+    n: usize,
+    tag: &str,
+) -> Vec<CommitTicket> {
+    (0..n)
+        .map(|i| {
+            let os = &objs[i % objs.len()];
+            let round = i / objs.len();
+            let a = os[round % os.len()];
+            let b = os[(round + 1) % os.len()];
+            let t = Transform::new(
+                builtin::HASH_MIX,
+                Value::from(format!("{tag}-{i}").into_bytes()),
+            );
+            e.execute(OpKind::Logical, vec![a, b], vec![b], t)
+                .unwrap_or_else(|err| panic!("{tag} op {i}: {err}"))
+        })
+        .collect()
+}
+
+fn snapshot_values(e: &ShardedEngine, objs: &[Vec<ObjectId>]) -> Vec<(ObjectId, Value)> {
+    objs.iter()
+        .flatten()
+        .map(|&x| (x, e.read_value(x).unwrap()))
+        .collect()
+}
+
+/// Crash with acknowledged-but-uninstalled commits (phase A, forced) and
+/// appended-but-unacknowledged operations (phase B, sitting in the group
+/// commit buffer). Every acked commit must survive recovery; no unacked
+/// operation may be falsely durable.
+#[test]
+fn sharded_crash_acked_commits_survive_unacked_do_not() {
+    let reg = registry();
+    let config = ShardedConfig {
+        shards: 4,
+        commit: manual_group(),
+        ..ShardedConfig::default()
+    };
+    let engine = ShardedEngine::new(config, &reg);
+    let objs = shard_objects(&engine, 4);
+
+    // Phase A: 40 ops, forced and acknowledged.
+    let acked = run_sharded_ops(&engine, &objs, 40, "acked");
+    engine.force_all().unwrap();
+    for t in &acked {
+        assert!(t.wait(), "forced commit must acknowledge");
+    }
+    let expected = snapshot_values(&engine, &objs);
+
+    // Phase B: 20 more ops, never forced — the flusher cannot fire.
+    let unacked = run_sharded_ops(&engine, &objs, 20, "unacked");
+    for t in &unacked {
+        assert!(!t.is_durable(), "unforced op must not claim durability");
+    }
+
+    let parts = engine.crash();
+    for t in &unacked {
+        assert!(!t.wait(), "crash must wake waiters with a negative answer");
+        assert!(!t.is_durable());
+    }
+
+    let (recovered, outcomes) =
+        recover_sharded(parts, &reg, config, RedoPolicy::RsiExposed).unwrap();
+    let redone: u64 = outcomes.iter().map(|o| o.redone).sum();
+    assert_eq!(redone, 40, "exactly the acked phase must be redone");
+    for (x, want) in &expected {
+        assert_eq!(
+            recovered.read_value(*x).unwrap(),
+            *want,
+            "acked state of {x} lost"
+        );
+    }
+}
+
+/// Crash in the middle of a batch force: each shard's log keeps a torn
+/// prefix of the unforced buffer. Recovery stops at the tear; everything
+/// acknowledged before the batch survives on every shard.
+#[test]
+fn sharded_crash_mid_batch_force_leaves_torn_tails() {
+    let reg = registry();
+    let config = ShardedConfig {
+        shards: 4,
+        commit: manual_group(),
+        ..ShardedConfig::default()
+    };
+    let engine = ShardedEngine::new(config, &reg);
+    let objs = shard_objects(&engine, 4);
+
+    let acked = run_sharded_ops(&engine, &objs, 40, "acked");
+    engine.force_all().unwrap();
+    for t in &acked {
+        assert!(t.wait());
+    }
+    let expected = snapshot_values(&engine, &objs);
+
+    // A batch is buffered on every shard when the power fails mid-force:
+    // shard 0 tears cleanly, the rest keep a few garbage bytes (all well
+    // below one record, so no phase-B op can masquerade as durable).
+    let _mid_batch = run_sharded_ops(&engine, &objs, 20, "mid-batch");
+    let parts = engine.crash_torn(&[0, 5, 9, 13]);
+
+    let (recovered, outcomes) =
+        recover_sharded(parts, &reg, config, RedoPolicy::RsiExposed).unwrap();
+    assert!(!outcomes[0].torn_tail, "shard 0 tore at a record boundary");
+    let torn = outcomes.iter().filter(|o| o.torn_tail).count();
+    assert!(torn >= 2, "partial tails must be detected (got {torn}/4)");
+    let redone: u64 = outcomes.iter().map(|o| o.redone).sum();
+    assert_eq!(redone, 40, "no torn-tail op may be replayed");
+    for (x, want) in &expected {
+        assert_eq!(recovered.read_value(*x).unwrap(), *want);
+    }
+}
+
+/// Crash with shard 0 checkpointed (and its log truncated) while the other
+/// shards never checkpoint. Checkpoints are a per-shard affair: recovery
+/// starts from shard 0's checkpoint and from genesis elsewhere, and every
+/// acknowledged commit survives on both kinds of shard.
+#[test]
+fn sharded_crash_with_one_shard_checkpointed() {
+    let reg = registry();
+    let config = ShardedConfig {
+        shards: 4,
+        commit: manual_group(),
+        ..ShardedConfig::default()
+    };
+    let engine = ShardedEngine::new(config, &reg);
+    let objs = shard_objects(&engine, 4);
+
+    let phase_a = run_sharded_ops(&engine, &objs, 40, "a");
+    engine.force_all().unwrap();
+    for t in &phase_a {
+        assert!(t.wait());
+    }
+    // Install phase A everywhere so a checkpoint can advance its redo
+    // point, then checkpoint only shard 0; `true` also truncates its log.
+    engine.install_all().unwrap();
+    engine.checkpoint_shard(0, true).unwrap();
+
+    let phase_b = run_sharded_ops(&engine, &objs, 40, "b");
+    engine.force_all().unwrap();
+    for t in &phase_b {
+        assert!(t.wait());
+    }
+    let expected = snapshot_values(&engine, &objs);
+
+    let parts = engine.crash();
+    let (recovered, outcomes) =
+        recover_sharded(parts, &reg, config, RedoPolicy::RsiExposed).unwrap();
+    assert!(
+        outcomes[0].analysis_scanned < outcomes[1].analysis_scanned,
+        "the checkpointed shard must scan less ({} vs {})",
+        outcomes[0].analysis_scanned,
+        outcomes[1].analysis_scanned
+    );
+    assert!(
+        outcomes[0].redo_start > llog::types::Lsn(1),
+        "shard 0 must redo from its checkpoint, not genesis"
+    );
+    for (x, want) in &expected {
+        assert_eq!(recovered.read_value(*x).unwrap(), *want);
     }
 }
 
