@@ -57,7 +57,20 @@ else
     fi
 fi
 
+# 3. Lockfile sync: the committed Cargo.lock must exactly match the
+#    manifests. `--locked` makes cargo error out instead of rewriting the
+#    lockfile, and `--offline` guarantees no registry is ever consulted.
+if command -v cargo >/dev/null 2>&1; then
+    if ! cargo metadata --locked --offline --format-version 1 >/dev/null; then
+        echo "ERROR: Cargo.lock is out of sync with the manifests" >&2
+        echo "       (run 'cargo metadata' locally and commit the lockfile)" >&2
+        fail=1
+    fi
+else
+    echo "WARN: cargo not found; skipping lockfile sync check" >&2
+fi
+
 if [[ $fail -ne 0 ]]; then
     exit 1
 fi
-echo "OK: no external registry dependencies in manifests or Cargo.lock"
+echo "OK: no external registry dependencies; Cargo.lock is in sync"

@@ -1,0 +1,704 @@
+//! `llog-fuzz` — seeded crash-recovery fuzzer.
+//!
+//! Each iteration draws a 64-bit seed, generates a mixed workload (raw kv,
+//! sharded group-commit, persist round-trips, or domain operations), injects
+//! **one** fault from the [`llog_testkit::faults`] taxonomy at a seeded
+//! step, crashes, recovers, and checks an invariant suite:
+//!
+//! - recovery succeeds (torn tails and tail bit-rot are *detected and
+//!   clipped*, never fatal);
+//! - the recovered exposed state matches the stable-log replay oracle;
+//! - the recovered state is some per-step snapshot prefix `k` with
+//!   `k ≥ acked` — everything acknowledged durable survives, and nothing
+//!   torn is ever acknowledged;
+//! - recovery is idempotent (crash the recovered engine, recover again,
+//!   same state);
+//! - no mangled persist image is ever silently accepted (CRC rejects
+//!   bit-rot; loads either fail or return the exact saved state);
+//! - sharded logs stay disjoint per the router.
+//!
+//! Failures are shrunk by the testkit property harness and print a repro
+//! command:
+//!
+//! ```text
+//! LLOG_FUZZ_SEED=<seed> llog-fuzz --replay
+//! ```
+//!
+//! Environment: `LLOG_FUZZ_SEED` (base seed), `LLOG_FUZZ_ITERS`
+//! (iteration count). Flags `--seed`/`--iters` override the environment.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use llog_core::{recover, Engine, EngineConfig, RedoPolicy};
+use llog_domains::app::{Application, WriteMode};
+use llog_domains::btree::BTree;
+use llog_domains::fs::FileSystem;
+use llog_domains::register_domain_transforms;
+use llog_engine::{
+    recover_sharded, CommitPolicy, CommitTicket, GroupCommitPolicy, ShardedConfig, ShardedEngine,
+};
+use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog_sim::{replay_stable_log, verify_against_log, Workload, WorkloadKind};
+use llog_testkit::faults::{failpoint, FaultHost, FaultPlan};
+use llog_testkit::prop::{run_property_result, Config};
+use llog_testkit::rng::{SplitMix64, TestRng};
+use llog_types::{Lsn, ObjectId, Value};
+use llog_wal::ForceOutcome;
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+const DEFAULT_ITERS: u64 = 100;
+
+fn main() -> ExitCode {
+    let mut iters: Option<u64> = env_u64("LLOG_FUZZ_ITERS");
+    let mut seed: Option<u64> = env_u64("LLOG_FUZZ_SEED");
+    let mut replay = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()),
+            "--replay" => replay = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("llog-fuzz: unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if replay {
+        let Some(s) = seed else {
+            eprintln!("llog-fuzz: --replay needs a seed (LLOG_FUZZ_SEED=... or --seed N)");
+            return ExitCode::FAILURE;
+        };
+        // The workload and fault plan are fully determined by the seed, but
+        // the sharded mode runs real flusher/installer threads whose
+        // schedule decides which group-commit batch the fault lands in.
+        // Re-running the same seed a few times derandomizes the schedule.
+        let attempts = iters.unwrap_or(100);
+        println!("llog-fuzz: replaying seed {s} (up to {attempts} attempts)");
+        for attempt in 0..attempts {
+            if let Err(report) = run_iteration(s) {
+                eprintln!("llog-fuzz: seed {s} reproduced on attempt {attempt}");
+                return fail(s, &report);
+            }
+        }
+        println!("llog-fuzz: seed {s} passed {attempts} attempts (bug no longer reproduces?)");
+        return ExitCode::SUCCESS;
+    }
+
+    let iters = iters.unwrap_or(DEFAULT_ITERS);
+    let base = seed.unwrap_or_else(time_seed);
+    println!("llog-fuzz: base seed {base}, {iters} iterations");
+    let mut sm = SplitMix64::new(base);
+    for i in 0..iters {
+        let iter_seed = sm.next_u64();
+        if let Err(report) = run_iteration(iter_seed) {
+            eprintln!("llog-fuzz: iteration {i} FAILED");
+            return fail(iter_seed, &report);
+        }
+        if (i + 1) % 50 == 0 {
+            println!("llog-fuzz: {}/{iters} iterations clean", i + 1);
+        }
+    }
+    println!("llog-fuzz: {iters} iterations, zero invariant violations");
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    println!(
+        "llog-fuzz — seeded crash-recovery fuzzer\n\
+         \n\
+         USAGE: llog-fuzz [--iters N] [--seed S] [--replay]\n\
+         \n\
+         --iters N   iterations to run (env LLOG_FUZZ_ITERS, default {DEFAULT_ITERS})\n\
+         --seed S    base seed (env LLOG_FUZZ_SEED, default: wall clock)\n\
+         --replay    replay a single failing iteration seed and exit\n\
+         \n\
+         On failure the minimal shrunk counterexample is written to\n\
+         llog-fuzz-failure-<seed>.txt and the repro command is printed."
+    );
+}
+
+fn fail(seed: u64, report: &str) -> ExitCode {
+    let path = format!("llog-fuzz-failure-{seed}.txt");
+    let body = format!(
+        "llog-fuzz invariant violation\n\
+         seed: {seed}\n\
+         reproduce with: LLOG_FUZZ_SEED={seed} llog-fuzz --replay\n\n{report}\n"
+    );
+    if let Err(e) = std::fs::write(&path, &body) {
+        eprintln!("llog-fuzz: could not write {path}: {e}");
+    } else {
+        eprintln!("llog-fuzz: wrote {path}");
+    }
+    eprintln!("{report}");
+    eprintln!("reproduce with: LLOG_FUZZ_SEED={seed} llog-fuzz --replay");
+    ExitCode::FAILURE
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn time_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED)
+        | 1
+}
+
+// ---------------------------------------------------------------------------
+// One iteration = one property case (shrunk by the testkit harness)
+// ---------------------------------------------------------------------------
+
+/// Run the seeded case through the property harness so a failure is shrunk
+/// toward a minimal `(mode, n_ops, material)` before being reported. With
+/// `cases: 1` the harness generates exactly one case whose case-seed **is**
+/// the iteration seed (`LLOG_PROP_SEED` semantics), so `--replay` lands on
+/// the identical case.
+fn run_iteration(seed: u64) -> Result<(), String> {
+    std::env::set_var("LLOG_PROP_SEED", seed.to_string());
+    let config = Config {
+        cases: 1,
+        max_shrink_steps: 256,
+    };
+    let strategy = (0usize..4, 1usize..=40, 0u64..u64::MAX);
+    let r = run_property_result(
+        "llog-fuzz",
+        &config,
+        &strategy,
+        |(mode, n_ops, material)| run_case(mode, n_ops, material),
+    );
+    std::env::remove_var("LLOG_PROP_SEED");
+    r
+}
+
+fn run_case(mode: usize, n_ops: usize, material: u64) -> Result<(), String> {
+    match mode {
+        0 => fuzz_kv_single(n_ops, material),
+        1 => fuzz_sharded(n_ops, material),
+        2 => fuzz_persist(n_ops, material),
+        _ => fuzz_domains(n_ops, material),
+    }
+}
+
+fn pick_policy(rng: &mut TestRng) -> RedoPolicy {
+    if rng.bool() {
+        RedoPolicy::Vsi
+    } else {
+        RedoPolicy::RsiExposed
+    }
+}
+
+/// The exposed state over a fixed window of object ids.
+fn snap(engine: &Engine, ids: &[ObjectId]) -> Vec<Value> {
+    ids.iter().map(|&x| engine.peek_value(x)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Mode 0: single-engine kv workload, WAL-force faults
+// ---------------------------------------------------------------------------
+
+fn fuzz_kv_single(n_ops: usize, material: u64) -> Result<(), String> {
+    let mut rng = TestRng::seed_from_u64(material ^ 0xA11C_E000);
+    let n_objects = rng.random_range(2u64..8);
+    let ids: Vec<ObjectId> = (0..n_objects).map(ObjectId).collect();
+    let kind = if rng.bool() {
+        WorkloadKind::app_mix()
+    } else {
+        WorkloadKind::physiological_only()
+    };
+    let ops = Workload::new(n_objects, n_ops, kind, rng.next_u64()).generate();
+    let registry = TransformRegistry::with_builtins();
+    let config = EngineConfig::default();
+    let policy = pick_policy(&mut rng);
+    let mut engine = Engine::new(config, registry.clone());
+
+    let host = FaultHost::new();
+    let plan = FaultPlan::draw(material ^ 0xFA17, n_ops, &[failpoint::WAL_FORCE]);
+    let planned = &plan.faults[0];
+    let force_every = rng.random_range(1usize..5);
+    let install_every = rng.random_range(0usize..4);
+
+    let mut snapshots = vec![snap(&engine, &ids)];
+    let mut targets: Vec<Lsn> = Vec::with_capacity(ops.len());
+    let mut good_forced = engine.wal().forced_lsn();
+    let mut torn = false;
+
+    for (i, spec) in ops.iter().enumerate() {
+        if i == planned.step {
+            host.arm(&planned.point, planned.kind);
+        }
+        engine
+            .execute(
+                spec.kind,
+                spec.reads.clone(),
+                spec.writes.clone(),
+                spec.transform.clone(),
+            )
+            .map_err(|e| format!("kv: execute step {i} failed: {e}"))?;
+        targets.push(engine.wal().end_lsn());
+        snapshots.push(snap(&engine, &ids));
+        if install_every > 0 && (i + 1) % install_every == 0 {
+            engine
+                .install_one()
+                .map_err(|e| format!("kv: install at step {i} failed: {e}"))?;
+        }
+        if (i + 1) % force_every == 0 {
+            match engine.wal_mut().force_with(Some(&host)) {
+                ForceOutcome::Forced(l) => good_forced = l,
+                ForceOutcome::Torn(durable) => {
+                    // The device tore mid-force: the watermark stays at the
+                    // pre-fault durable prefix and the "machine" dies now.
+                    good_forced = durable;
+                    torn = true;
+                    break;
+                }
+                ForceOutcome::Failed => {} // buffer intact; retried next round
+            }
+        }
+    }
+
+    let (store, wal) = if torn {
+        engine.crash() // the in-place tear already happened in force_with
+    } else {
+        match rng.random_range(0u32..3) {
+            0 => {
+                if let ForceOutcome::Forced(l) = engine.wal_mut().force_with(None) {
+                    good_forced = l;
+                }
+                engine.crash()
+            }
+            1 => engine.crash(), // power failure: unforced buffer lost
+            _ => engine.crash_torn(rng.random_range(0usize..4096)),
+        }
+    };
+    let acked = targets.iter().filter(|t| **t <= good_forced).count();
+
+    let ctx = || {
+        format!(
+            "kv: n_objects={n_objects} n_ops={n_ops} policy={policy:?} \
+             plan=[{planned}] fired={:?} acked={acked}",
+            host.fired()
+        )
+    };
+
+    let (rec, _) = recover(store, wal, registry.clone(), config, policy)
+        .map_err(|e| format!("{}: recovery failed: {e}", ctx()))?;
+    verify_against_log(&rec, &registry).map_err(|e| format!("{}: oracle: {e}", ctx()))?;
+
+    let got = snap(&rec, &ids);
+    let k = snapshots
+        .iter()
+        .rposition(|s| *s == got)
+        .ok_or_else(|| format!("{}: recovered state matches no workload prefix", ctx()))?;
+    if k < acked {
+        return Err(format!(
+            "{}: acked-durable violated: {acked} ops were acknowledged but \
+             recovery surfaced prefix {k}",
+            ctx()
+        ));
+    }
+
+    // Idempotence: crashing the recovered engine and recovering again must
+    // be a fixed point.
+    let (store2, wal2) = rec.crash();
+    let (rec2, _) = recover(store2, wal2, registry.clone(), config, policy)
+        .map_err(|e| format!("{}: second recovery failed: {e}", ctx()))?;
+    if snap(&rec2, &ids) != got {
+        return Err(format!("{}: recovery is not idempotent", ctx()));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 1: sharded engine, group-commit pipeline faults
+// ---------------------------------------------------------------------------
+
+fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
+    let mut rng = TestRng::seed_from_u64(material ^ 0x5AAD_ED00);
+    let n_objects = rng.random_range(2u64..10);
+    let shards = rng.random_range(1usize..4);
+    let commit = if rng.ratio(0.25) {
+        CommitPolicy::Sync
+    } else {
+        CommitPolicy::Group(GroupCommitPolicy {
+            batch_ops: rng.random_range(1usize..6),
+            max_delay: Duration::from_micros(200),
+        })
+    };
+    let config = ShardedConfig {
+        shards,
+        engine: EngineConfig::default(),
+        commit,
+        force_latency: Duration::ZERO,
+        max_uninstalled: 64,
+        install_high_water: rng.random_range(2usize..8),
+    };
+    let registry = TransformRegistry::with_builtins();
+    let policy = pick_policy(&mut rng);
+    let host = Arc::new(FaultHost::new());
+    let engine = ShardedEngine::new_with_faults(config, &registry, Some(host.clone()));
+
+    let plan = FaultPlan::draw(
+        material ^ 0x10_57,
+        n_ops,
+        &[
+            failpoint::FLUSHER_FORCE,
+            failpoint::WAL_FORCE,
+            failpoint::INSTALL,
+        ],
+    );
+    let planned = &plan.faults[0];
+
+    // Single-object writes only (cross-shard sets are rejected by design).
+    // writes[x] is the ordered history of values written to x, paired with
+    // its commit ticket.
+    let mut history: BTreeMap<ObjectId, Vec<(Value, CommitTicket)>> = BTreeMap::new();
+    for i in 0..n_ops {
+        if i == planned.step {
+            host.arm(&planned.point, planned.kind);
+        }
+        let x = ObjectId(rng.random_range(0..n_objects));
+        let v = Value::from(format!("s{i}-{}", rng.next_u32()).as_bytes());
+        match engine.execute(
+            OpKind::Physical,
+            vec![],
+            vec![x],
+            Transform::new(builtin::CONST, builtin::encode_values(&[v.clone()])),
+        ) {
+            Ok(t) => history.entry(x).or_default().push((v, t)),
+            // A shard killed by an injected fault rejects later work —
+            // that is correct behaviour, not a violation.
+            Err(_) => continue,
+        }
+    }
+
+    // Settle every ticket: true = acknowledged durable, false = the shard
+    // died first (no promise was ever made).
+    let acked: BTreeMap<ObjectId, Vec<(Value, bool)>> = history
+        .iter()
+        .map(|(x, writes)| {
+            (
+                *x,
+                writes
+                    .iter()
+                    .map(|(v, t)| (v.clone(), t.wait()))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+
+    let parts = if rng.bool() {
+        engine.crash()
+    } else {
+        let partials: Vec<usize> = (0..shards).map(|_| rng.random_range(0usize..512)).collect();
+        engine.crash_torn(&partials)
+    };
+
+    let ctx = || {
+        format!(
+            "sharded: shards={shards} n_ops={n_ops} policy={policy:?} \
+             plan=[{planned}] fired={:?}",
+            host.fired()
+        )
+    };
+
+    // Per-shard oracle replay from each surviving log.
+    let oracle: Vec<BTreeMap<ObjectId, Value>> = parts
+        .iter()
+        .map(|(_, wal)| replay_stable_log(wal, &registry))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{}: oracle replay failed: {e}", ctx()))?;
+
+    let (rec, _) = recover_sharded(parts, &registry, config, policy)
+        .map_err(|e| format!("{}: recovery failed: {e}", ctx()))?;
+
+    for x in (0..n_objects).map(ObjectId) {
+        let shard = rec.router().shard_of(x);
+        // Router disjointness: x's records may appear only in its home log.
+        for (s, o) in oracle.iter().enumerate() {
+            if s != shard && o.contains_key(&x) {
+                return Err(format!(
+                    "{}: object {x} routed to shard {shard} but found in shard {s}'s log",
+                    ctx()
+                ));
+            }
+        }
+        let expect = oracle[shard].get(&x).cloned().unwrap_or_else(Value::empty);
+        let got = rec
+            .read_value(x)
+            .map_err(|e| format!("{}: read {x} after recovery: {e}", ctx()))?;
+        if got != expect {
+            return Err(format!(
+                "{}: recovered {x} = {got:?}, oracle says {expect:?}",
+                ctx()
+            ));
+        }
+        // Acked-durable: the surviving value must come from the suffix of
+        // the write history starting at the last acknowledged write.
+        if let Some(writes) = acked.get(&x) {
+            if let Some(last_acked) = writes.iter().rposition(|(_, ok)| *ok) {
+                let survivors = &writes[last_acked..];
+                if !survivors.iter().any(|(v, _)| *v == got) {
+                    return Err(format!(
+                        "{}: acked-durable violated on {x}: acknowledged write \
+                         #{last_acked} (of {}) did not survive; recovered {got:?}",
+                        ctx(),
+                        writes.len()
+                    ));
+                }
+            }
+        }
+    }
+    drop(rec);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 2: persist round-trips under save/load faults
+// ---------------------------------------------------------------------------
+
+fn fuzz_persist(n_ops: usize, material: u64) -> Result<(), String> {
+    use llog_storage::StableStore;
+    use llog_wal::Wal;
+
+    let mut rng = TestRng::seed_from_u64(material ^ 0x9E45_1570);
+    let n_objects = rng.random_range(2u64..6);
+    let ids: Vec<ObjectId> = (0..n_objects).map(ObjectId).collect();
+    let ops = Workload::new(
+        n_objects,
+        n_ops,
+        WorkloadKind::physiological_only(),
+        rng.next_u64(),
+    )
+    .generate();
+    let registry = TransformRegistry::with_builtins();
+    let config = EngineConfig::default();
+    let policy = pick_policy(&mut rng);
+    let mut engine = Engine::new(config, registry.clone());
+    for (i, spec) in ops.iter().enumerate() {
+        engine
+            .execute(
+                spec.kind,
+                spec.reads.clone(),
+                spec.writes.clone(),
+                spec.transform.clone(),
+            )
+            .map_err(|e| format!("persist: execute step {i} failed: {e}"))?;
+        if rng.ratio(0.3) {
+            engine
+                .install_one()
+                .map_err(|e| format!("persist: install failed: {e}"))?;
+        }
+    }
+    engine.wal_mut().force();
+    let want = snap(&engine, &ids);
+    let (store, wal) = engine.crash();
+
+    let host = FaultHost::new();
+    let plan = FaultPlan::draw(
+        material ^ 0xD15C,
+        2,
+        &[
+            failpoint::STORE_SAVE,
+            failpoint::STORE_LOAD,
+            failpoint::WAL_SAVE,
+            failpoint::WAL_LOAD,
+        ],
+    );
+    let planned = &plan.faults[0];
+    host.arm(&planned.point, planned.kind);
+
+    let dir = std::env::temp_dir().join(format!("llog-fuzz-{}-{material:x}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("persist: mkdir: {e}"))?;
+    let store_path = dir.join("store.img");
+    let wal_path = dir.join("wal.img");
+    let cleanup = || {
+        let _ = std::fs::remove_dir_all(&dir);
+    };
+
+    let ctx = || {
+        format!(
+            "persist: n_ops={n_ops} plan=[{planned}] fired={:?}",
+            host.fired()
+        )
+    };
+
+    // Saves may fail outright (io_error): that is a reported error, never a
+    // silent corruption.
+    let saved_store = store.save_to_with(&store_path, Some(&host)).is_ok();
+    let saved_wal = wal.save_to_with(&wal_path, Some(&host)).is_ok();
+
+    let loaded_store = if saved_store {
+        StableStore::load_from_with(&store_path, llog_storage::Metrics::new(), Some(&host)).ok()
+    } else {
+        None
+    };
+    let loaded_wal = if saved_wal {
+        Wal::load_from_with(&wal_path, llog_storage::Metrics::new(), Some(&host)).ok()
+    } else {
+        None
+    };
+    cleanup();
+
+    // The one invariant that matters: a mangled image is NEVER silently
+    // accepted. Any load that returns Ok must reproduce the exact saved
+    // state, fault or no fault.
+    if let (Some(s2), Some(w2)) = (loaded_store, loaded_wal) {
+        let (rec, _) = recover(s2, w2, registry.clone(), config, policy)
+            .map_err(|e| format!("{}: recovery from round-tripped images failed: {e}", ctx()))?;
+        verify_against_log(&rec, &registry).map_err(|e| format!("{}: oracle: {e}", ctx()))?;
+        let got = snap(&rec, &ids);
+        if got != want {
+            return Err(format!(
+                "{}: silent corruption: round-tripped state diverged from the \
+                 saved state",
+                ctx()
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 3: domain workload (btree + fs + app), WAL-force faults
+// ---------------------------------------------------------------------------
+
+fn fuzz_domains(n_ops: usize, material: u64) -> Result<(), String> {
+    let mut rng = TestRng::seed_from_u64(material ^ 0xD0_3A14);
+    let mut registry = TransformRegistry::with_builtins();
+    register_domain_transforms(&mut registry);
+    let config = EngineConfig::default();
+    let policy = pick_policy(&mut rng);
+    let mut engine = Engine::new(config, registry.clone());
+
+    let meta = ObjectId(1_000);
+    let order = rng.random_range(3usize..6);
+    let logical_splits = rng.bool();
+    let tree = BTree::create(&mut engine, meta, order, logical_splits)
+        .map_err(|e| format!("domains: btree create: {e}"))?;
+    // Make creation durable before any fault can fire: from here on, a
+    // recovered image must always contain an openable tree.
+    engine.wal_mut().force();
+    let mut app = Application::new(ObjectId(2_000), WriteMode::Logical);
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+
+    let host = FaultHost::new();
+    let plan = FaultPlan::draw(material ^ 0xB7EE, n_ops, &[failpoint::WAL_FORCE]);
+    let planned = &plan.faults[0];
+    let force_every = rng.random_range(1usize..5);
+
+    let mut torn = false;
+    for i in 0..n_ops {
+        if i == planned.step {
+            host.arm(&planned.point, planned.kind);
+        }
+        match rng.random_range(0u32..10) {
+            0..=4 => {
+                let k = rng.random_range(0u64..64);
+                let v = format!("v{i}").into_bytes();
+                tree.insert(&mut engine, k, &v)
+                    .map_err(|e| format!("domains: insert step {i}: {e}"))?;
+                model.insert(k, v);
+            }
+            5 => {
+                let k = rng.random_range(0u64..64);
+                tree.remove(&mut engine, k)
+                    .map_err(|e| format!("domains: remove step {i}: {e}"))?;
+                model.remove(&k);
+            }
+            6 => {
+                let path = format!("/f{}", rng.random_range(0u32..4));
+                FileSystem::ingest(&mut engine, &path, format!("data{i}").as_bytes())
+                    .map_err(|e| format!("domains: ingest step {i}: {e}"))?;
+            }
+            7 => {
+                let path = format!("/f{}", rng.random_range(0u32..4));
+                if FileSystem::exists(&mut engine, &path) {
+                    FileSystem::append(&mut engine, &path, b"+rec")
+                        .map_err(|e| format!("domains: append step {i}: {e}"))?;
+                }
+            }
+            _ => {
+                app.step(&mut engine)
+                    .map_err(|e| format!("domains: app step {i}: {e}"))?;
+            }
+        }
+        if (i + 1) % force_every == 0 {
+            match engine.wal_mut().force_with(Some(&host)) {
+                ForceOutcome::Forced(_) => {}
+                ForceOutcome::Torn(_) => {
+                    torn = true;
+                    break;
+                }
+                ForceOutcome::Failed => {}
+            }
+        }
+    }
+
+    let clean = !torn && !host.is_armed() && host.fired().is_empty() && {
+        engine.wal_mut().force();
+        true
+    };
+    let (store, wal) = if torn {
+        engine.crash()
+    } else if clean {
+        engine.crash()
+    } else {
+        engine.crash_torn(rng.random_range(0usize..2048))
+    };
+
+    let ctx = || {
+        format!(
+            "domains: n_ops={n_ops} order={order} logical_splits={logical_splits} \
+             policy={policy:?} plan=[{planned}] fired={:?}",
+            host.fired()
+        )
+    };
+
+    let (mut rec, _) = recover(store, wal, registry.clone(), config, policy)
+        .map_err(|e| format!("{}: recovery failed: {e}", ctx()))?;
+    verify_against_log(&rec, &registry).map_err(|e| format!("{}: oracle: {e}", ctx()))?;
+
+    // Structural soundness even after a mid-operation tear: the tree must
+    // open, scan and pass its own invariants (orphaned post-split pages are
+    // fine; broken reachable structure is not).
+    let reopened = BTree::open(&mut rec, meta, order, logical_splits)
+        .map_err(|e| format!("{}: recovered btree does not open: {e}", ctx()))?;
+    reopened
+        .check_invariants(&mut rec)
+        .map_err(|e| format!("{}: recovered btree invariants: {e}", ctx()))?;
+    let scanned = reopened
+        .scan_all(&mut rec)
+        .map_err(|e| format!("{}: recovered btree scan: {e}", ctx()))?;
+
+    // On a fully-forced fault-free run the recovered tree must equal the
+    // model exactly.
+    if clean {
+        let got: BTreeMap<u64, Vec<u8>> = scanned.into_iter().collect();
+        if got != model {
+            return Err(format!(
+                "{}: clean crash lost acknowledged btree state: {} recovered \
+                 keys vs {} in the model",
+                ctx(),
+                got.len(),
+                model.len()
+            ));
+        }
+    }
+    Ok(())
+}

@@ -39,8 +39,8 @@ pub fn load_dir(dir: &Path) -> Result<(StableStore, Wal)> {
 /// Save `(store, wal)` into a database directory.
 pub fn save_dir(dir: &Path, store: &StableStore, wal: &Wal) -> Result<()> {
     std::fs::create_dir_all(dir).map_err(io_err)?;
-    store.save_to(&dir.join(STORE_FILE)).map_err(io_err)?;
-    wal.save_to(&dir.join(WAL_FILE)).map_err(io_err)?;
+    store.save_to(&dir.join(STORE_FILE))?;
+    wal.save_to(&dir.join(WAL_FILE))?;
     Ok(())
 }
 

@@ -437,13 +437,18 @@ impl Meta {
 
 impl BTree {
     /// Create a fresh tree whose metadata lives in `meta`.
+    ///
+    /// `order` must be at least 3: splitting an internal page hands half
+    /// its separators to the new sibling and promotes one, which needs
+    /// three to be well-defined — an order-2 tree would wedge on its
+    /// first internal split (found by `llog-fuzz`).
     pub fn create(
         engine: &mut Engine,
         meta: ObjectId,
         order: usize,
         logical_splits: bool,
     ) -> Result<BTree> {
-        assert!(order >= 2, "order must be at least 2");
+        assert!(order >= 3, "order must be at least 3");
         let t = BTree {
             meta,
             order,

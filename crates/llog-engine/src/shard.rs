@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 use llog_core::shared::lock;
 use llog_core::shared::WorkSignal;
 use llog_core::Engine;
+use llog_testkit::faults::{failpoint, FaultHost, ForceVerdict};
 use llog_types::{Lsn, OpId};
+use llog_wal::ForceOutcome;
 
 use crate::snapshot::GroupCommitSnapshot;
 
@@ -109,13 +111,16 @@ pub(crate) struct Shard {
     pub signal: WorkSignal,
     /// Commit-pipeline counters.
     pub counters: ShardCounters,
+    /// Fault-injection host consulted by the flusher, installer and
+    /// explicit force paths. `None` in production-shaped runs.
+    pub faults: Option<Arc<FaultHost>>,
 }
 
 impl Shard {
     /// Wrap `engine` as shard `index`. The watermark starts at the WAL's
     /// already-forced LSN so operations recovered from the log are born
     /// durable.
-    pub fn new(index: usize, engine: Engine) -> Shard {
+    pub fn new(index: usize, engine: Engine, faults: Option<Arc<FaultHost>>) -> Shard {
         let forced = engine.wal().forced_lsn();
         Shard {
             index,
@@ -129,6 +134,7 @@ impl Shard {
             bp_cv: Condvar::new(),
             signal: WorkSignal::new(),
             counters: ShardCounters::default(),
+            faults,
         }
     }
 
@@ -221,19 +227,63 @@ impl Shard {
 
     /// Force the shard's WAL once and advance the watermark — the
     /// single-force path used by checkpoints and explicit `force_shard`.
-    /// Returns `false` if the engine is gone.
+    /// Returns `false` if the engine is gone, the force failed with an
+    /// injected I/O error, or an injected tear killed the shard.
     pub fn force_now(&self) -> bool {
-        let forced = {
+        let outcome = {
             let mut g = lock(&self.engine);
             let Some(e) = g.as_mut() else {
                 return false;
             };
-            e.wal_mut().force();
-            e.wal().forced_lsn()
+            force_through_faults(e, self.faults.as_deref())
         };
-        self.advance_durable(forced);
-        true
+        match outcome {
+            ForceOutcome::Forced(lsn) => {
+                self.advance_durable(lsn);
+                true
+            }
+            ForceOutcome::Torn(lsn) => {
+                // The device tore the write: the shard is crashed. The
+                // watermark advances at most to the pre-fault durable
+                // prefix — nothing torn is ever acknowledged.
+                self.advance_durable(lsn);
+                self.request_stop(StopMode::Abandon);
+                false
+            }
+            ForceOutcome::Failed => false,
+        }
     }
+}
+
+/// Fault-aware force for a shard engine: consult the
+/// [`failpoint::FLUSHER_FORCE`] failpoint first (a fault in the flusher
+/// itself, e.g. a group-commit batch torn mid-force), then delegate to
+/// [`Wal::force_with`], which consults [`failpoint::WAL_FORCE`] (a fault in
+/// the device). An armed fault matches exactly one of the two points.
+///
+/// [`Wal::force_with`]: llog_wal::Wal::force_with
+pub(crate) fn force_through_faults(e: &mut Engine, faults: Option<&FaultHost>) -> ForceOutcome {
+    if let Some(h) = faults {
+        let buffered = e.wal().buffer_len();
+        if buffered > 0 {
+            match h.on_force(failpoint::FLUSHER_FORCE, buffered) {
+                ForceVerdict::Proceed => {}
+                ForceVerdict::TearAt(n) => {
+                    let durable = e.wal().forced_lsn();
+                    e.wal_mut().crash_torn(n);
+                    return ForceOutcome::Torn(durable);
+                }
+                ForceVerdict::FlipBit(bit) => {
+                    let durable = e.wal().forced_lsn();
+                    e.wal_mut().force();
+                    e.wal_mut().corrupt_stable_bit(durable, bit);
+                    return ForceOutcome::Torn(durable);
+                }
+                ForceVerdict::Fail => return ForceOutcome::Failed,
+            }
+        }
+    }
+    e.wal_mut().force_with(faults)
 }
 
 /// The per-shard log-flusher thread: batch `Wal::force` on a size/time
@@ -287,13 +337,38 @@ pub(crate) fn flusher_loop(
         // Phase 2: one force covers the whole batch (and anything that
         // slipped in after the pending count was captured — the force
         // writes the entire buffered tail, so over-coverage is safe).
-        let forced = {
+        let outcome = {
             let mut g = lock(&shard.engine);
             let Some(e) = g.as_mut() else {
                 return; // crashed underneath us
             };
-            e.wal_mut().force();
-            e.wal().forced_lsn()
+            force_through_faults(e, shard.faults.as_deref())
+        };
+        let forced = match outcome {
+            ForceOutcome::Forced(lsn) => lsn,
+            ForceOutcome::Torn(durable) => {
+                // The device tore the batch mid-force: this is a crash of
+                // the shard. The watermark may advance only to the
+                // pre-fault durable prefix, so nothing in the torn batch
+                // is ever acknowledged; parked ticket waiters wake with
+                // `false`.
+                shard.advance_durable(durable);
+                shard.request_stop(StopMode::Abandon);
+                return;
+            }
+            ForceOutcome::Failed => {
+                // Transient I/O error: the buffer is intact, nothing was
+                // acknowledged. Put the batch back and retry at the next
+                // trigger.
+                let mut gc = lock(&shard.gc);
+                gc.pending += batch;
+                if gc.oldest.is_none() {
+                    gc.oldest = Some(Instant::now());
+                }
+                drop(gc);
+                shard.gc_cv.notify_all();
+                continue;
+            }
         };
 
         // Phase 3: the device write is in flight; new appends may buffer
@@ -324,7 +399,21 @@ pub(crate) fn installer_loop(shard: &Shard, high_water: usize) {
             let mut g = lock(&shard.engine);
             match g.as_mut() {
                 None => return,
-                Some(e) if e.uninstalled_count() > high_water => e.install_one().unwrap_or(false),
+                Some(e) if e.uninstalled_count() > high_water => {
+                    // An injected install fault models a stalled/failing
+                    // store device: skip this round and park, exactly as a
+                    // real installer would back off. Correctness must not
+                    // depend on installs happening (redo covers them).
+                    let stalled = shard
+                        .faults
+                        .as_deref()
+                        .is_some_and(|h| h.on_install(failpoint::INSTALL));
+                    if stalled {
+                        false
+                    } else {
+                        e.install_one().unwrap_or(false)
+                    }
+                }
                 Some(_) => false,
             }
         };

@@ -10,6 +10,7 @@ use llog_core::shared::{lock, WorkSignal};
 use llog_core::{recover, Engine, EngineConfig, RecoveryOutcome, RedoPolicy};
 use llog_ops::{OpKind, Transform, TransformRegistry};
 use llog_storage::{MetricsSnapshot, StableStore};
+use llog_testkit::faults::FaultHost;
 use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
 use llog_wal::Wal;
 
@@ -101,27 +102,52 @@ pub struct ShardedEngine {
     rr: Arc<AtomicUsize>,
     /// Stops the checkpoint coordinator.
     ctl: Arc<WorkSignal>,
+    /// Fault-injection host shared with every shard's flusher/installer
+    /// (`None` outside fault-injection runs).
+    faults: Option<Arc<FaultHost>>,
 }
 
 impl ShardedEngine {
     /// Create `config.shards` fresh engines (empty stores, empty logs).
     pub fn new(config: ShardedConfig, registry: &TransformRegistry) -> ShardedEngine {
+        ShardedEngine::new_with_faults(config, registry, None)
+    }
+
+    /// [`ShardedEngine::new`] with a fault-injection host wired into every
+    /// shard's flusher, installer and explicit force path. Arm a fault on
+    /// the host ([`FaultHost::arm`]) and the next matching failpoint
+    /// consultation fires it — e.g. a group-commit batch torn mid-force.
+    pub fn new_with_faults(
+        config: ShardedConfig,
+        registry: &TransformRegistry,
+        faults: Option<Arc<FaultHost>>,
+    ) -> ShardedEngine {
         assert!(config.shards >= 1, "need at least one shard");
         let engines = (0..config.shards)
             .map(|_| Engine::new(config.engine, registry.clone()))
             .collect();
-        ShardedEngine::from_engines(config, engines)
+        ShardedEngine::from_engines_with_faults(config, engines, faults)
     }
 
     /// Wrap existing engines (the recovery path); `engines.len()`
     /// overrides `config.shards`.
-    pub fn from_engines(mut config: ShardedConfig, engines: Vec<Engine>) -> ShardedEngine {
+    pub fn from_engines(config: ShardedConfig, engines: Vec<Engine>) -> ShardedEngine {
+        ShardedEngine::from_engines_with_faults(config, engines, None)
+    }
+
+    /// [`ShardedEngine::from_engines`] with a fault-injection host (see
+    /// [`ShardedEngine::new_with_faults`]).
+    pub fn from_engines_with_faults(
+        mut config: ShardedConfig,
+        engines: Vec<Engine>,
+        faults: Option<Arc<FaultHost>>,
+    ) -> ShardedEngine {
         assert!(!engines.is_empty(), "need at least one shard");
         config.shards = engines.len();
         let shards: Vec<Arc<Shard>> = engines
             .into_iter()
             .enumerate()
-            .map(|(i, e)| Arc::new(Shard::new(i, e)))
+            .map(|(i, e)| Arc::new(Shard::new(i, e, faults.clone())))
             .collect();
         let mut threads = Vec::new();
         for shard in &shards {
@@ -145,7 +171,13 @@ impl ShardedEngine {
             threads: Mutex::new(threads),
             rr: Arc::new(AtomicUsize::new(0)),
             ctl: Arc::new(WorkSignal::new()),
+            faults,
         }
+    }
+
+    /// The fault-injection host, if one was wired in at construction.
+    pub fn fault_host(&self) -> Option<&Arc<FaultHost>> {
+        self.faults.as_ref()
     }
 
     /// The engine's configuration (with `shards` reflecting reality).
@@ -789,6 +821,111 @@ mod tests {
         let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
         for i in 0..16u64 {
             assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("drain"));
+        }
+    }
+
+    #[test]
+    fn torn_group_commit_batch_kills_shard_without_false_acks() {
+        use llog_testkit::faults::{failpoint, FaultKind};
+        let reg = registry();
+        // Manual flusher: it only fires when we ask it to via enqueue +
+        // max_delay expiry — here we use a small batch to trigger it.
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: 4,
+                // Long delay: the flusher only fires on a full batch, so the
+                // tear cannot race the doomed appends below.
+                max_delay: Duration::from_secs(3600),
+            }),
+            ..ShardedConfig::default()
+        };
+        let host = Arc::new(FaultHost::new());
+        let e = ShardedEngine::new_with_faults(cfg, &reg, Some(host.clone()));
+        // First batch forces cleanly.
+        let pre: Vec<CommitTicket> = (0..4u64).map(|i| put(&e, ObjectId(i), "pre")).collect();
+        for t in &pre {
+            assert!(t.wait());
+        }
+        // Arm a tear for the flusher's next force: the batch dies mid-write.
+        host.arm(
+            failpoint::FLUSHER_FORCE,
+            FaultKind::TornWrite { at_byte: 3 },
+        );
+        let doomed: Vec<CommitTicket> = (4..8u64).map(|i| put(&e, ObjectId(i), "doomed")).collect();
+        for t in &doomed {
+            assert!(
+                !t.wait(),
+                "a ticket in a torn batch must never report durable"
+            );
+            assert!(!t.is_durable());
+        }
+        assert_eq!(host.fired().len(), 1);
+        // The shard crashed; recovery sees the acked prefix, never the
+        // torn batch.
+        let parts = e.crash_torn(&[]);
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("pre"));
+        }
+        for i in 4..8u64 {
+            assert_eq!(
+                rec.read_value(ObjectId(i)).unwrap(),
+                Value::empty(),
+                "torn-batch op {i} must not survive"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_force_retries_and_acks_eventually() {
+        use llog_testkit::faults::{failpoint, FaultKind};
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: 2,
+                max_delay: Duration::from_millis(2),
+            }),
+            ..ShardedConfig::default()
+        };
+        let host = Arc::new(FaultHost::new());
+        let e = ShardedEngine::new_with_faults(cfg, &reg, Some(host.clone()));
+        host.arm(failpoint::FLUSHER_FORCE, FaultKind::IoError);
+        let tickets: Vec<CommitTicket> = (0..4u64).map(|i| put(&e, ObjectId(i), "rt")).collect();
+        for t in &tickets {
+            assert!(t.wait(), "single-shot I/O error must be survived by retry");
+        }
+        assert_eq!(host.fired().len(), 1);
+        let parts = e.crash();
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("rt"));
+        }
+    }
+
+    #[test]
+    fn install_fault_stalls_installer_but_redo_covers() {
+        use llog_testkit::faults::{failpoint, FaultKind};
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            install_high_water: 0,
+            ..ShardedConfig::default()
+        };
+        let host = Arc::new(FaultHost::new());
+        let e = ShardedEngine::new_with_faults(cfg, &reg, Some(host.clone()));
+        host.arm(failpoint::INSTALL, FaultKind::IoError);
+        let tickets: Vec<CommitTicket> = (0..8u64).map(|i| put(&e, ObjectId(i), "in")).collect();
+        for t in &tickets {
+            assert!(t.wait());
+        }
+        // Whether or not the stalled round delayed installs, redo recovery
+        // reconstructs everything acknowledged.
+        let parts = e.crash();
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("in"));
         }
     }
 

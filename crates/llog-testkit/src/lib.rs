@@ -17,6 +17,12 @@
 //! - [`bench`]: a tiny statistics-aware micro-bench runner (warmup, N
 //!   timed iterations, median/p95 wall-clock, JSON output) standing in for
 //!   Criterion in `crates/llog-bench/benches/*`.
+//! - [`faults`]: a deterministic fault-injection substrate — a seeded
+//!   [`FaultPlan`](faults::FaultPlan) plus a thread-safe single-shot
+//!   [`FaultHost`](faults::FaultHost) with named failpoints (torn write,
+//!   short fsync, I/O error, bit flip, delayed/reordered page write) that
+//!   the storage, WAL, and engine crates consult on their persistence
+//!   paths. Same seed ⇒ identical fault schedule.
 //!
 //! ## Deterministic seeding policy
 //!
@@ -27,9 +33,14 @@
 //! re-running with `LLOG_PROP_SEED=<seed>` replays the exact failure.
 
 pub mod bench;
+pub mod faults;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchGroup, BenchStats};
+pub use faults::{
+    failpoint, FaultHost, FaultKind, FaultPlan, FiredFault, ForceVerdict, InjectedFault,
+    PlannedFault, WriteVerdict,
+};
 pub use prop::{Config, Just, Strategy, StrategyExt};
 pub use rng::TestRng;

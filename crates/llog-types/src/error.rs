@@ -26,6 +26,15 @@ pub enum LlogError {
         /// What could not be decoded.
         reason: String,
     },
+    /// An I/O operation on a persistence path failed (device error, injected
+    /// fault). Distinct from [`LlogError::Codec`]: the bytes never made it to
+    /// or from the medium, as opposed to arriving mangled.
+    Io {
+        /// The failing path ("store.save", "wal.force", a file path, ...).
+        point: String,
+        /// OS error string or injected-fault description.
+        reason: String,
+    },
     /// A read named an object with no value in cache or stable state.
     ObjectMissing(ObjectId),
     /// A transform function id was not present in the registry at replay.
@@ -81,6 +90,7 @@ impl fmt::Display for LlogError {
                 write!(f, "corrupt log record at offset {offset}: {reason}")
             }
             LlogError::Codec { reason } => write!(f, "log codec error: {reason}"),
+            LlogError::Io { point, reason } => write!(f, "i/o error at {point}: {reason}"),
             LlogError::ObjectMissing(id) => write!(f, "object {id} missing"),
             LlogError::UnknownTransform(id) => {
                 write!(f, "transform {id:?} not registered for replay")
@@ -121,5 +131,13 @@ mod tests {
             end: Lsn(20),
         };
         assert!(e.to_string().contains("outside live log"));
+        let e = LlogError::Io {
+            point: "wal.force".to_string(),
+            reason: "injected write error".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "i/o error at wal.force: injected write error"
+        );
     }
 }

@@ -4,11 +4,32 @@
 use std::sync::Arc;
 
 use llog_storage::Metrics;
+use llog_testkit::faults::{failpoint, FaultHost, ForceVerdict};
 use llog_types::{crc32c, LlogError, Lsn, Result};
 
 use crate::record::LogRecord;
 
 const FRAME_HEADER: usize = 8; // len u32 + crc u32
+
+/// Result of a fault-aware force ([`Wal::force_with`]).
+///
+/// The carried LSN is always the **known-good durable prefix**: callers (the
+/// group-commit flusher in particular) may advance their durable watermark to
+/// it and no further. After a tear the torn bytes are physically in the
+/// stable image (the scan stops at them), but nothing past the pre-fault
+/// prefix may be acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForceOutcome {
+    /// The force completed; everything up to this LSN (exclusive) is stable.
+    Forced(Lsn),
+    /// The device tore the write (or rotted a bit of it). The LSN is the
+    /// durable prefix from *before* this force — the fault consumed the rest.
+    /// The in-memory WAL is now in its post-crash shape (buffer cleared).
+    Torn(Lsn),
+    /// The force failed with an I/O error before writing anything. The
+    /// buffer is intact; the caller may retry.
+    Failed,
+}
 
 /// The write-ahead log for one engine instance.
 ///
@@ -121,6 +142,66 @@ impl Wal {
         }
     }
 
+    /// Fault-aware force: consult the [`failpoint::WAL_FORCE`] failpoint on
+    /// `faults` (when present) before forcing. `force_with(None)` behaves
+    /// exactly like [`Wal::force`].
+    ///
+    /// An empty buffer short-circuits without consulting the host, mirroring
+    /// `force`'s no-op path (an fsync with nothing to sync cannot tear).
+    pub fn force_with(&mut self, faults: Option<&FaultHost>) -> ForceOutcome {
+        if self.buffer.is_empty() {
+            return ForceOutcome::Forced(self.forced_lsn());
+        }
+        let verdict = match faults {
+            Some(h) => h.on_force(failpoint::WAL_FORCE, self.buffer.len()),
+            None => ForceVerdict::Proceed,
+        };
+        match verdict {
+            ForceVerdict::Proceed => {
+                self.force();
+                ForceOutcome::Forced(self.forced_lsn())
+            }
+            ForceVerdict::TearAt(n) => {
+                // The device persisted only the first `n` buffered bytes and
+                // the machine died. Nothing past the previous durable prefix
+                // may be acknowledged.
+                let durable = self.forced_lsn();
+                self.crash_torn(n);
+                ForceOutcome::Torn(durable)
+            }
+            ForceVerdict::FlipBit(bit) => {
+                // The write "succeeded" but a bit of the new tail rotted.
+                let durable = self.forced_lsn();
+                self.force();
+                self.corrupt_stable_bit(durable, bit);
+                ForceOutcome::Torn(durable)
+            }
+            ForceVerdict::Fail => ForceOutcome::Failed,
+        }
+    }
+
+    /// Flip one bit in the stable image at or after `from` (a stable LSN).
+    /// The bit offset is reduced modulo the remaining stable length. No-op if
+    /// `from` is outside the stable range. CRC-guarded scans must detect the
+    /// rot; this is the hook fault-injection uses to prove they do.
+    pub fn corrupt_stable_bit(&mut self, from: Lsn, bit: u64) {
+        let Some(off) = from.0.checked_sub(self.base) else {
+            return;
+        };
+        let off = off as usize;
+        if off >= self.stable.len() {
+            return;
+        }
+        let span_bits = (self.stable.len() - off) * 8;
+        let b = off * 8 + (bit as usize) % span_bits;
+        self.stable[b / 8] ^= 1 << (b % 8);
+    }
+
+    /// Bytes currently buffered but not yet forced.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Force only if `lsn` is not yet stable (WAL-protocol helper).
     pub fn force_through(&mut self, lsn: Lsn) {
         if lsn >= self.forced_lsn() {
@@ -137,6 +218,17 @@ impl Wal {
     /// Crash with a torn tail: the device wrote only the first
     /// `partial_bytes` of the buffer. The scan must stop cleanly at the torn
     /// frame.
+    ///
+    /// Boundary semantics (both are meaningful crash schedules, not errors):
+    /// - `partial_bytes == 0` — the device wrote nothing before dying;
+    ///   identical to [`Wal::crash`].
+    /// - `partial_bytes >= buffer_len()` — the device wrote the whole buffer
+    ///   (clamped; no over-read), so every buffered frame is stable and
+    ///   scannable. The master-checkpoint pointer is still **not** promoted:
+    ///   the master record lives at a separate fixed disk location and the
+    ///   crash interrupted `force` before it could be updated. A buffered
+    ///   checkpoint frame that reaches disk this way is rediscovered by the
+    ///   analysis scan, not via the master pointer.
     pub fn crash_torn(&mut self, partial_bytes: usize) {
         let n = partial_bytes.min(self.buffer.len());
         self.stable.extend_from_slice(&self.buffer[..n]);
@@ -375,6 +467,143 @@ mod tests {
         w.crash_torn(FRAME_HEADER + 3);
         let mut scan = w.scan(w.start_lsn());
         assert!(matches!(scan.next(), Some(Err(LlogError::Corrupt { .. }))));
+    }
+
+    #[test]
+    fn crash_torn_zero_bytes_is_a_clean_crash() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        let forced = w.forced_lsn();
+        w.append(&op_record(1));
+        w.crash_torn(0);
+        // Nothing of the buffer reached disk: identical to crash().
+        assert_eq!(w.forced_lsn(), forced);
+        assert_eq!(w.buffer_len(), 0);
+        let recs: Vec<_> = w.scan(w.start_lsn()).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn crash_torn_full_buffer_is_a_complete_write() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        let len = w.buffer_len();
+        w.crash_torn(len);
+        // The whole frame is stable and scans cleanly.
+        let recs: Vec<_> = w.scan(w.start_lsn()).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, op_record(0));
+        assert_eq!(w.forced_lsn().0 as usize, 1 + len);
+    }
+
+    #[test]
+    fn crash_torn_past_buffer_len_clamps() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        let len = w.buffer_len();
+        w.crash_torn(usize::MAX);
+        // Clamped to the buffer: no phantom bytes, clean scan.
+        assert_eq!(w.forced_lsn().0 as usize, 1 + len);
+        let recs: Vec<_> = w.scan(w.start_lsn()).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn crash_torn_full_write_does_not_promote_master() {
+        let mut w = wal();
+        let _cp = w.append(&LogRecord::Checkpoint(CheckpointRecord::default()));
+        w.crash_torn(usize::MAX);
+        // The checkpoint frame is stable (analysis can rediscover it) but
+        // the fixed-location master pointer was never updated by a completed
+        // force.
+        assert_eq!(w.master_checkpoint(), None);
+        assert_eq!(w.scan(w.start_lsn()).filter(|r| r.is_ok()).count(), 1);
+    }
+
+    #[test]
+    fn crash_torn_zero_on_empty_buffer_is_noop() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        let forced = w.forced_lsn();
+        w.crash_torn(0); // empty buffer, zero bytes: nothing changes
+        assert_eq!(w.forced_lsn(), forced);
+        assert_eq!(w.scan(w.start_lsn()).count(), 1);
+    }
+
+    #[test]
+    fn force_with_none_matches_force() {
+        let m = Metrics::new();
+        let mut w = Wal::new(m.clone());
+        assert_eq!(w.force_with(None), ForceOutcome::Forced(Lsn(1)));
+        assert_eq!(m.snapshot().log_forces, 0, "empty force not counted");
+        w.append(&op_record(0));
+        let out = w.force_with(None);
+        assert_eq!(out, ForceOutcome::Forced(w.forced_lsn()));
+        assert_eq!(m.snapshot().log_forces, 1);
+    }
+
+    #[test]
+    fn force_with_tear_returns_pre_fault_durable_lsn() {
+        use llog_testkit::faults::FaultKind;
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        let durable = w.forced_lsn();
+        w.append(&op_record(1));
+        let h = FaultHost::new();
+        h.arm(failpoint::WAL_FORCE, FaultKind::TornWrite { at_byte: 3 });
+        let out = w.force_with(Some(&h));
+        assert_eq!(out, ForceOutcome::Torn(durable));
+        // The torn frame stops the scan; the record before it survives.
+        let mut scan = w.scan(w.start_lsn());
+        assert!(scan.next().unwrap().is_ok());
+        assert!(matches!(scan.next(), Some(Err(LlogError::Corrupt { .. }))));
+    }
+
+    #[test]
+    fn force_with_io_error_leaves_buffer_intact() {
+        use llog_testkit::faults::FaultKind;
+        let mut w = wal();
+        w.append(&op_record(0));
+        let h = FaultHost::new();
+        h.arm(failpoint::WAL_FORCE, FaultKind::IoError);
+        assert_eq!(w.force_with(Some(&h)), ForceOutcome::Failed);
+        assert!(w.buffer_len() > 0, "failed force must not consume buffer");
+        // Retry (fault is single-shot) succeeds.
+        let out = w.force_with(Some(&h));
+        assert!(matches!(out, ForceOutcome::Forced(_)));
+        assert_eq!(w.scan(w.start_lsn()).count(), 1);
+    }
+
+    #[test]
+    fn force_with_bit_flip_is_detected_by_scan() {
+        use llog_testkit::faults::FaultKind;
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        let durable = w.forced_lsn();
+        w.append(&op_record(1));
+        let h = FaultHost::new();
+        h.arm(failpoint::WAL_FORCE, FaultKind::BitFlip { offset: 17 });
+        let out = w.force_with(Some(&h));
+        assert_eq!(out, ForceOutcome::Torn(durable));
+        // The pre-fault prefix scans; the rotted tail is caught by CRC.
+        let mut scan = w.scan(w.start_lsn());
+        assert!(scan.next().unwrap().is_ok());
+        assert!(matches!(scan.next(), Some(Err(LlogError::Corrupt { .. }))));
+    }
+
+    #[test]
+    fn corrupt_stable_bit_out_of_range_is_noop() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        let image = w.stable.clone();
+        w.corrupt_stable_bit(w.forced_lsn(), 5); // at stable end: no-op
+        w.corrupt_stable_bit(Lsn::ZERO, 5); // before base: no-op
+        assert_eq!(w.stable, image);
     }
 
     #[test]

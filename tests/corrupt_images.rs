@@ -1,0 +1,186 @@
+//! Corrupt-image matrix for both persist formats.
+//!
+//! Every mangled image — truncated, CRC-flipped, magic-smashed, or lying
+//! about its own length — must be rejected with [`LlogError::Codec`]
+//! (or [`LlogError::Io`] for a missing file), and must **never** panic.
+//! The length-lie cases recompute the trailing CRC so the image sails past
+//! the checksum and exercises the structural bounds checks behind it.
+
+use llog_core::{Engine, EngineConfig};
+use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog_storage::{Metrics, StableStore};
+use llog_types::{crc32c, LlogError, ObjectId, Value};
+use llog_wal::Wal;
+
+/// A store/wal pair with real content: a few ops executed, installed and
+/// forced through an engine.
+fn sample_parts() -> (StableStore, Wal) {
+    let mut e = Engine::new(EngineConfig::default(), TransformRegistry::with_builtins());
+    for i in 0..8u64 {
+        e.execute(
+            OpKind::Physical,
+            vec![],
+            vec![ObjectId(i % 3)],
+            Transform::new(
+                builtin::CONST,
+                builtin::encode_values(&[Value::from(format!("v{i}").as_bytes())]),
+            ),
+        )
+        .unwrap();
+    }
+    e.install_all().unwrap();
+    e.wal_mut().force();
+    e.crash()
+}
+
+/// Re-seal `image` with a fresh CRC over everything before the last 4
+/// bytes, so structural lies survive the checksum gate.
+fn reseal(image: &mut [u8]) {
+    let n = image.len() - 4;
+    let crc = crc32c(&image[..n]);
+    image[n..].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn assert_codec(r: Result<(), LlogError>, what: &str) {
+    match r {
+        Ok(()) => panic!("{what}: mangled image was accepted"),
+        Err(LlogError::Codec { .. }) => {}
+        Err(other) => panic!("{what}: expected Codec error, got {other}"),
+    }
+}
+
+fn store_load(bytes: &[u8]) -> Result<(), LlogError> {
+    StableStore::deserialize(bytes, Metrics::new()).map(|_| ())
+}
+
+fn wal_load(bytes: &[u8]) -> Result<(), LlogError> {
+    Wal::deserialize(bytes, Metrics::new()).map(|_| ())
+}
+
+fn matrix(name: &str, image: &[u8], load: fn(&[u8]) -> Result<(), LlogError>) {
+    // Baseline: the untouched image must load.
+    load(image).unwrap_or_else(|e| panic!("{name}: pristine image rejected: {e}"));
+
+    // 1. Truncation at every interesting boundary (including empty).
+    for keep in [
+        0,
+        1,
+        7,
+        8,
+        image.len() / 2,
+        image.len().saturating_sub(5),
+        image.len() - 1,
+    ] {
+        assert_codec(
+            load(&image[..keep]),
+            &format!("{name}: truncated to {keep}"),
+        );
+    }
+
+    // 2. Flipped CRC bytes: every byte of the trailer.
+    for i in image.len() - 4..image.len() {
+        let mut m = image.to_vec();
+        m[i] ^= 0xFF;
+        assert_codec(load(&m), &format!("{name}: CRC byte {i} flipped"));
+    }
+
+    // 3. Bad magic, resealed so the CRC gate passes and the magic check
+    //    itself must fire.
+    let mut m = image.to_vec();
+    m[..8].copy_from_slice(b"NOTMAGIC");
+    reseal(&mut m);
+    assert_codec(load(&m), &format!("{name}: bad magic"));
+
+    // 4. Single-bit rot anywhere in the body is caught by the CRC.
+    for at in [8, 9, 16, 20, image.len() / 2, image.len() - 5] {
+        let at = at.min(image.len() - 1);
+        let mut m = image.to_vec();
+        m[at] ^= 0x01;
+        assert_codec(load(&m), &format!("{name}: bit rot at byte {at}"));
+    }
+
+    // 5. Garbage of assorted sizes.
+    for len in [0usize, 3, 19, 64, 1024] {
+        let junk: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        assert_codec(load(&junk), &format!("{name}: {len} junk bytes"));
+    }
+}
+
+#[test]
+fn store_image_matrix() {
+    let (store, _) = sample_parts();
+    matrix("store", &store.serialize(), store_load);
+}
+
+#[test]
+fn wal_image_matrix() {
+    let (_, wal) = sample_parts();
+    matrix("wal", &wal.serialize(), wal_load);
+}
+
+#[test]
+fn store_over_long_declared_count_is_rejected() {
+    let (store, _) = sample_parts();
+    let mut image = store.serialize();
+    // count lives at bytes 8..16; claim far more entries than exist. With
+    // the CRC resealed this must trip the per-entry bounds check, not the
+    // checksum.
+    image[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    reseal(&mut image);
+    assert_codec(store_load(&image), "store: count = u64::MAX");
+
+    let mut image = store.serialize();
+    let count = u64::from_le_bytes(image[8..16].try_into().unwrap());
+    image[8..16].copy_from_slice(&(count + 1).to_le_bytes());
+    reseal(&mut image);
+    assert_codec(store_load(&image), "store: count + 1");
+}
+
+#[test]
+fn store_under_long_declared_count_leaves_trailing_bytes() {
+    let (store, _) = sample_parts();
+    let mut image = store.serialize();
+    let count = u64::from_le_bytes(image[8..16].try_into().unwrap());
+    assert!(count >= 1);
+    image[8..16].copy_from_slice(&(count - 1).to_le_bytes());
+    reseal(&mut image);
+    assert_codec(store_load(&image), "store: count - 1");
+}
+
+#[test]
+fn wal_over_long_declared_stable_len_is_rejected() {
+    let (_, wal) = sample_parts();
+    for lie in [u64::MAX, 1 << 32] {
+        let mut image = wal.serialize();
+        // stable_len lives at bytes 24..32.
+        image[24..32].copy_from_slice(&lie.to_le_bytes());
+        reseal(&mut image);
+        assert_codec(wal_load(&image), &format!("wal: stable_len = {lie}"));
+    }
+    // Off-by-one in both directions.
+    let real = {
+        let image = wal.serialize();
+        u64::from_le_bytes(image[24..32].try_into().unwrap())
+    };
+    assert!(real > 0, "sample wal should have stable bytes");
+    for lie in [real + 1, real - 1] {
+        let mut image = wal.serialize();
+        image[24..32].copy_from_slice(&lie.to_le_bytes());
+        reseal(&mut image);
+        assert_codec(wal_load(&image), &format!("wal: stable_len = {lie}"));
+    }
+}
+
+#[test]
+fn missing_files_surface_as_io_not_panic() {
+    let dir = std::env::temp_dir().join("llog-corrupt-images-nope");
+    let path = dir.join("does-not-exist.img");
+    match StableStore::load_from(&path, Metrics::new()) {
+        Err(LlogError::Io { .. }) => {}
+        other => panic!("store load of missing file: {other:?}"),
+    }
+    match Wal::load_from(&path, Metrics::new()) {
+        Err(LlogError::Io { .. }) => {}
+        other => panic!("wal load of missing file: {other:?}"),
+    }
+}
