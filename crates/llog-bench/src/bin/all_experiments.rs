@@ -45,6 +45,11 @@ fn main() {
     println!("== E11 — sharded engines + group commit ==");
     println!("{}", llog_bench::e11_sharding::scaling_table(&e11));
     println!("{}", llog_bench::e11_sharding::batch_table(&e11));
+    let p12 = llog_bench::e12_recovery_speed::Params::from_env();
+    let e12 = llog_bench::e12_recovery_speed::run(&p12);
+    println!("== E12 — recovery modes + shared-pool sharded recovery ==");
+    println!("{}", llog_bench::e12_recovery_speed::modes_table(&e12));
+    println!("{}", llog_bench::e12_recovery_speed::sharded_table(&e12));
     let ok = (1..=5u64).all(llog_bench::e6_checkpointing::idempotency_check);
     println!(
         "Theorem 2 idempotency: {}",

@@ -15,7 +15,11 @@
 //!   same state);
 //! - no mangled persist image is ever silently accepted (CRC rejects
 //!   bit-rot; loads either fail or return the exact saved state);
-//! - sharded logs stay disjoint per the router.
+//! - sharded logs stay disjoint per the router;
+//! - differential mode oracle: every crashed image recovers to the same
+//!   store, dirty table, live-op set and [`RecoveryOutcome`] under
+//!   `RecoveryMode::Serial` and `RecoveryMode::Parallel` (and if one mode
+//!   rejects the image, so does the other).
 //!
 //! Failures are shrunk by the testkit property harness and print a repro
 //! command:
@@ -32,7 +36,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use llog_core::{recover, Engine, EngineConfig, RedoPolicy};
+use llog_core::{
+    recover, recover_with, Engine, EngineConfig, RecoveryMode, RecoveryOptions, RecoveryOutcome,
+    RedoPolicy,
+};
 use llog_domains::app::{Application, WriteMode};
 use llog_domains::btree::BTree;
 use llog_domains::fs::FileSystem;
@@ -208,6 +215,86 @@ fn snap(engine: &Engine, ids: &[ObjectId]) -> Vec<Value> {
     ids.iter().map(|&x| engine.peek_value(x)).collect()
 }
 
+/// Everything two recoveries must agree on: stable store contents, dirty
+/// table, and the set of live (uninstalled) operations.
+fn engine_fingerprint(e: &Engine) -> String {
+    format!(
+        "{:?}|{:?}|{:?}",
+        e.store().snapshot(),
+        e.dirty_table(),
+        e.live_op_ids()
+    )
+}
+
+/// Differential mode oracle: recover clones of the crashed image under
+/// `Serial` and `Parallel` and demand byte-identical stores and equal
+/// [`RecoveryOutcome`]s. If one mode errors, the other must error too.
+fn check_mode_divergence(
+    store: &llog_storage::StableStore,
+    wal: &llog_wal::Wal,
+    registry: &TransformRegistry,
+    config: EngineConfig,
+    policy: RedoPolicy,
+) -> Result<(), String> {
+    let serial = recover_with(
+        store.clone(),
+        wal.clone(),
+        registry.clone(),
+        config,
+        policy,
+        RecoveryOptions::serial(),
+    );
+    let parallel = recover_with(
+        store.clone(),
+        wal.clone(),
+        registry.clone(),
+        config,
+        policy,
+        RecoveryOptions {
+            mode: RecoveryMode::Parallel,
+            workers: Some(3),
+            decode_batch: 4,
+            ..RecoveryOptions::default()
+        },
+    );
+    match (serial, parallel) {
+        (Ok((se, so)), Ok((pe, po))) => {
+            if so != po {
+                return Err(format!(
+                    "mode divergence: serial outcome {so:?} != parallel outcome {po:?}"
+                ));
+            }
+            if engine_fingerprint(&se) != engine_fingerprint(&pe) {
+                return Err(
+                    "mode divergence: serial and parallel recovered states differ".to_string(),
+                );
+            }
+            Ok(())
+        }
+        (Err(_), Err(_)) => Ok(()), // consistently unrecoverable
+        (Ok(_), Err(e)) => Err(format!(
+            "mode divergence: serial recovered but parallel failed: {e}"
+        )),
+        (Err(e), Ok(_)) => Err(format!(
+            "mode divergence: parallel recovered but serial failed: {e}"
+        )),
+    }
+}
+
+/// [`check_mode_divergence`], then the default (single-pass) recovery of
+/// the original parts.
+fn recover_modes(
+    store: llog_storage::StableStore,
+    wal: llog_wal::Wal,
+    registry: &TransformRegistry,
+    config: EngineConfig,
+    policy: RedoPolicy,
+) -> Result<(Engine, RecoveryOutcome), String> {
+    check_mode_divergence(&store, &wal, registry, config, policy)?;
+    recover(store, wal, registry.clone(), config, policy)
+        .map_err(|e| format!("recovery failed: {e}"))
+}
+
 // ---------------------------------------------------------------------------
 // Mode 0: single-engine kv workload, WAL-force faults
 // ---------------------------------------------------------------------------
@@ -296,8 +383,8 @@ fn fuzz_kv_single(n_ops: usize, material: u64) -> Result<(), String> {
         )
     };
 
-    let (rec, _) = recover(store, wal, registry.clone(), config, policy)
-        .map_err(|e| format!("{}: recovery failed: {e}", ctx()))?;
+    let (rec, _) = recover_modes(store, wal, &registry, config, policy)
+        .map_err(|e| format!("{}: {e}", ctx()))?;
     verify_against_log(&rec, &registry).map_err(|e| format!("{}: oracle: {e}", ctx()))?;
 
     let got = snap(&rec, &ids);
@@ -316,8 +403,8 @@ fn fuzz_kv_single(n_ops: usize, material: u64) -> Result<(), String> {
     // Idempotence: crashing the recovered engine and recovering again must
     // be a fixed point.
     let (store2, wal2) = rec.crash();
-    let (rec2, _) = recover(store2, wal2, registry.clone(), config, policy)
-        .map_err(|e| format!("{}: second recovery failed: {e}", ctx()))?;
+    let (rec2, _) = recover_modes(store2, wal2, &registry, config, policy)
+        .map_err(|e| format!("{}: second recovery: {e}", ctx()))?;
     if snap(&rec2, &ids) != got {
         return Err(format!("{}: recovery is not idempotent", ctx()));
     }
@@ -423,6 +510,13 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
         .map(|(_, wal)| replay_stable_log(wal, &registry))
         .collect::<Result<_, _>>()
         .map_err(|e| format!("{}: oracle replay failed: {e}", ctx()))?;
+
+    // Differential mode oracle per shard before the pool recovery
+    // consumes the parts.
+    for (i, (store, wal)) in parts.iter().enumerate() {
+        check_mode_divergence(store, wal, &registry, config.engine, policy)
+            .map_err(|e| format!("{}: shard {i}: {e}", ctx()))?;
+    }
 
     let (rec, _) = recover_sharded(parts, &registry, config, policy)
         .map_err(|e| format!("{}: recovery failed: {e}", ctx()))?;
@@ -559,8 +653,8 @@ fn fuzz_persist(n_ops: usize, material: u64) -> Result<(), String> {
     // accepted. Any load that returns Ok must reproduce the exact saved
     // state, fault or no fault.
     if let (Some(s2), Some(w2)) = (loaded_store, loaded_wal) {
-        let (rec, _) = recover(s2, w2, registry.clone(), config, policy)
-            .map_err(|e| format!("{}: recovery from round-tripped images failed: {e}", ctx()))?;
+        let (rec, _) = recover_modes(s2, w2, &registry, config, policy)
+            .map_err(|e| format!("{}: round-tripped images: {e}", ctx()))?;
         verify_against_log(&rec, &registry).map_err(|e| format!("{}: oracle: {e}", ctx()))?;
         let got = snap(&rec, &ids);
         if got != want {
@@ -670,8 +764,8 @@ fn fuzz_domains(n_ops: usize, material: u64) -> Result<(), String> {
         )
     };
 
-    let (mut rec, _) = recover(store, wal, registry.clone(), config, policy)
-        .map_err(|e| format!("{}: recovery failed: {e}", ctx()))?;
+    let (mut rec, _) = recover_modes(store, wal, &registry, config, policy)
+        .map_err(|e| format!("{}: {e}", ctx()))?;
     verify_against_log(&rec, &registry).map_err(|e| format!("{}: oracle: {e}", ctx()))?;
 
     // Structural soundness even after a mid-operation tear: the tree must

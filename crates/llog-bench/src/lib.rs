@@ -18,9 +18,11 @@
 //! | [`e9_cache_pressure`] | §3: bounded cache, eviction and forced installs |
 //! | [`e10_amortization`] | §4: updates amortized per flush |
 //! | [`e11_sharding`] | per-engine rW graphs: shard scaling + group commit |
+//! | [`e12_recovery_speed`] | Figure 2 extended: single-pass + parallel redo |
 
 pub mod e10_amortization;
 pub mod e11_sharding;
+pub mod e12_recovery_speed;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;

@@ -270,7 +270,33 @@ pub fn cmd_stats(dir: &Path) -> Result<()> {
         wal.master_checkpoint()
     );
     println!("metrics: {}", metrics.snapshot().to_json());
+    // Dry recovery of the loaded image (clones; nothing is written back)
+    // to surface the single-pass pipeline's timing/counter block.
+    match recover(
+        store.clone(),
+        wal.clone(),
+        registry(),
+        EngineConfig::default(),
+        RedoPolicy::RsiExposed,
+    ) {
+        Ok((engine, _)) => println!(
+            "recovery (dry run): {}",
+            recovery_block(&engine.metrics().snapshot())
+        ),
+        Err(e) => println!("recovery (dry run): unavailable ({e})"),
+    }
     Ok(())
+}
+
+/// Format the recovery counter block of a [`llog_storage::MetricsSnapshot`]
+/// as one `name=value` line (the `recovery_` prefix stripped).
+fn recovery_block(snap: &llog_storage::MetricsSnapshot) -> String {
+    snap.fields()
+        .iter()
+        .filter(|(name, _)| name.starts_with("recovery_"))
+        .map(|(name, v)| format!("{}={v}", &name["recovery_".len()..]))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn parse_policy(policy: &str) -> Result<RedoPolicy> {
@@ -303,6 +329,10 @@ pub fn cmd_recover(dir: &Path, policy: &str) -> Result<()> {
         } else {
             ""
         },
+    );
+    println!(
+        "recovery counters: {}",
+        recovery_block(&engine.metrics().snapshot())
     );
     engine.install_all()?;
     engine.checkpoint(true)?;

@@ -370,6 +370,29 @@ impl Engine {
         Ok(())
     }
 
+    /// Adopt an operation whose outputs were already computed by a parallel
+    /// redo worker: exactly [`apply_logged`](Self::apply_logged) minus the
+    /// input reads and transform application. Called in global log order by
+    /// the recovery merge step, so the cache, dirty table, writer index and
+    /// write graph end up identical to a serial replay.
+    pub(crate) fn adopt_replayed(&mut self, op: &Operation, lsn: Lsn, outputs: Vec<Value>) {
+        self.apply_outputs(op, lsn, outputs);
+        if self.config.graph == GraphKind::RW {
+            self.rw.add_op(op);
+        }
+        self.live_ops.insert(
+            op.id,
+            LiveOp {
+                op: op.clone(),
+                lsn,
+            },
+        );
+        self.next_op = self.next_op.max(op.id.0 + 1);
+        if self.config.audit {
+            self.full_history.push(op.clone());
+        }
+    }
+
     fn apply_outputs(&mut self, op: &Operation, lsn: Lsn, outputs: Vec<Value>) {
         let deleted = op.kind == OpKind::Delete;
         for (&x, v) in op.writes.iter().zip(outputs) {

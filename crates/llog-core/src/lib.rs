@@ -18,8 +18,12 @@
 //!   maintenance, checkpointing.
 //! - [`redo`]: the REDO tests — vSI-based and the generalized rSI +
 //!   exposed test (§5).
-//! - [`recover`](mod@recover): analysis and redo passes implementing `Recover`
-//!   (Figure 2) over the WAL.
+//! - [`recover`](mod@recover): the single-pass recovery pipeline — fused
+//!   analysis/redo over one log scan, conflict-component partitioning and
+//!   dependency-scheduled parallel replay (Figure 2, extended).
+//! - [`partition`]: union–find conflict components over `readset ∪
+//!   writeset` (the §2 commutativity argument that makes parallel redo
+//!   sound).
 //! - [`invariant`]: the `Inv(I)` audit used by tests (§3).
 
 pub mod cache;
@@ -27,6 +31,7 @@ pub mod exposed;
 pub mod igraph;
 pub mod invariant;
 pub mod media;
+pub mod partition;
 pub mod recover;
 pub mod redo;
 pub mod rwgraph;
@@ -36,7 +41,8 @@ pub mod wgraph;
 pub use cache::{Engine, EngineConfig, FlushStrategy, GraphKind};
 pub use igraph::{EdgeKind, InstallGraph};
 pub use media::{media_recover, media_recover_archived, Backup, BackupMode};
-pub use recover::{recover, RecoveryOutcome};
+pub use partition::partition_ops;
+pub use recover::{recover, recover_with, RecoveryMode, RecoveryOptions, RecoveryOutcome};
 pub use redo::RedoPolicy;
 pub use rwgraph::{NodeId, RWGraph};
 pub use shared::{InstallerHandle, SharedEngine};

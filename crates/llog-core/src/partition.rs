@@ -1,0 +1,202 @@
+//! Conflict-component partitioning for parallel redo.
+//!
+//! Two logged operations *conflict* when their `readset ∪ writeset`s
+//! intersect; the installation graph of §2 orders exactly the conflicting
+//! pairs, so operations in different connected components of the conflict
+//! graph commute — replaying the components in any interleaving (in
+//! particular, concurrently) while preserving log order *within* each
+//! component reproduces the serial replay state. This module computes those
+//! components with a union–find over the objects each retained op touches.
+//!
+//! Reads are unioned too, not just writes: an op that reads `x` and writes
+//! `y` must see `x`'s replayed value from the same component, so `x`'s
+//! writers and `y`'s writers cannot be scheduled independently.
+
+use std::collections::HashMap;
+
+use llog_ops::Operation;
+use llog_types::ObjectId;
+
+/// Union–find with path-halving and union-by-rank over dense indices.
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new() -> UnionFind {
+        UnionFind {
+            parent: Vec::new(),
+            rank: Vec::new(),
+        }
+    }
+
+    /// Add a fresh singleton set; returns its index.
+    fn push(&mut self) -> u32 {
+        let i = self.parent.len() as u32;
+        self.parent.push(i);
+        self.rank.push(0);
+        i
+    }
+
+    fn find(&mut self, mut i: u32) -> u32 {
+        while self.parent[i as usize] != i {
+            // Path halving: point at the grandparent as we walk up.
+            let gp = self.parent[self.parent[i as usize] as usize];
+            self.parent[i as usize] = gp;
+            i = gp;
+        }
+        i
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+    }
+}
+
+/// Partition `ops` (in log order) into conflict components.
+///
+/// Returns one `Vec<usize>` of indices into `ops` per component. Components
+/// appear in order of their earliest op; indices within a component are in
+/// log order (ascending). Ops touching no objects at all form singleton
+/// components.
+pub fn partition_ops<T>(ops: &[(T, Operation)]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new();
+    // Dense-map every object seen to a union-find node.
+    let mut obj_node: HashMap<ObjectId, u32> = HashMap::new();
+    // One extra node per op, so object-free ops are still representable and
+    // each op has a canonical root to group by.
+    let mut op_node: Vec<u32> = Vec::with_capacity(ops.len());
+
+    for (_, op) in ops {
+        let me = uf.push();
+        op_node.push(me);
+        for &x in op.reads.iter().chain(op.writes.iter()) {
+            let node = match obj_node.get(&x) {
+                Some(&n) => n,
+                None => {
+                    let n = uf.push();
+                    obj_node.insert(x, n);
+                    n
+                }
+            };
+            uf.union(me, node);
+        }
+    }
+
+    // Group op indices by root, preserving first-seen (log) order.
+    let mut root_slot: HashMap<u32, usize> = HashMap::new();
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for (i, &node) in op_node.iter().enumerate() {
+        let root = uf.find(node);
+        let slot = *root_slot.entry(root).or_insert_with(|| {
+            components.push(Vec::new());
+            components.len() - 1
+        });
+        components[slot].push(i);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llog_types::Lsn;
+
+    fn op(reads: &[u64], writes: &[u64]) -> (Lsn, Operation) {
+        (Lsn::ZERO, Operation::logical(0, reads, writes))
+    }
+
+    #[test]
+    fn disjoint_objects_make_disjoint_components() {
+        let ops = vec![op(&[], &[1]), op(&[], &[2]), op(&[1], &[1]), op(&[2], &[2])];
+        let parts = partition_ops(&ops);
+        assert_eq!(parts, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn reads_link_components() {
+        // Op 2 reads object 1 and writes object 2: the two chains merge.
+        let ops = vec![op(&[], &[1]), op(&[], &[2]), op(&[1], &[2])];
+        let parts = partition_ops(&ops);
+        assert_eq!(parts, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn independent_writers_are_singletons() {
+        let ops = vec![op(&[], &[4]), op(&[], &[7]), op(&[], &[11])];
+        let parts = partition_ops(&ops);
+        assert_eq!(parts, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn component_order_follows_first_op_and_indices_stay_sorted() {
+        let ops = vec![
+            op(&[], &[5]),
+            op(&[], &[9]),
+            op(&[], &[5]),
+            op(&[9], &[9]),
+            op(&[], &[3]),
+        ];
+        let parts = partition_ops(&ops);
+        assert_eq!(parts, vec![vec![0, 2], vec![1, 3], vec![4]]);
+        for comp in &parts {
+            assert!(comp.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn transitive_sharing_collapses_to_one_component() {
+        // 1-2, 2-3, 3-4: a chain through shared objects.
+        let ops = vec![
+            op(&[], &[1, 2]),
+            op(&[], &[2, 3]),
+            op(&[], &[3, 4]),
+            op(&[], &[4]),
+        ];
+        let parts = partition_ops(&ops);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_components() {
+        let ops: Vec<(Lsn, Operation)> = Vec::new();
+        assert!(partition_ops(&ops).is_empty());
+    }
+
+    #[test]
+    fn partition_covers_every_op_exactly_once() {
+        // Pseudo-random workload: every index appears in exactly one
+        // component.
+        let mut ops = Vec::new();
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = s % 17;
+            let b = (s >> 17) % 17;
+            ops.push(op(&[a], &[b]));
+        }
+        let parts = partition_ops(&ops);
+        let mut seen = vec![false; ops.len()];
+        for comp in &parts {
+            for &i in comp {
+                assert!(!seen[i], "op {i} in two components");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -25,7 +25,8 @@
 //!   parks instead of letting the write graph (and post-crash redo work)
 //!   grow without limit.
 //! - **Parallel crash & recovery**: [`ShardedEngine::crash`] crashes every
-//!   shard; [`recover_sharded`] recovers each on its own thread. A
+//!   shard; [`recover_sharded`] recovers them on a shared worker pool
+//!   bounded by `available_parallelism`. A
 //!   checkpoint coordinator ([`ShardedEngine::spawn_checkpointer`])
 //!   checkpoints shards round-robin and truncates per-shard logs.
 //! - **Aggregated accounting** ([`ShardedSnapshot`]): the per-shard
@@ -64,5 +65,8 @@ mod snapshot;
 
 pub use router::ShardRouter;
 pub use shard::CommitTicket;
-pub use sharded::{recover_sharded, CommitPolicy, GroupCommitPolicy, ShardedConfig, ShardedEngine};
+pub use sharded::{
+    recover_sharded, recover_sharded_with, CommitPolicy, GroupCommitPolicy, ShardedConfig,
+    ShardedEngine,
+};
 pub use snapshot::{GroupCommitSnapshot, ShardedSnapshot};

@@ -100,7 +100,10 @@ pub(crate) struct Shard {
     durable_cv: Condvar,
     /// Raised by crash: parked ticket waiters wake and report
     /// not-durable instead of hanging on a watermark that will never
-    /// advance.
+    /// advance. Also latched *under the engine lock* the instant a force
+    /// observes a torn/rotted write, so no concurrent force site (flusher,
+    /// checkpointer, sync commit) can touch the dead device afterwards and
+    /// advance the WAL's tail guard over the rotted bytes.
     dead: AtomicBool,
     /// Backpressure epoch: bumped by the installer after every install so
     /// parked executors re-check the uninstalled window.
@@ -235,7 +238,18 @@ impl Shard {
             let Some(e) = g.as_mut() else {
                 return false;
             };
-            force_through_faults(e, self.faults.as_deref())
+            if self.is_dead() {
+                return false; // the device already died mid-force
+            }
+            let outcome = force_through_faults(e, self.faults.as_deref());
+            if matches!(outcome, ForceOutcome::Torn(_)) {
+                // Latch device death while the engine lock is still held:
+                // a concurrent force site must never slip in between the
+                // torn write and the kill and advance the WAL's tail
+                // guard over the rotted bytes.
+                self.dead.store(true, Ordering::SeqCst);
+            }
+            outcome
         };
         match outcome {
             ForceOutcome::Forced(lsn) => {
@@ -342,7 +356,17 @@ pub(crate) fn flusher_loop(
             let Some(e) = g.as_mut() else {
                 return; // crashed underneath us
             };
-            force_through_faults(e, shard.faults.as_deref())
+            if shard.is_dead() {
+                return; // killed by a fault on another force path
+            }
+            let outcome = force_through_faults(e, shard.faults.as_deref());
+            if matches!(outcome, ForceOutcome::Torn(_)) {
+                // Latch death under the engine lock (see `Shard::dead`):
+                // after a torn batch no other force site may touch the
+                // device.
+                shard.dead.store(true, Ordering::SeqCst);
+            }
+            outcome
         };
         let forced = match outcome {
             ForceOutcome::Forced(lsn) => lsn,
@@ -397,6 +421,13 @@ pub(crate) fn installer_loop(shard: &Shard, high_water: usize) {
         }
         let worked = {
             let mut g = lock(&shard.engine);
+            // A dead shard's devices accept no writes: once a force has
+            // torn (death is latched under this lock), installing values
+            // into the stable store would leave it ahead of the log's
+            // recoverable prefix.
+            if shard.is_dead() {
+                return;
+            }
             match g.as_mut() {
                 None => return,
                 Some(e) if e.uninstalled_count() > high_water => {

@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use llog_core::shared::{lock, WorkSignal};
-use llog_core::{recover, Engine, EngineConfig, RecoveryOutcome, RedoPolicy};
+use llog_core::{recover_with, Engine, EngineConfig, RecoveryOptions, RecoveryOutcome, RedoPolicy};
 use llog_ops::{OpKind, Transform, TransformRegistry};
 use llog_storage::{MetricsSnapshot, StableStore};
 use llog_testkit::faults::FaultHost;
@@ -218,6 +218,13 @@ impl ShardedEngine {
         // timeout bounds the wait if an install raced the snapshot.
         let mut guard = loop {
             let g = lock(&shard.engine);
+            // A shard whose device died mid-force (torn/rotted write)
+            // rejects work even while its engine is still being collected:
+            // in particular the Sync-commit force below must never touch a
+            // dead WAL and advance its tail guard over rotted bytes.
+            if shard.is_dead() {
+                return Err(LlogError::CacheProtocol(format!("shard {idx} has crashed")));
+            }
             let under = match g.as_ref() {
                 None => return Err(LlogError::CacheProtocol(format!("shard {idx} has crashed"))),
                 Some(e) => {
@@ -436,13 +443,22 @@ impl ShardedEngine {
     /// Crash with torn log tails: shard `i` loses its unforced buffer
     /// except the first `partials[i % partials.len()]` bytes (an empty
     /// slice means clean tails everywhere).
+    ///
+    /// A shard whose device already died mid-force (torn/rotted write —
+    /// see [`Shard::dead`]'s latch) crashes *clean* instead: a dead device
+    /// cannot be mid-way through writing a final fragment, and a torn
+    /// append here would promote the WAL's tail guard past the earlier
+    /// fault's never-acknowledged bytes.
     pub fn crash_torn(self, partials: &[usize]) -> Vec<(StableStore, Wal)> {
+        // Snapshot device death *before* halting: the halt below marks
+        // every shard dead as part of crashing.
+        let dead: Vec<bool> = self.shards.iter().map(|s| s.is_dead()).collect();
         self.halt(StopMode::Abandon);
         self.take_engines()
             .into_iter()
             .enumerate()
             .map(|(i, e)| {
-                let partial = if partials.is_empty() {
+                let partial = if partials.is_empty() || dead[i] {
                     0
                 } else {
                     partials[i % partials.len()]
@@ -493,6 +509,16 @@ fn checkpoint_one(shard: &Shard, truncate: bool) -> Result<Lsn> {
             shard.index
         )));
     };
+    // `Engine::checkpoint` forces the WAL internally; a shard whose
+    // device died mid-force (torn/rotted write) must not be forced again,
+    // or the tail guard would advance over the rotted bytes. Checked
+    // under the engine lock, where death is latched.
+    if shard.is_dead() {
+        return Err(LlogError::CacheProtocol(format!(
+            "shard {} has crashed",
+            shard.index
+        )));
+    }
     let lsn = e.checkpoint(truncate)?;
     let forced = e.wal().forced_lsn();
     drop(g);
@@ -501,36 +527,96 @@ fn checkpoint_one(shard: &Shard, truncate: bool) -> Result<Lsn> {
 }
 
 /// Recover every shard of a crashed [`ShardedEngine`], **in parallel** —
-/// one thread per shard, each scanning only its own log (the per-shard rW
-/// graphs share no edges, so shard recoveries are independent). Returns
-/// the recovered engine plus each shard's [`RecoveryOutcome`], in shard
-/// order.
+/// a shared worker pool bounded by [`std::thread::available_parallelism`]
+/// claims shards off a queue, each scanning only its own log (the
+/// per-shard rW graphs share no edges, so shard recoveries are
+/// independent). With more shards than cores the pool stays fully busy
+/// without oversubscribing the machine; with fewer shards than cores no
+/// idle threads are spawned. Returns the recovered engine plus each
+/// shard's [`RecoveryOutcome`], in shard order.
+///
+/// Each shard recovers with [`RecoveryOptions::default`] (the single-pass
+/// pipeline); use [`recover_sharded_with`] to pick a different
+/// [`RecoveryMode`](llog_core::RecoveryMode) or pool size.
 pub fn recover_sharded(
+    parts: Vec<(StableStore, Wal)>,
+    registry: &TransformRegistry,
+    config: ShardedConfig,
+    policy: RedoPolicy,
+) -> Result<(ShardedEngine, Vec<RecoveryOutcome>)> {
+    recover_sharded_with(
+        parts,
+        registry,
+        config,
+        policy,
+        RecoveryOptions::default(),
+        None,
+    )
+}
+
+/// [`recover_sharded`] with explicit per-shard [`RecoveryOptions`] and an
+/// optional pool-size override (`None` = `available_parallelism`, clamped
+/// to the shard count either way).
+pub fn recover_sharded_with(
     parts: Vec<(StableStore, Wal)>,
     registry: &TransformRegistry,
     mut config: ShardedConfig,
     policy: RedoPolicy,
+    options: RecoveryOptions,
+    pool_threads: Option<usize>,
 ) -> Result<(ShardedEngine, Vec<RecoveryOutcome>)> {
     assert!(!parts.is_empty(), "need at least one shard to recover");
     config.shards = parts.len();
     let engine_config = config.engine;
-    let results: Vec<Result<(Engine, RecoveryOutcome)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|(store, wal)| {
+    let n = parts.len();
+    let pool = pool_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+
+    // Work queue: each shard's parts sit in a slot claimed exactly once
+    // via the atomic cursor; results land in ordered slots so shard order
+    // survives out-of-order completion.
+    let slots: Vec<Mutex<Option<(StableStore, Wal)>>> =
+        parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    type ShardRecovery = Result<(Engine, RecoveryOutcome)>;
+    let result_slots: Vec<Mutex<Option<ShardRecovery>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..pool)
+            .map(|_| {
                 let registry = registry.clone();
-                scope.spawn(move || recover(store, wal, registry, engine_config, policy))
+                let (slots, result_slots, next) = (&slots, &result_slots, &next);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let (store, wal) = lock(&slots[i])
+                        .take()
+                        .expect("each shard slot is claimed exactly once");
+                    let r =
+                        recover_with(store, wal, registry.clone(), engine_config, policy, options);
+                    *lock(&result_slots[i]) = Some(r);
+                })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| Err(poisoned_recovery_thread())))
-            .collect()
+        for h in handles {
+            // A panicking worker leaves its shard's result slot empty;
+            // the collection loop below turns that into an error.
+            let _ = h.join();
+        }
     });
-    let mut engines = Vec::with_capacity(results.len());
-    let mut outcomes = Vec::with_capacity(results.len());
-    for r in results {
-        let (e, o) = r?;
+
+    let mut engines = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    for slot in result_slots {
+        let (e, o) = lock(&slot).take().ok_or_else(poisoned_recovery_thread)??;
         engines.push(e);
         outcomes.push(o);
     }
@@ -926,6 +1012,41 @@ mod tests {
         let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
         for i in 0..8u64 {
             assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("in"));
+        }
+    }
+
+    #[test]
+    fn shared_pool_recovers_more_shards_than_threads() {
+        use llog_core::{RecoveryMode, RecoveryOptions};
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 8,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..128u64 {
+            put(&e, ObjectId(i), "pool");
+        }
+        e.force_all().unwrap();
+        let parts = e.crash();
+        // Pool of 2 threads drains all 8 shard slots; serial mode inside
+        // each shard keeps the per-shard work single-threaded.
+        let (rec, outcomes) = recover_sharded_with(
+            parts,
+            &reg,
+            cfg,
+            RedoPolicy::RsiExposed,
+            RecoveryOptions {
+                mode: RecoveryMode::Serial,
+                ..RecoveryOptions::default()
+            },
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(rec.shards(), 8);
+        assert_eq!(outcomes.len(), 8);
+        for i in 0..128u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("pool"));
         }
     }
 

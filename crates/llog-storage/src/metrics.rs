@@ -47,6 +47,18 @@ pub struct Metrics {
     pub backup_bytes: AtomicU64,
     /// Clean objects evicted from the cache under pressure.
     pub evictions: AtomicU64,
+    /// Nanoseconds spent in the recovery analysis pass.
+    pub recovery_analysis_ns: AtomicU64,
+    /// Nanoseconds spent in the recovery redo pass.
+    pub recovery_redo_ns: AtomicU64,
+    /// Conflict components discovered by the recovery partitioner.
+    pub recovery_components: AtomicU64,
+    /// Worker threads used by the last parallel redo pass.
+    pub recovery_parallel_workers: AtomicU64,
+    /// Op records replayed straight from the analysis ring (no re-decode).
+    pub recovery_ring_reused: AtomicU64,
+    /// Log records decoded during recovery (analysis + any gap rescans).
+    pub recovery_records_decoded: AtomicU64,
 }
 
 impl Metrics {
@@ -82,6 +94,12 @@ impl Metrics {
             backup_copies: g(&self.backup_copies),
             backup_bytes: g(&self.backup_bytes),
             evictions: g(&self.evictions),
+            recovery_analysis_ns: g(&self.recovery_analysis_ns),
+            recovery_redo_ns: g(&self.recovery_redo_ns),
+            recovery_components: g(&self.recovery_components),
+            recovery_parallel_workers: g(&self.recovery_parallel_workers),
+            recovery_ring_reused: g(&self.recovery_ring_reused),
+            recovery_records_decoded: g(&self.recovery_records_decoded),
         }
     }
 
@@ -106,6 +124,12 @@ impl Metrics {
             &self.backup_copies,
             &self.backup_bytes,
             &self.evictions,
+            &self.recovery_analysis_ns,
+            &self.recovery_redo_ns,
+            &self.recovery_components,
+            &self.recovery_parallel_workers,
+            &self.recovery_ring_reused,
+            &self.recovery_records_decoded,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -151,6 +175,18 @@ pub struct MetricsSnapshot {
     pub backup_bytes: u64,
     /// Clean objects evicted under cache pressure.
     pub evictions: u64,
+    /// Nanoseconds spent in the recovery analysis pass.
+    pub recovery_analysis_ns: u64,
+    /// Nanoseconds spent in the recovery redo pass.
+    pub recovery_redo_ns: u64,
+    /// Conflict components discovered by the recovery partitioner.
+    pub recovery_components: u64,
+    /// Worker threads used by the last parallel redo pass.
+    pub recovery_parallel_workers: u64,
+    /// Op records replayed straight from the analysis ring.
+    pub recovery_ring_reused: u64,
+    /// Log records decoded during recovery.
+    pub recovery_records_decoded: u64,
 }
 
 impl MetricsSnapshot {
@@ -163,7 +199,7 @@ impl MetricsSnapshot {
     ///
     /// The single source of truth for serialization and aggregation, so a
     /// counter added to the struct cannot silently go missing from either.
-    pub fn fields(&self) -> [(&'static str, u64); 18] {
+    pub fn fields(&self) -> [(&'static str, u64); 24] {
         [
             ("obj_reads", self.obj_reads),
             ("obj_read_bytes", self.obj_read_bytes),
@@ -183,6 +219,12 @@ impl MetricsSnapshot {
             ("backup_copies", self.backup_copies),
             ("backup_bytes", self.backup_bytes),
             ("evictions", self.evictions),
+            ("recovery_analysis_ns", self.recovery_analysis_ns),
+            ("recovery_redo_ns", self.recovery_redo_ns),
+            ("recovery_components", self.recovery_components),
+            ("recovery_parallel_workers", self.recovery_parallel_workers),
+            ("recovery_ring_reused", self.recovery_ring_reused),
+            ("recovery_records_decoded", self.recovery_records_decoded),
         ]
     }
 
@@ -229,6 +271,22 @@ impl MetricsSnapshot {
             backup_copies: self.backup_copies.saturating_add(other.backup_copies),
             backup_bytes: self.backup_bytes.saturating_add(other.backup_bytes),
             evictions: self.evictions.saturating_add(other.evictions),
+            recovery_analysis_ns: self
+                .recovery_analysis_ns
+                .saturating_add(other.recovery_analysis_ns),
+            recovery_redo_ns: self.recovery_redo_ns.saturating_add(other.recovery_redo_ns),
+            recovery_components: self
+                .recovery_components
+                .saturating_add(other.recovery_components),
+            recovery_parallel_workers: self
+                .recovery_parallel_workers
+                .saturating_add(other.recovery_parallel_workers),
+            recovery_ring_reused: self
+                .recovery_ring_reused
+                .saturating_add(other.recovery_ring_reused),
+            recovery_records_decoded: self
+                .recovery_records_decoded
+                .saturating_add(other.recovery_records_decoded),
         }
     }
 
@@ -255,6 +313,24 @@ impl MetricsSnapshot {
             backup_copies: self.backup_copies.saturating_sub(earlier.backup_copies),
             backup_bytes: self.backup_bytes.saturating_sub(earlier.backup_bytes),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            recovery_analysis_ns: self
+                .recovery_analysis_ns
+                .saturating_sub(earlier.recovery_analysis_ns),
+            recovery_redo_ns: self
+                .recovery_redo_ns
+                .saturating_sub(earlier.recovery_redo_ns),
+            recovery_components: self
+                .recovery_components
+                .saturating_sub(earlier.recovery_components),
+            recovery_parallel_workers: self
+                .recovery_parallel_workers
+                .saturating_sub(earlier.recovery_parallel_workers),
+            recovery_ring_reused: self
+                .recovery_ring_reused
+                .saturating_sub(earlier.recovery_ring_reused),
+            recovery_records_decoded: self
+                .recovery_records_decoded
+                .saturating_sub(earlier.recovery_records_decoded),
         }
     }
 }
@@ -308,6 +384,35 @@ mod tests {
         let mut max = MetricsSnapshot::default();
         max.obj_writes = u64::MAX;
         assert_eq!(max.merged(&sum).obj_writes, u64::MAX);
+    }
+
+    #[test]
+    fn recovery_counters_round_trip() {
+        let m = Metrics::new();
+        Metrics::bump(&m.recovery_analysis_ns, 1_000);
+        Metrics::bump(&m.recovery_redo_ns, 2_000);
+        Metrics::bump(&m.recovery_components, 4);
+        Metrics::bump(&m.recovery_parallel_workers, 2);
+        Metrics::bump(&m.recovery_ring_reused, 17);
+        Metrics::bump(&m.recovery_records_decoded, 23);
+        let s = m.snapshot();
+        assert_eq!(s.recovery_components, 4);
+        assert_eq!(s.recovery_ring_reused, 17);
+        let json = s.to_json();
+        for key in [
+            "recovery_analysis_ns",
+            "recovery_redo_ns",
+            "recovery_components",
+            "recovery_parallel_workers",
+            "recovery_ring_reused",
+            "recovery_records_decoded",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert_eq!(s.merged(&s).recovery_records_decoded, 46);
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

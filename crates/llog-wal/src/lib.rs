@@ -21,4 +21,4 @@ mod wal;
 
 pub use archive::LogArchive;
 pub use record::{CheckpointRecord, InstallRecord, LogRecord};
-pub use wal::{ForceOutcome, Wal, WalScan};
+pub use wal::{ForceOutcome, ScanSummary, Wal, WalScan};

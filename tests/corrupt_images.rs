@@ -171,6 +171,105 @@ fn wal_over_long_declared_stable_len_is_rejected() {
     }
 }
 
+/// Corruption classification during recovery: bit-rot *behind* the last
+/// force boundary is mid-log damage and must fail recovery loudly in every
+/// mode, while damage in the final force's byte range is indistinguishable
+/// from a torn tail and must be clipped, not fatal.
+#[test]
+fn mid_log_corruption_fails_recovery_torn_tail_is_clipped() {
+    use llog_core::{recover_with, RecoveryMode, RecoveryOptions, RedoPolicy};
+
+    let write = |e: &mut Engine, x: u64, tag: &str| {
+        e.execute(
+            OpKind::Physical,
+            vec![],
+            vec![ObjectId(x)],
+            Transform::new(
+                builtin::CONST,
+                builtin::encode_values(&[Value::from(tag.as_bytes())]),
+            ),
+        )
+        .unwrap();
+    };
+    let build = || {
+        let mut e = Engine::new(EngineConfig::default(), TransformRegistry::with_builtins());
+        for i in 0..4u64 {
+            write(&mut e, i, "early");
+        }
+        e.wal_mut().force(); // first boundary: bytes before this are guarded
+        for i in 4..8u64 {
+            write(&mut e, i, "late");
+        }
+        e.wal_mut().force(); // final boundary
+        e
+    };
+    let modes = [
+        RecoveryOptions::serial(),
+        RecoveryOptions::default(),
+        RecoveryOptions {
+            mode: RecoveryMode::Parallel,
+            workers: Some(2),
+            ..RecoveryOptions::default()
+        },
+    ];
+
+    // Bit-rot in the first record (well before the last force): recovery
+    // must refuse the image rather than silently clip half the log.
+    for options in modes {
+        let mut e = build();
+        let first = e.wal().start_lsn();
+        e.wal_mut().corrupt_stable_bit(first, 12);
+        let (store, wal) = e.crash();
+        match recover_with(
+            store,
+            wal,
+            TransformRegistry::with_builtins(),
+            EngineConfig::default(),
+            RedoPolicy::RsiExposed,
+            options,
+        ) {
+            Err(LlogError::Corrupt { .. }) => {}
+            Ok(_) => panic!("{options:?}: mid-log corruption was silently clipped"),
+            Err(other) => panic!("{options:?}: expected Corrupt, got {other}"),
+        }
+    }
+
+    // Bit-rot inside the final force's range: looks exactly like a torn
+    // tail, so recovery clips it and keeps everything durable before it.
+    for options in modes {
+        let mut e = build();
+        let boundary = {
+            let mut b = e.wal().start_lsn();
+            for r in e.wal().scan(e.wal().start_lsn()) {
+                let (lsn, _) = r.unwrap();
+                if lsn.0 <= e.wal().forced_lsn().0 && b.0 < lsn.0 {
+                    b = lsn; // last record boundary at-or-before forced
+                }
+            }
+            b
+        };
+        // The final force covered records appended after the first force;
+        // corrupt at the last record's start, inside the guarded-tail
+        // range.
+        e.wal_mut().corrupt_stable_bit(boundary, 5);
+        let (store, wal) = e.crash();
+        let (rec, outcome) = recover_with(
+            store,
+            wal,
+            TransformRegistry::with_builtins(),
+            EngineConfig::default(),
+            RedoPolicy::RsiExposed,
+            options,
+        )
+        .unwrap_or_else(|err| panic!("{options:?}: tail corruption must clip, got {err}"));
+        assert!(
+            outcome.torn_tail,
+            "{options:?}: tail corruption must classify as torn"
+        );
+        assert_eq!(rec.peek_value(ObjectId(0)), Value::from("early".as_bytes()));
+    }
+}
+
 #[test]
 fn missing_files_surface_as_io_not_panic() {
     let dir = std::env::temp_dir().join("llog-corrupt-images-nope");

@@ -341,6 +341,101 @@ fn sharded_crash_with_one_shard_checkpointed() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential recovery-mode matrix: every crash image must recover to the
+// same state and outcome under Serial, SinglePass and Parallel modes.
+// ---------------------------------------------------------------------------
+
+fn mode_fingerprint(e: &llog::core::Engine) -> String {
+    format!(
+        "{:?}|{:?}|{:?}",
+        e.store().snapshot(),
+        e.dirty_table(),
+        e.live_op_ids()
+    )
+}
+
+fn assert_modes_agree(
+    store: &llog::storage::StableStore,
+    wal: &llog::wal::Wal,
+    reg: &TransformRegistry,
+    policy: RedoPolicy,
+    ctx: &str,
+) {
+    use llog::core::{recover_with, RecoveryMode, RecoveryOptions};
+    let (se, so) = recover_with(
+        store.clone(),
+        wal.clone(),
+        reg.clone(),
+        rw_config(),
+        policy,
+        RecoveryOptions::serial(),
+    )
+    .unwrap_or_else(|e| panic!("{ctx}: serial recovery failed: {e}"));
+    for options in [
+        RecoveryOptions::default(),
+        RecoveryOptions {
+            mode: RecoveryMode::Parallel,
+            workers: Some(3),
+            decode_batch: 4,
+            ..RecoveryOptions::default()
+        },
+    ] {
+        let (pe, po) = recover_with(
+            store.clone(),
+            wal.clone(),
+            reg.clone(),
+            rw_config(),
+            policy,
+            options,
+        )
+        .unwrap_or_else(|e| panic!("{ctx} {options:?}: recovery failed: {e}"));
+        assert_eq!(po, so, "{ctx} {options:?}: outcome diverged from serial");
+        assert_eq!(
+            mode_fingerprint(&pe),
+            mode_fingerprint(&se),
+            "{ctx} {options:?}: recovered state diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn recovery_modes_agree_on_every_crash_point() {
+    let reg = registry();
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1009).generate();
+    for cut in 0..=ops.len() {
+        for policy in [RedoPolicy::Vsi, RedoPolicy::RsiExposed] {
+            let mut engine = llog::core::Engine::new(rw_config(), reg.clone());
+            llog::sim::run_workload(&mut engine, &ops[..cut], 3, 0).unwrap();
+            engine.wal_mut().force();
+            let (store, wal) = engine.crash();
+            assert_modes_agree(&store, &wal, &reg, policy, &format!("cut {cut} {policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn recovery_modes_agree_on_torn_tails() {
+    let reg = registry();
+    let ops = Workload::new(7, 30, WorkloadKind::app_mix(), 1010).generate();
+    for torn in (0..400).step_by(13) {
+        let mut engine = llog::core::Engine::new(rw_config(), reg.clone());
+        // Force mid-stream so the torn tail lands beyond a real redo
+        // range, then leave the rest of the workload unforced.
+        llog::sim::run_workload(&mut engine, &ops[..20], 3, 0).unwrap();
+        engine.wal_mut().force();
+        llog::sim::run_workload(&mut engine, &ops[20..], 0, 0).unwrap();
+        let (store, wal) = engine.crash_torn(torn);
+        assert_modes_agree(
+            &store,
+            &wal,
+            &reg,
+            RedoPolicy::RsiExposed,
+            &format!("torn {torn}"),
+        );
+    }
+}
+
 #[test]
 fn delete_heavy_workload_matrix() {
     let mix = WorkloadKind {
