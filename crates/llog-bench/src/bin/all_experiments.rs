@@ -50,6 +50,11 @@ fn main() {
     println!("== E12 — recovery modes + shared-pool sharded recovery ==");
     println!("{}", llog_bench::e12_recovery_speed::modes_table(&e12));
     println!("{}", llog_bench::e12_recovery_speed::sharded_table(&e12));
+    let p13 = llog_bench::e13_backend_cost::Params::from_env();
+    let e13 = llog_bench::e13_backend_cost::run(&p13);
+    println!("== E13 — durability backends: incremental checkpoint + segment reclaim ==");
+    println!("{}", llog_bench::e13_backend_cost::ckpt_table(&e13));
+    println!("{}", llog_bench::e13_backend_cost::reclaim_table(&e13));
     let ok = (1..=5u64).all(llog_bench::e6_checkpointing::idempotency_check);
     println!(
         "Theorem 2 idempotency: {}",

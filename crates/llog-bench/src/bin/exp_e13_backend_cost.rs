@@ -1,0 +1,45 @@
+//! E13: durability backend cost — incremental checkpoints + segment reclaim.
+//!
+//! Writes `BENCH_e13.json` (override the path with `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI smoke runs.
+
+use llog_bench::e13_backend_cost::{ckpt_table, reclaim_table, run, Params};
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "E13 — durability backends: {} objects, {}% dirty, {} log records, \
+         {}-byte segments",
+        p.objects, p.dirty_pct, p.log_records, p.segment_bytes
+    );
+    let report = run(&p);
+
+    println!("\nPart A — incremental checkpoint vs full monolithic image:");
+    println!("{}", ckpt_table(&report));
+    println!(
+        "worst full-image/incremental ratio at {}% dirty: {:.1}x (target >= 10x): {}",
+        p.dirty_pct,
+        report.incr_ratio_1pct(),
+        if report.incr_ok() { "OK" } else { "FAIL" }
+    );
+
+    println!("\nPart B — truncation: whole-segment reclaim vs full rewrite:");
+    println!("{}", reclaim_table(&report));
+    println!(
+        "worst rewrite/reclaim ratio: {:.1}x (target >= 4x, whole segments dropped): {}",
+        report.reclaim_ratio(),
+        if report.reclaim_ok() { "OK" } else { "FAIL" }
+    );
+
+    let json = report.to_json();
+    println!("\n{json}");
+    let path = std::env::var("LLOG_BENCH_JSON").unwrap_or_else(|_| "BENCH_e13.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    if !report.incr_ok() || !report.reclaim_ok() {
+        std::process::exit(1);
+    }
+}

@@ -64,6 +64,7 @@ const DEFAULT_ITERS: u64 = 100;
 fn main() -> ExitCode {
     let mut iters: Option<u64> = env_u64("LLOG_FUZZ_ITERS");
     let mut seed: Option<u64> = env_u64("LLOG_FUZZ_SEED");
+    let mut mode: Option<usize> = env_u64("LLOG_FUZZ_MODE").map(|v| v as usize);
     let mut replay = false;
 
     let mut args = std::env::args().skip(1);
@@ -71,6 +72,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--iters" => iters = args.next().and_then(|v| v.parse().ok()),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()),
+            "--mode" => mode = args.next().and_then(|v| v.parse().ok()),
             "--replay" => replay = true,
             "--help" | "-h" => {
                 print_help();
@@ -95,7 +97,7 @@ fn main() -> ExitCode {
         let attempts = iters.unwrap_or(100);
         println!("llog-fuzz: replaying seed {s} (up to {attempts} attempts)");
         for attempt in 0..attempts {
-            if let Err(report) = run_iteration(s) {
+            if let Err(report) = run_iteration(s, mode) {
                 eprintln!("llog-fuzz: seed {s} reproduced on attempt {attempt}");
                 return fail(s, &report);
             }
@@ -106,11 +108,14 @@ fn main() -> ExitCode {
 
     let iters = iters.unwrap_or(DEFAULT_ITERS);
     let base = seed.unwrap_or_else(time_seed);
-    println!("llog-fuzz: base seed {base}, {iters} iterations");
+    match mode {
+        Some(m) => println!("llog-fuzz: base seed {base}, {iters} iterations, mode pinned to {m}"),
+        None => println!("llog-fuzz: base seed {base}, {iters} iterations"),
+    }
     let mut sm = SplitMix64::new(base);
     for i in 0..iters {
         let iter_seed = sm.next_u64();
-        if let Err(report) = run_iteration(iter_seed) {
+        if let Err(report) = run_iteration(iter_seed, mode) {
             eprintln!("llog-fuzz: iteration {i} FAILED");
             return fail(iter_seed, &report);
         }
@@ -126,10 +131,13 @@ fn print_help() {
     println!(
         "llog-fuzz — seeded crash-recovery fuzzer\n\
          \n\
-         USAGE: llog-fuzz [--iters N] [--seed S] [--replay]\n\
+         USAGE: llog-fuzz [--iters N] [--seed S] [--mode M] [--replay]\n\
          \n\
          --iters N   iterations to run (env LLOG_FUZZ_ITERS, default {DEFAULT_ITERS})\n\
          --seed S    base seed (env LLOG_FUZZ_SEED, default: wall clock)\n\
+         --mode M    pin the case family 0-4 (env LLOG_FUZZ_MODE; 0 kv,\n\
+        \x20            1 sharded, 2 persist, 3 domains, 4 mem-vs-file\n\
+        \x20            durability-backend differential on real files)\n\
          --replay    replay a single failing iteration seed and exit\n\
          \n\
          On failure the minimal shrunk counterexample is written to\n\
@@ -176,13 +184,20 @@ fn time_seed() -> u64 {
 /// `cases: 1` the harness generates exactly one case whose case-seed **is**
 /// the iteration seed (`LLOG_PROP_SEED` semantics), so `--replay` lands on
 /// the identical case.
-fn run_iteration(seed: u64) -> Result<(), String> {
+fn run_iteration(seed: u64, pin_mode: Option<usize>) -> Result<(), String> {
     std::env::set_var("LLOG_PROP_SEED", seed.to_string());
     let config = Config {
         cases: 1,
         max_shrink_steps: 256,
     };
-    let strategy = (0usize..4, 1usize..=40, 0u64..u64::MAX);
+    // `--mode M` pins the case family (CI runs a dedicated bounded pass of
+    // the Mem↔File backend differential, mode 4, on real files in a
+    // tmpdir); unpinned runs draw the mode from the seed.
+    let modes = match pin_mode {
+        Some(m) => m.min(4)..m.min(4) + 1,
+        None => 0usize..5,
+    };
+    let strategy = (modes, 1usize..=40, 0u64..u64::MAX);
     let r = run_property_result(
         "llog-fuzz",
         &config,
@@ -198,7 +213,8 @@ fn run_case(mode: usize, n_ops: usize, material: u64) -> Result<(), String> {
         0 => fuzz_kv_single(n_ops, material),
         1 => fuzz_sharded(n_ops, material),
         2 => fuzz_persist(n_ops, material),
-        _ => fuzz_domains(n_ops, material),
+        3 => fuzz_domains(n_ops, material),
+        _ => fuzz_backend_diff(n_ops, material),
     }
 }
 
@@ -662,6 +678,246 @@ fn fuzz_persist(n_ops: usize, material: u64) -> Result<(), String> {
                 "{}: silent corruption: round-tripped state diverged from the \
                  saved state",
                 ctx()
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 4: Mem↔File backend differential oracle, device-write faults
+// ---------------------------------------------------------------------------
+
+/// Demand two blob dumps are byte-identical, with a forensic diff message.
+fn blobs_equal(
+    what: &str,
+    mem: &[(String, Vec<u8>)],
+    file: &[(String, Vec<u8>)],
+) -> Result<(), String> {
+    let names = |d: &[(String, Vec<u8>)]| d.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    if names(mem) != names(file) {
+        return Err(format!(
+            "{what}: blob sets diverged: mem={:?} file={:?}",
+            names(mem),
+            names(file)
+        ));
+    }
+    for ((name, m), (_, f)) in mem.iter().zip(file.iter()) {
+        if m != f {
+            let at = m
+                .iter()
+                .zip(f.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(m.len().min(f.len()));
+            return Err(format!(
+                "{what}: blob {name} diverged at byte {at} (mem {} bytes, file {} bytes)",
+                m.len(),
+                f.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drive one engine workload while persisting to a Mem and a File backend
+/// under identically-armed device-fault plans; demand byte-identical blob
+/// state after every persist (crash cut) and identical recovery from both
+/// device images at the end.
+fn fuzz_backend_diff(n_ops: usize, material: u64) -> Result<(), String> {
+    use llog_storage::device::{
+        DeviceConfig, FileLogDevice, FileStoreDevice, MemLogDevice, MemStoreDevice, StoreDevice,
+    };
+    use llog_storage::Metrics;
+    use llog_wal::Wal;
+
+    let mut rng = TestRng::seed_from_u64(material ^ 0xBAC4_E2D1);
+    let n_objects = rng.random_range(2u64..8);
+    let ids: Vec<ObjectId> = (0..n_objects).map(ObjectId).collect();
+    let ops = Workload::new(n_objects, n_ops, WorkloadKind::app_mix(), rng.next_u64()).generate();
+    let registry = TransformRegistry::with_builtins();
+    let config = EngineConfig::default();
+    let policy = pick_policy(&mut rng);
+    let mut engine = Engine::new(config, registry.clone());
+
+    // Tiny segments / short chains so even small workloads cross rotation,
+    // truncation-reclaim and chain-compaction boundaries.
+    let cfg = DeviceConfig {
+        segment_bytes: rng.random_range(32usize..160),
+        compact_chain: rng.random_range(2usize..5),
+    };
+    let dir =
+        std::env::temp_dir().join(format!("llog-fuzz-dev-{}-{material:x}", std::process::id()));
+    let cleanup = {
+        let dir = dir.clone();
+        move || {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    };
+    let mut mem_log = MemLogDevice::mem(Metrics::new(), &cfg, Lsn(1));
+    let mut mem_store = MemStoreDevice::mem(Metrics::new(), &cfg);
+    let mut file_log = FileLogDevice::file(&dir.join("log"), Metrics::new(), &cfg, Lsn(1))
+        .map_err(|e| format!("backend-diff: open file log device: {e}"))?;
+    let mut file_store = FileStoreDevice::file(&dir.join("store"), Metrics::new(), &cfg)
+        .map_err(|e| format!("backend-diff: open file store device: {e}"))?;
+
+    // One planned device fault, armed on BOTH hosts at the same step: the
+    // verdict mutates the bytes before the blob layer, so both backends
+    // must tear/skip/corrupt identically.
+    let mem_host = FaultHost::new();
+    let file_host = FaultHost::new();
+    let plan = FaultPlan::draw(material ^ 0xD1FF_BACC, n_ops, failpoint::DEVICE);
+    let planned = &plan.faults[0];
+    let persist_every = rng.random_range(1usize..5);
+    let checkpoint_every = rng.random_range(3usize..8);
+
+    let ctx = || {
+        format!(
+            "backend-diff: n_objects={n_objects} n_ops={n_ops} cfg={cfg:?} \
+             policy={policy:?} plan=[{planned}] mem_fired={:?} file_fired={:?}",
+            mem_host.fired(),
+            file_host.fired()
+        )
+    };
+
+    for (i, spec) in ops.iter().enumerate() {
+        if i == planned.step {
+            mem_host.arm(&planned.point, planned.kind);
+            file_host.arm(&planned.point, planned.kind);
+        }
+        engine
+            .execute(
+                spec.kind,
+                spec.reads.clone(),
+                spec.writes.clone(),
+                spec.transform.clone(),
+            )
+            .map_err(|e| format!("backend-diff: execute step {i} failed: {e}"))?;
+        if rng.ratio(0.3) {
+            engine
+                .install_one()
+                .map_err(|e| format!("backend-diff: install failed: {e}"))?;
+        }
+        if (i + 1) % checkpoint_every == 0 {
+            // Truncating checkpoints advance the WAL base, so the next
+            // persist exercises whole-segment reclaim on both devices.
+            engine
+                .checkpoint(rng.bool())
+                .map_err(|e| format!("backend-diff: checkpoint failed: {e}"))?;
+        }
+        if (i + 1) % persist_every == 0 {
+            engine.wal_mut().force();
+            // Store checkpoint first, then the log (the backend ordering).
+            let m_ck = mem_store.checkpoint(engine.store(), Some(&mem_host));
+            let f_ck = file_store.checkpoint(engine.store(), Some(&file_host));
+            if m_ck.is_ok() != f_ck.is_ok() {
+                cleanup();
+                return Err(format!(
+                    "{}: store checkpoint verdicts diverged: mem={m_ck:?} file={f_ck:?}",
+                    ctx()
+                ));
+            }
+            let m_p = engine.wal().persist_to(&mut mem_log, Some(&mem_host));
+            let f_p = engine.wal().persist_to(&mut file_log, Some(&file_host));
+            match (&m_p, &f_p) {
+                (Ok(a), Ok(b)) if a != b => {
+                    cleanup();
+                    return Err(format!(
+                        "{}: durable LSNs diverged: mem={a} file={b}",
+                        ctx()
+                    ));
+                }
+                (Ok(_), Ok(_)) | (Err(_), Err(_)) => {}
+                _ => {
+                    cleanup();
+                    return Err(format!(
+                        "{}: log persist verdicts diverged: mem={m_p:?} file={f_p:?}",
+                        ctx()
+                    ));
+                }
+            }
+            // Crash cut: the durable blob state must be byte-identical.
+            let check = || -> Result<(), String> {
+                blobs_equal(
+                    "log device",
+                    &mem_log.dump_blobs().map_err(|e| e.to_string())?,
+                    &file_log.dump_blobs().map_err(|e| e.to_string())?,
+                )?;
+                blobs_equal(
+                    "store device",
+                    &mem_store.dump_blobs().map_err(|e| e.to_string())?,
+                    &file_store.dump_blobs().map_err(|e| e.to_string())?,
+                )
+            };
+            if let Err(e) = check() {
+                cleanup();
+                return Err(format!("{}: {e}", ctx()));
+            }
+        }
+    }
+    drop(engine);
+
+    // Reboot both backends: loads must agree (both refuse, or both produce
+    // the same image), and recovery from the device images must agree on
+    // outcome and recovered state.
+    let mem_loaded = (
+        mem_store.load_store(Metrics::new()),
+        Wal::load_from_device(&mem_log, Metrics::new()),
+    );
+    let file_loaded = (
+        file_store.load_store(Metrics::new()),
+        Wal::load_from_device(&file_log, Metrics::new()),
+    );
+    cleanup();
+    let pair = |r: (
+        Result<Option<llog_storage::StableStore>, llog_types::LlogError>,
+        Result<Option<Wal>, llog_types::LlogError>,
+    )|
+     -> Result<Option<(llog_storage::StableStore, Wal)>, String> {
+        match r {
+            (Ok(s), Ok(w)) => Ok(s.zip(w)),
+            (Err(e), _) | (_, Err(e)) => Err(e.to_string()),
+        }
+    };
+    match (pair(mem_loaded), pair(file_loaded)) {
+        (Ok(Some((ms, mw))), Ok(Some((fs_, fw)))) => {
+            if ms.snapshot() != fs_.snapshot() {
+                return Err(format!("{}: loaded stores diverged", ctx()));
+            }
+            let m_rec = recover(ms, mw, registry.clone(), config, policy);
+            let f_rec = recover(fs_, fw, registry.clone(), config, policy);
+            match (m_rec, f_rec) {
+                (Ok((me, mo)), Ok((fe, fo))) => {
+                    if mo != fo {
+                        return Err(format!(
+                            "{}: recovery outcomes diverged: mem={mo:?} file={fo:?}",
+                            ctx()
+                        ));
+                    }
+                    if engine_fingerprint(&me) != engine_fingerprint(&fe)
+                        || snap(&me, &ids) != snap(&fe, &ids)
+                    {
+                        return Err(format!("{}: recovered states diverged", ctx()));
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (m, f) => {
+                    return Err(format!(
+                        "{}: device recovery verdicts diverged: mem_ok={} file_ok={}",
+                        ctx(),
+                        m.is_ok(),
+                        f.is_ok()
+                    ));
+                }
+            }
+        }
+        (Ok(None), Ok(None)) => {}
+        (Err(_), Err(_)) => {} // both refuse the image — consistently
+        (m, f) => {
+            return Err(format!(
+                "{}: device loads diverged: mem={:?} file={:?}",
+                ctx(),
+                m.as_ref().map(|o| o.is_some()),
+                f.as_ref().map(|o| o.is_some())
             ));
         }
     }

@@ -1,0 +1,505 @@
+//! E13 — durability backend cost: incremental checkpoints + segment reclaim.
+//!
+//! The device tier (DESIGN §11) claims two asymptotic wins over the
+//! monolithic image files:
+//!
+//! - **Part A (checkpoints)**: `StoreDevice::checkpoint` diffs the store
+//!   against the last persisted state and writes only dirty objects. At a
+//!   1 % dirty rate the delta must be **≥10× smaller** than the full
+//!   monolithic image (`StableStore::serialize`) the old path rewrites on
+//!   every save — the O(dirty) vs O(store) argument, measured in bytes and
+//!   wall-clock on both backends.
+//! - **Part B (truncation)**: after a checkpoint truncates the WAL,
+//!   `Wal::persist_to` reclaims whole segments (delete + one manifest
+//!   rewrite) instead of rewriting the surviving log image. The bytes
+//!   written by the reclaim persist must be well below the monolithic
+//!   rewrite (`Wal::serialize`) of the survivors.
+//!
+//! The `exp_e13_backend_cost` binary prints both tables and writes
+//! `BENCH_e13.json` (path overridable via `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use llog_ops::Operation;
+use llog_sim::Table;
+use llog_storage::device::{
+    DeviceConfig, FileLogDevice, FileStoreDevice, LogDevice, MemLogDevice, MemStoreDevice,
+    StoreDevice,
+};
+use llog_storage::{Metrics, StableStore};
+use llog_types::{Lsn, ObjectId, Value};
+use llog_wal::{LogRecord, Wal};
+
+/// Workload knobs shared by both parts.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Objects in the checkpointed store (Part A).
+    pub objects: usize,
+    /// Payload bytes per object value.
+    pub value_bytes: usize,
+    /// Percent of objects dirtied between checkpoints (the paper-style
+    /// claim is pinned at 1 %).
+    pub dirty_pct: usize,
+    /// Log records appended before the truncation experiment (Part B).
+    pub log_records: usize,
+    /// Log segment size for Part B (small enough that reclaim drops many
+    /// whole segments).
+    pub segment_bytes: usize,
+}
+
+impl Params {
+    /// Full-size run.
+    pub fn full() -> Params {
+        Params {
+            objects: 2000,
+            value_bytes: 64,
+            dirty_pct: 1,
+            log_records: 512,
+            segment_bytes: 2048,
+        }
+    }
+
+    /// CI smoke run.
+    pub fn fast() -> Params {
+        Params {
+            objects: 400,
+            value_bytes: 64,
+            dirty_pct: 1,
+            log_records: 128,
+            segment_bytes: 512,
+        }
+    }
+
+    /// `fast()` when `LLOG_BENCH_FAST=1`, else `full()`.
+    pub fn from_env() -> Params {
+        let fast = std::env::var("LLOG_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if fast {
+            Params::fast()
+        } else {
+            Params::full()
+        }
+    }
+
+    fn dirty_count(&self) -> usize {
+        (self.objects * self.dirty_pct / 100).max(1)
+    }
+}
+
+/// Unique scratch directory for the file-backend rows.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("llog-e13-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn value(i: u64, generation: u64, bytes: usize) -> Value {
+    let mut v = vec![0u8; bytes.max(16)];
+    v[..8].copy_from_slice(&i.to_le_bytes());
+    v[8..16].copy_from_slice(&generation.to_le_bytes());
+    Value::from_slice(&v)
+}
+
+fn build_store(p: &Params) -> StableStore {
+    let mut store = StableStore::new(Metrics::new());
+    for i in 0..p.objects as u64 {
+        store.write(ObjectId(i), value(i, 0, p.value_bytes), Lsn(i + 1));
+    }
+    store
+}
+
+/// One Part A row: checkpoint cost on a given backend.
+#[derive(Debug, Clone)]
+pub struct CkptRow {
+    /// Backend (`mem` or `file`).
+    pub backend: String,
+    /// Objects in the store.
+    pub objects: usize,
+    /// Objects dirtied between the two checkpoints.
+    pub dirty: usize,
+    /// Bytes of the full monolithic image (`StableStore::serialize`) —
+    /// what the legacy path rewrites per save.
+    pub full_image_bytes: u64,
+    /// Bytes of the first device checkpoint (cold: everything is dirty).
+    pub first_ckpt_bytes: u64,
+    /// Bytes of the incremental checkpoint after dirtying `dirty` objects.
+    pub incr_ckpt_bytes: u64,
+    /// Wall-clock of the incremental checkpoint.
+    pub incr_elapsed_ns: u64,
+    /// Objects the incremental checkpoint wrote (== `dirty`).
+    pub objects_written: u64,
+    /// Objects it skipped as clean (== `objects - dirty`).
+    pub objects_skipped: u64,
+}
+
+impl CkptRow {
+    /// Full-image bytes over incremental bytes — the O(store)/O(dirty)
+    /// ratio the acceptance bar gates at ≥10×.
+    pub fn ratio(&self) -> f64 {
+        self.full_image_bytes as f64 / self.incr_ckpt_bytes.max(1) as f64
+    }
+}
+
+/// Run Part A on one backend.
+pub fn run_ckpt(kind: &str, p: &Params) -> CkptRow {
+    let metrics = Metrics::new();
+    let _scratch;
+    let mut dev: Box<dyn StoreDevice> = match kind {
+        "mem" => Box::new(MemStoreDevice::mem(
+            metrics.clone(),
+            &DeviceConfig::default(),
+        )),
+        _ => {
+            let s = Scratch::new("ckpt");
+            let d = FileStoreDevice::file(&s.0, metrics.clone(), &DeviceConfig::default())
+                .expect("file store device");
+            _scratch = s;
+            Box::new(d)
+        }
+    };
+    let mut store = build_store(p);
+    let first = dev.checkpoint(&store, None).expect("cold checkpoint");
+    let dirty = p.dirty_count();
+    for i in 0..dirty as u64 {
+        // Spread the dirty set across the id space.
+        let x = (i * p.objects as u64 / dirty as u64) % p.objects as u64;
+        store.write(
+            ObjectId(x),
+            value(x, 1, p.value_bytes),
+            Lsn(p.objects as u64 + i + 1),
+        );
+    }
+    let start = Instant::now();
+    let incr = dev
+        .checkpoint(&store, None)
+        .expect("incremental checkpoint");
+    let elapsed = start.elapsed();
+    CkptRow {
+        backend: kind.to_string(),
+        objects: p.objects,
+        dirty,
+        full_image_bytes: store.serialize().len() as u64,
+        first_ckpt_bytes: first.bytes_written,
+        incr_ckpt_bytes: incr.bytes_written,
+        incr_elapsed_ns: elapsed.as_nanos() as u64,
+        objects_written: incr.objects_written,
+        objects_skipped: incr.objects_skipped,
+    }
+}
+
+/// One Part B row: truncation reclaim cost on a given backend.
+#[derive(Debug, Clone)]
+pub struct ReclaimRow {
+    /// Backend (`mem` or `file`).
+    pub backend: String,
+    /// Log records appended before truncation.
+    pub records: usize,
+    /// Whole segments the reclaim persist dropped.
+    pub segments_reclaimed: u64,
+    /// Device bytes written by the reclaim persist (manifest rewrite only —
+    /// no data bytes move).
+    pub reclaim_bytes: u64,
+    /// Bytes a monolithic rewrite of the *surviving* log would cost
+    /// (`Wal::serialize` after truncation).
+    pub rewrite_bytes: u64,
+    /// Wall-clock of the reclaim persist.
+    pub reclaim_elapsed_ns: u64,
+}
+
+impl ReclaimRow {
+    /// Monolithic-rewrite bytes over reclaim bytes.
+    pub fn ratio(&self) -> f64 {
+        self.rewrite_bytes as f64 / self.reclaim_bytes.max(1) as f64
+    }
+}
+
+/// Run Part B on one backend.
+pub fn run_reclaim(kind: &str, p: &Params) -> ReclaimRow {
+    let metrics = Metrics::new();
+    let cfg = DeviceConfig {
+        segment_bytes: p.segment_bytes,
+        ..DeviceConfig::default()
+    };
+    let _scratch;
+    let mut dev: Box<dyn LogDevice> = match kind {
+        "mem" => Box::new(MemLogDevice::mem(metrics.clone(), &cfg, Lsn(1))),
+        _ => {
+            let s = Scratch::new("reclaim");
+            let d =
+                FileLogDevice::file(&s.0, metrics.clone(), &cfg, Lsn(1)).expect("file log device");
+            _scratch = s;
+            Box::new(d)
+        }
+    };
+    let mut wal = Wal::new(Metrics::new());
+    let mut boundaries = Vec::with_capacity(p.log_records);
+    for i in 0..p.log_records as u64 {
+        boundaries.push(wal.append(&LogRecord::Op(Operation::logical(i, &[i], &[i]))));
+    }
+    wal.force();
+    wal.persist_to(dev.as_mut(), None)
+        .expect("baseline persist");
+    // A checkpoint truncated the log to the last eighth of the records.
+    let keep_from = boundaries[p.log_records - p.log_records / 8 - 1];
+    wal.truncate_to(keep_from).expect("record boundary");
+    let before = metrics.snapshot();
+    let start = Instant::now();
+    wal.persist_to(dev.as_mut(), None).expect("reclaim persist");
+    let elapsed = start.elapsed();
+    let delta = metrics.snapshot().since(&before);
+    ReclaimRow {
+        backend: kind.to_string(),
+        records: p.log_records,
+        segments_reclaimed: delta.segments_reclaimed,
+        reclaim_bytes: delta.io_bytes_written,
+        rewrite_bytes: wal.serialize().len() as u64,
+        reclaim_elapsed_ns: elapsed.as_nanos() as u64,
+    }
+}
+
+/// Everything the binary reports.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Part A rows (mem + file).
+    pub checkpoints: Vec<CkptRow>,
+    /// Part B rows (mem + file).
+    pub reclaim: Vec<ReclaimRow>,
+}
+
+impl Report {
+    /// Worst (smallest) full-image/incremental ratio across backends.
+    pub fn incr_ratio_1pct(&self) -> f64 {
+        self.checkpoints
+            .iter()
+            .map(CkptRow::ratio)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Acceptance: a 1 %-dirty incremental checkpoint is ≥10× smaller
+    /// than the full image, on every backend.
+    pub fn incr_ok(&self) -> bool {
+        !self.checkpoints.is_empty() && self.incr_ratio_1pct() >= 10.0
+    }
+
+    /// Worst (smallest) rewrite/reclaim ratio across backends.
+    pub fn reclaim_ratio(&self) -> f64 {
+        self.reclaim
+            .iter()
+            .map(ReclaimRow::ratio)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Acceptance: reclaiming truncated segments writes ≥4× fewer bytes
+    /// than rewriting the surviving image, and drops whole segments.
+    pub fn reclaim_ok(&self) -> bool {
+        !self.reclaim.is_empty()
+            && self.reclaim_ratio() >= 4.0
+            && self.reclaim.iter().all(|r| r.segments_reclaimed > 0)
+    }
+
+    /// The machine-readable document behind `BENCH_e13.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\"experiment\":\"e13_backend_cost\",\"checkpoints\":[");
+        for (i, r) in self.checkpoints.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"backend\":{:?},\"objects\":{},\"dirty\":{},\
+                 \"full_image_bytes\":{},\"first_ckpt_bytes\":{},\
+                 \"incr_ckpt_bytes\":{},\"incr_elapsed_ns\":{},\
+                 \"objects_written\":{},\"objects_skipped\":{},\
+                 \"ratio\":{:.2}}}",
+                r.backend,
+                r.objects,
+                r.dirty,
+                r.full_image_bytes,
+                r.first_ckpt_bytes,
+                r.incr_ckpt_bytes,
+                r.incr_elapsed_ns,
+                r.objects_written,
+                r.objects_skipped,
+                r.ratio()
+            );
+        }
+        s.push_str("],\"reclaim\":[");
+        for (i, r) in self.reclaim.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"backend\":{:?},\"records\":{},\"segments_reclaimed\":{},\
+                 \"reclaim_bytes\":{},\"rewrite_bytes\":{},\
+                 \"reclaim_elapsed_ns\":{},\"ratio\":{:.2}}}",
+                r.backend,
+                r.records,
+                r.segments_reclaimed,
+                r.reclaim_bytes,
+                r.rewrite_bytes,
+                r.reclaim_elapsed_ns,
+                r.ratio()
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"incr_ratio_1pct\":{:.2},\"incr_ok\":{},\
+             \"reclaim_ratio\":{:.2},\"reclaim_ok\":{}}}",
+            self.incr_ratio_1pct(),
+            self.incr_ok(),
+            self.reclaim_ratio(),
+            self.reclaim_ok()
+        );
+        s
+    }
+}
+
+/// Run both parts on both backends.
+pub fn run(p: &Params) -> Report {
+    Report {
+        checkpoints: ["mem", "file"].iter().map(|k| run_ckpt(k, p)).collect(),
+        reclaim: ["mem", "file"].iter().map(|k| run_reclaim(k, p)).collect(),
+    }
+}
+
+/// Part A as a printable table.
+pub fn ckpt_table(report: &Report) -> Table {
+    let mut t = Table::new(vec![
+        "backend",
+        "objects",
+        "dirty",
+        "full image B",
+        "first ckpt B",
+        "incr ckpt B",
+        "ratio",
+        "written",
+        "skipped",
+        "incr ms",
+    ]);
+    for r in &report.checkpoints {
+        t.row(vec![
+            r.backend.clone(),
+            format!("{}", r.objects),
+            format!("{}", r.dirty),
+            format!("{}", r.full_image_bytes),
+            format!("{}", r.first_ckpt_bytes),
+            format!("{}", r.incr_ckpt_bytes),
+            format!("{:.1}x", r.ratio()),
+            format!("{}", r.objects_written),
+            format!("{}", r.objects_skipped),
+            format!("{:.3}", r.incr_elapsed_ns as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+/// Part B as a printable table.
+pub fn reclaim_table(report: &Report) -> Table {
+    let mut t = Table::new(vec![
+        "backend",
+        "records",
+        "segs reclaimed",
+        "reclaim B",
+        "rewrite B",
+        "ratio",
+        "reclaim ms",
+    ]);
+    for r in &report.reclaim {
+        t.row(vec![
+            r.backend.clone(),
+            format!("{}", r.records),
+            format!("{}", r.segments_reclaimed),
+            format!("{}", r.reclaim_bytes),
+            format!("{}", r.rewrite_bytes),
+            format!("{:.1}x", r.ratio()),
+            format!("{:.3}", r.reclaim_elapsed_ns as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_pct_dirty_checkpoint_is_ten_x_smaller() {
+        let p = Params::fast();
+        let row = run_ckpt("mem", &p);
+        assert_eq!(row.objects_written, p.dirty_count() as u64);
+        assert_eq!(
+            row.objects_skipped,
+            (p.objects - p.dirty_count()) as u64,
+            "clean objects must be skipped, not rewritten"
+        );
+        assert!(
+            row.ratio() >= 10.0,
+            "incremental checkpoint only {:.1}x smaller than the full \
+             image ({} vs {} bytes)",
+            row.ratio(),
+            row.incr_ckpt_bytes,
+            row.full_image_bytes
+        );
+    }
+
+    #[test]
+    fn truncation_reclaim_beats_monolithic_rewrite() {
+        let p = Params::fast();
+        let row = run_reclaim("mem", &p);
+        assert!(row.segments_reclaimed > 0, "no whole segments dropped");
+        assert!(
+            row.ratio() >= 4.0,
+            "reclaim wrote {} bytes vs a {}-byte rewrite ({:.1}x)",
+            row.reclaim_bytes,
+            row.rewrite_bytes,
+            row.ratio()
+        );
+    }
+
+    #[test]
+    fn file_backend_matches_mem_byte_counts() {
+        let p = Params::fast();
+        let mem = run_ckpt("mem", &p);
+        let file = run_ckpt("file", &p);
+        assert_eq!(mem.incr_ckpt_bytes, file.incr_ckpt_bytes);
+        assert_eq!(mem.first_ckpt_bytes, file.first_ckpt_bytes);
+        let mem_r = run_reclaim("mem", &p);
+        let file_r = run_reclaim("file", &p);
+        assert_eq!(mem_r.reclaim_bytes, file_r.reclaim_bytes);
+        assert_eq!(mem_r.segments_reclaimed, file_r.segments_reclaimed);
+    }
+
+    #[test]
+    fn json_carries_the_acceptance_fields() {
+        let report = run(&Params::fast());
+        let json = report.to_json();
+        for key in [
+            "\"experiment\":\"e13_backend_cost\"",
+            "\"checkpoints\":[",
+            "\"reclaim\":[",
+            "\"incr_ratio_1pct\":",
+            "\"incr_ok\":true",
+            "\"reclaim_ratio\":",
+            "\"reclaim_ok\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -19,10 +19,12 @@
 //! | [`e10_amortization`] | §4: updates amortized per flush |
 //! | [`e11_sharding`] | per-engine rW graphs: shard scaling + group commit |
 //! | [`e12_recovery_speed`] | Figure 2 extended: single-pass + parallel redo |
+//! | [`e13_backend_cost`] | DESIGN §11: incremental checkpoints + segment reclaim vs monolithic images |
 
 pub mod e10_amortization;
 pub mod e11_sharding;
 pub mod e12_recovery_speed;
+pub mod e13_backend_cost;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;

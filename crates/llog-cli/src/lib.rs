@@ -2,6 +2,7 @@
 //! testable without spawning processes).
 
 use std::path::Path;
+use std::sync::Arc;
 
 use llog_core::{media_recover, recover, Backup, BackupMode, Engine, EngineConfig, RedoPolicy};
 use llog_engine::{recover_sharded, ShardedConfig, ShardedEngine};
@@ -9,12 +10,60 @@ use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
 use llog_sim::{
     human_bytes, replay_stable_log, run_workload, verify_against_log, Table, Workload, WorkloadKind,
 };
+use llog_storage::device::DeviceConfig;
 use llog_storage::{Metrics, StableStore};
 use llog_types::{LlogError, Result};
-use llog_wal::{LogRecord, Wal};
+use llog_wal::{DurabilityBackend, LogRecord, Wal, LOG_SUBDIR};
 
 const STORE_FILE: &str = "store.llog";
 const WAL_FILE: &str = "wal.llog";
+
+/// Which durability backend a database directory uses (DESIGN §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Monolithic image files (`store.llog` + `wal.llog`), rewritten whole
+    /// on every save — the historical layout, and the on-disk twin of the
+    /// in-memory device backend.
+    Mem,
+    /// Segmented device layout (`log/` + `store/` subdirectories):
+    /// append-only WAL segments with per-segment CRCs and incremental
+    /// checkpoint deltas, persisted through [`DurabilityBackend::file`].
+    File,
+}
+
+impl Backend {
+    /// Parse a `--backend` argument.
+    pub fn parse(s: &str) -> Result<Backend> {
+        match s {
+            "mem" => Ok(Backend::Mem),
+            "file" => Ok(Backend::File),
+            other => Err(LlogError::Codec {
+                reason: format!("unknown backend {other:?} (expected mem|file)"),
+            }),
+        }
+    }
+
+    /// Sniff which layout a database directory holds: the presence of the
+    /// segmented log's manifest marks a device-backed image.
+    pub fn detect(dir: &Path) -> Backend {
+        if dir
+            .join(LOG_SUBDIR)
+            .join(llog_storage::device::WAL_MANIFEST)
+            .is_file()
+        {
+            Backend::File
+        } else {
+            Backend::Mem
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Mem => "mem",
+            Backend::File => "file",
+        }
+    }
+}
 
 fn registry() -> TransformRegistry {
     let mut r = TransformRegistry::with_builtins();
@@ -28,25 +77,59 @@ fn io_err(e: std::io::Error) -> LlogError {
     }
 }
 
-/// Load `(store, wal)` from a database directory.
-pub fn load_dir(dir: &Path) -> Result<(StableStore, Wal)> {
-    let metrics = Metrics::new();
-    let store = StableStore::load_from(&dir.join(STORE_FILE), metrics.clone())?;
-    let wal = Wal::load_from(&dir.join(WAL_FILE), metrics)?;
-    Ok((store, wal))
+/// Load `(store, wal)` from a database directory, auto-detecting the
+/// layout, with all I/O accounted into `metrics`.
+pub fn load_dir_with(dir: &Path, metrics: Arc<Metrics>) -> Result<(StableStore, Wal)> {
+    match Backend::detect(dir) {
+        Backend::File => {
+            let b = DurabilityBackend::file(dir, metrics.clone(), &DeviceConfig::default())?;
+            b.load(metrics)?.ok_or_else(|| LlogError::Codec {
+                reason: format!("{}: no device manifests to load", dir.display()),
+            })
+        }
+        Backend::Mem => {
+            let store = StableStore::load_from(&dir.join(STORE_FILE), metrics.clone())?;
+            let wal = Wal::load_from(&dir.join(WAL_FILE), metrics)?;
+            Ok((store, wal))
+        }
+    }
 }
 
-/// Save `(store, wal)` into a database directory.
-pub fn save_dir(dir: &Path, store: &StableStore, wal: &Wal) -> Result<()> {
+/// Load `(store, wal)` from a database directory (either layout).
+pub fn load_dir(dir: &Path) -> Result<(StableStore, Wal)> {
+    load_dir_with(dir, Metrics::new())
+}
+
+/// Save `(store, wal)` into a database directory under `backend`:
+/// monolithic image files, or an incremental persist through the
+/// segmented file devices (which resumes existing manifests, so repeated
+/// saves write only the dirty objects and the new log tail).
+pub fn save_dir_as(dir: &Path, store: &StableStore, wal: &Wal, backend: Backend) -> Result<()> {
     std::fs::create_dir_all(dir).map_err(io_err)?;
-    store.save_to(&dir.join(STORE_FILE))?;
-    wal.save_to(&dir.join(WAL_FILE))?;
+    match backend {
+        Backend::Mem => {
+            store.save_to(&dir.join(STORE_FILE))?;
+            wal.save_to(&dir.join(WAL_FILE))?;
+        }
+        Backend::File => {
+            let mut b = DurabilityBackend::file(dir, Metrics::new(), &DeviceConfig::default())?;
+            b.persist(store, wal, None)?;
+        }
+    }
     Ok(())
 }
 
+/// Save `(store, wal)` back into a database directory, preserving
+/// whichever layout the directory already uses.
+pub fn save_dir(dir: &Path, store: &StableStore, wal: &Wal) -> Result<()> {
+    let backend = Backend::detect(dir);
+    save_dir_as(dir, store, wal, backend)
+}
+
 /// `llogtool demo`: run a mixed workload, install some of it, crash, and
-/// save the resulting image for the other commands to chew on.
-pub fn cmd_demo(dir: &Path, ops: usize, seed: u64) -> Result<()> {
+/// save the resulting image (under `backend`) for the other commands to
+/// chew on.
+pub fn cmd_demo(dir: &Path, ops: usize, seed: u64, backend: Backend) -> Result<()> {
     let mut engine = Engine::new(EngineConfig::default(), registry());
     let specs = Workload::new(16, ops, WorkloadKind::app_mix(), seed).generate();
     let installs = run_workload(&mut engine, &specs, 7, 0)?;
@@ -54,14 +137,15 @@ pub fn cmd_demo(dir: &Path, ops: usize, seed: u64) -> Result<()> {
     engine.wal_mut().force();
     let m = engine.metrics().snapshot();
     let (store, wal) = engine.crash();
-    save_dir(dir, &store, &wal)?;
+    save_dir_as(dir, &store, &wal, backend)?;
     println!(
         "ran {ops} ops (seed {seed}), {installs} installs, then crashed; \
-         log {} in {} records, {} stable objects → {}",
+         log {} in {} records, {} stable objects → {} ({} backend)",
         human_bytes(m.log_bytes),
         m.log_records,
         store.len(),
-        dir.display()
+        dir.display(),
+        backend.name()
     );
     Ok(())
 }
@@ -70,7 +154,13 @@ pub fn cmd_demo(dir: &Path, ops: usize, seed: u64) -> Result<()> {
 /// with group commit, crash every shard at once, recover them in parallel,
 /// and save one database directory per shard (`<dir>/shard-N`, each of
 /// which the other commands accept).
-pub fn cmd_shard_demo(dir: &Path, shards: usize, ops: usize, seed: u64) -> Result<()> {
+pub fn cmd_shard_demo(
+    dir: &Path,
+    shards: usize,
+    ops: usize,
+    seed: u64,
+    backend: Backend,
+) -> Result<()> {
     let reg = registry();
     let config = ShardedConfig {
         shards,
@@ -122,7 +212,7 @@ pub fn cmd_shard_demo(dir: &Path, shards: usize, ops: usize, seed: u64) -> Resul
 
     let parts = engine.crash();
     for (i, (store, wal)) in parts.iter().enumerate() {
-        save_dir(&dir.join(format!("shard-{i}")), store, wal)?;
+        save_dir_as(&dir.join(format!("shard-{i}")), store, wal, backend)?;
     }
     println!(
         "crashed all shards; images saved → {}/shard-0..{}",
@@ -224,8 +314,8 @@ fn describe(rec: &LogRecord) -> String {
 /// `llogtool stats`: store and log statistics.
 pub fn cmd_stats(dir: &Path) -> Result<()> {
     let metrics = Metrics::new();
-    let store = StableStore::load_from(&dir.join(STORE_FILE), metrics.clone())?;
-    let wal = Wal::load_from(&dir.join(WAL_FILE), metrics.clone())?;
+    let backend = Backend::detect(dir);
+    let (store, wal) = load_dir_with(dir, metrics.clone())?;
     let mut by_kind = std::collections::BTreeMap::<&str, (u64, u64)>::new();
     for item in wal.scan(wal.start_lsn()) {
         let Ok((_, rec)) = item else { break };
@@ -269,7 +359,19 @@ pub fn cmd_stats(dir: &Path) -> Result<()> {
         wal.start_lsn(),
         wal.master_checkpoint()
     );
-    println!("metrics: {}", metrics.snapshot().to_json());
+    let snap = metrics.snapshot();
+    println!(
+        "backend: {} (io_bytes_written={} io_fsyncs={} segments_rotated={} \
+         segments_reclaimed={} ckpt_objects_written={} ckpt_objects_skipped={})",
+        backend.name(),
+        snap.io_bytes_written,
+        snap.io_fsyncs,
+        snap.segments_rotated,
+        snap.segments_reclaimed,
+        snap.ckpt_objects_written,
+        snap.ckpt_objects_skipped
+    );
+    println!("metrics: {}", snap.to_json());
     // Dry recovery of the loaded image (clones; nothing is written back)
     // to surface the single-pass pipeline's timing/counter block.
     match recover(
@@ -374,7 +476,18 @@ pub fn cmd_backup(dir: &Path, file: &Path) -> Result<()> {
 pub fn cmd_media_recover(dir: &Path, file: &Path) -> Result<()> {
     let backup = Backup::load_from(file)?;
     let metrics = Metrics::new();
-    let wal = Wal::load_from(&dir.join(WAL_FILE), metrics)?;
+    // The stable store is gone; only the directory's surviving log matters.
+    // Under the file layout the log device survives independently of the
+    // store device, so we load just the WAL half of the backend.
+    let wal = match Backend::detect(dir) {
+        Backend::File => {
+            let b = DurabilityBackend::file(dir, metrics.clone(), &DeviceConfig::default())?;
+            Wal::load_from_device(b.log(), metrics)?.ok_or_else(|| LlogError::Codec {
+                reason: format!("{}: no log manifest to load", dir.display()),
+            })?
+        }
+        Backend::Mem => Wal::load_from(&dir.join(WAL_FILE), metrics)?,
+    };
     let (mut engine, outcome) = media_recover(
         &backup,
         wal,
@@ -435,26 +548,55 @@ pub fn cmd_verify(dir: &Path) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("llogtool-test-{name}"));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
+    /// A uniquely-named per-test directory, removed on drop — including
+    /// drops during panic unwinding, so a failing test never leaves a
+    /// stale directory behind to poison a later run. The name carries the
+    /// pid plus a process-wide counter so concurrent test binaries (and
+    /// concurrent tests within one binary) never collide.
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(name: &str) -> TestDir {
+            static NONCE: AtomicU64 = AtomicU64::new(0);
+            let n = NONCE.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("llogtool-test-{name}-{}-{n}", std::process::id()));
+            assert!(!dir.exists(), "temp dir collision: {}", dir.display());
+            std::fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    impl std::ops::Deref for TestDir {
+        type Target = Path;
+        fn deref(&self) -> &Path {
+            self.path()
+        }
     }
 
     #[test]
     fn demo_then_verify_roundtrip() {
-        let dir = tmpdir("verify");
-        cmd_demo(&dir, 120, 7).unwrap();
+        let dir = TestDir::new("verify");
+        cmd_demo(&dir, 120, 7, Backend::Mem).unwrap();
         cmd_verify(&dir).unwrap();
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn demo_then_recover_then_stats_and_dump() {
-        let dir = tmpdir("recover");
-        cmd_demo(&dir, 80, 9).unwrap();
+        let dir = TestDir::new("recover");
+        cmd_demo(&dir, 80, 9, Backend::Mem).unwrap();
         cmd_dump(&dir).unwrap();
         cmd_stats(&dir).unwrap();
         cmd_recover(&dir, "rsi").unwrap();
@@ -469,29 +611,72 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.redone, 0);
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backend_demo_roundtrips_through_every_command() {
+        let dir = TestDir::new("filebackend");
+        cmd_demo(&dir, 80, 13, Backend::File).unwrap();
+        assert_eq!(Backend::detect(&dir), Backend::File);
+        assert!(dir.join(LOG_SUBDIR).join("wal-manifest.llog").is_file());
+        assert!(!dir.join(STORE_FILE).exists(), "no monolithic image files");
+        cmd_dump(&dir).unwrap();
+        cmd_stats(&dir).unwrap();
+        cmd_verify(&dir).unwrap();
+        cmd_recover(&dir, "rsi").unwrap();
+        // recover saved back in the *same* layout, incrementally.
+        assert_eq!(Backend::detect(&dir), Backend::File);
+        let (store, wal) = load_dir(&dir).unwrap();
+        let (_, out) = recover(
+            store,
+            wal,
+            registry(),
+            EngineConfig::default(),
+            RedoPolicy::RsiExposed,
+        )
+        .unwrap();
+        assert_eq!(out.redone, 0);
+    }
+
+    #[test]
+    fn mem_and_file_backends_recover_to_identical_stores() {
+        let mem_dir = TestDir::new("diff-mem");
+        let file_dir = TestDir::new("diff-file");
+        cmd_demo(&mem_dir, 90, 21, Backend::Mem).unwrap();
+        cmd_demo(&file_dir, 90, 21, Backend::File).unwrap();
+        let (ms, mw) = load_dir(&mem_dir).unwrap();
+        let (fs_, fw) = load_dir(&file_dir).unwrap();
+        assert_eq!(mw.forced_lsn(), fw.forced_lsn());
+        let msnap = ms.snapshot();
+        let fsnap = fs_.snapshot();
+        assert_eq!(msnap, fsnap, "same workload, same recovered store");
     }
 
     #[test]
     fn recover_with_vsi_policy_works() {
-        let dir = tmpdir("vsi");
-        cmd_demo(&dir, 60, 3).unwrap();
+        let dir = TestDir::new("vsi");
+        cmd_demo(&dir, 60, 3, Backend::Mem).unwrap();
         cmd_recover(&dir, "vsi").unwrap();
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn bad_policy_is_rejected() {
-        let dir = tmpdir("badpolicy");
-        cmd_demo(&dir, 10, 1).unwrap();
+        let dir = TestDir::new("badpolicy");
+        cmd_demo(&dir, 10, 1, Backend::Mem).unwrap();
         assert!(cmd_recover(&dir, "bogus").is_err());
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_backend_is_rejected() {
+        assert!(Backend::parse("floppy").is_err());
+        assert_eq!(Backend::parse("mem").unwrap(), Backend::Mem);
+        assert_eq!(Backend::parse("file").unwrap(), Backend::File);
     }
 
     #[test]
     fn backup_and_media_recover_roundtrip() {
-        let dir = tmpdir("media");
-        cmd_demo(&dir, 100, 11).unwrap();
+        let dir = TestDir::new("media");
+        cmd_demo(&dir, 100, 11, Backend::Mem).unwrap();
         let backup_file = dir.join("backup.llog");
         cmd_backup(&dir, &backup_file).unwrap();
         // Media failure: destroy the store file; the log survives.
@@ -499,13 +684,25 @@ mod tests {
         cmd_media_recover(&dir, &backup_file).unwrap();
         // The restored image verifies against recovery again.
         cmd_recover(&dir, "rsi").unwrap();
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backup_and_media_recover_roundtrip_file_backend() {
+        let dir = TestDir::new("media-file");
+        cmd_demo(&dir, 100, 11, Backend::File).unwrap();
+        let backup_file = dir.join("backup.llog");
+        cmd_backup(&dir, &backup_file).unwrap();
+        // Media failure: the store device dies wholesale; the segmented
+        // log device survives independently.
+        std::fs::remove_dir_all(dir.join(llog_wal::STORE_SUBDIR)).unwrap();
+        cmd_media_recover(&dir, &backup_file).unwrap();
+        cmd_recover(&dir, "rsi").unwrap();
     }
 
     #[test]
     fn shard_demo_roundtrip_and_per_shard_dirs_are_real_databases() {
-        let dir = tmpdir("sharddemo");
-        cmd_shard_demo(&dir, 2, 40, 5).unwrap();
+        let dir = TestDir::new("sharddemo");
+        cmd_shard_demo(&dir, 2, 40, 5, Backend::Mem).unwrap();
         // Each shard directory is a full database the other commands accept.
         for i in 0..2 {
             let shard_dir = dir.join(format!("shard-{i}"));
@@ -514,12 +711,27 @@ mod tests {
             cmd_verify(&shard_dir).unwrap();
             cmd_recover(&shard_dir, "rsi").unwrap();
         }
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_demo_file_backend_saves_device_layouts() {
+        let dir = TestDir::new("sharddemo-file");
+        cmd_shard_demo(&dir, 2, 40, 5, Backend::File).unwrap();
+        for i in 0..2 {
+            let shard_dir = dir.join(format!("shard-{i}"));
+            assert_eq!(Backend::detect(&shard_dir), Backend::File);
+            cmd_stats(&shard_dir).unwrap();
+            cmd_verify(&shard_dir).unwrap();
+            cmd_recover(&shard_dir, "rsi").unwrap();
+        }
     }
 
     #[test]
     fn missing_dir_errors_cleanly() {
-        let dir = std::env::temp_dir().join("llogtool-definitely-missing");
+        let dir = std::env::temp_dir().join(format!(
+            "llogtool-definitely-missing-{}",
+            std::process::id()
+        ));
         assert!(cmd_dump(&dir).is_err());
         assert!(cmd_stats(&dir).is_err());
     }

@@ -1,14 +1,19 @@
 //! `llogtool` — run, inspect, recover and verify llog databases on disk.
 //!
-//! A database directory holds two files: `store.llog` (the stable object
-//! store image) and `wal.llog` (the forced log). Commands:
+//! A database directory holds either two monolithic image files
+//! (`store.llog` + `wal.llog`, the `mem` backend layout) or the segmented
+//! device layout (`log/` + `store/` subdirectories, the `file` backend —
+//! append-only WAL segments, incremental checkpoint deltas). Commands
+//! auto-detect the layout; `--backend {mem,file}` picks it for the
+//! commands that create databases. Commands:
 //!
 //! ```text
-//! llogtool demo <dir> [ops] [seed]   run a workload and crash mid-flight
-//! llogtool shard-demo <dir> [shards] [ops] [seed]
+//! llogtool demo <dir> [ops] [seed] [--backend mem|file]
+//!                                    run a workload and crash mid-flight
+//! llogtool shard-demo <dir> [shards] [ops] [seed] [--backend mem|file]
 //!                                    sharded run + group commit + parallel recovery
 //! llogtool dump <dir>                print every stable log record
-//! llogtool stats <dir>               store/log statistics
+//! llogtool stats <dir>               store/log statistics + backend I/O counters
 //! llogtool recover <dir> [policy]    recover (vsi|rsi), install, save back
 //! llogtool verify <dir>              recover in memory and check the oracle
 //! ```
@@ -18,7 +23,7 @@ use std::process::ExitCode;
 
 use llog_cli::{
     cmd_backup, cmd_demo, cmd_dump, cmd_media_recover, cmd_recover, cmd_shard_demo, cmd_stats,
-    cmd_verify,
+    cmd_verify, Backend,
 };
 
 fn usage() -> ExitCode {
@@ -28,17 +33,42 @@ fn usage() -> ExitCode {
          demo <dir> [ops=200] [seed=42]   run a workload, crash, save the image\n\
          shard-demo <dir> [n=4] [ops] [seed] sharded run, group commit, crash, parallel recovery\n\
          dump <dir>                       print the stable log records\n\
-         stats <dir>                      store and log statistics\n\
+         stats <dir>                      store and log statistics (+ backend I/O counters)\n\
          recover <dir> [vsi|rsi]          recover, install everything, save back\n\
          verify <dir>                     recover in memory, compare to the oracle\n\
          backup <dir> <file>              archive a snapshot backup\n\
-         media-recover <dir> <file>       restore from backup + surviving log"
+         media-recover <dir> <file>       restore from backup + surviving log\n\
+         \n\
+         demo/shard-demo also take --backend {{mem,file}}: mem = monolithic\n\
+         image files; file = segmented WAL + incremental checkpoint devices"
     );
     ExitCode::from(2)
 }
 
+/// Strip a trailing/embedded `--backend <b>` pair out of `args`.
+fn take_backend(args: &mut Vec<String>) -> Result<Backend, llog_types::LlogError> {
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        if i + 1 >= args.len() {
+            return Err(llog_types::LlogError::Codec {
+                reason: "--backend needs a value (mem|file)".into(),
+            });
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        return Backend::parse(&value);
+    }
+    Ok(Backend::Mem)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = match take_backend(&mut args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("llogtool: {e}");
+            return usage();
+        }
+    };
     let (cmd, dir) = match (args.first(), args.get(1)) {
         (Some(c), Some(d)) => (c.as_str(), PathBuf::from(d)),
         _ => return usage(),
@@ -47,13 +77,13 @@ fn main() -> ExitCode {
         "demo" => {
             let ops = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
             let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
-            cmd_demo(&dir, ops, seed)
+            cmd_demo(&dir, ops, seed, backend)
         }
         "shard-demo" => {
             let shards = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
             let ops = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200);
             let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(42);
-            cmd_shard_demo(&dir, shards, ops, seed)
+            cmd_shard_demo(&dir, shards, ops, seed, backend)
         }
         "dump" => cmd_dump(&dir),
         "stats" => cmd_stats(&dir),

@@ -66,7 +66,7 @@ mod snapshot;
 pub use router::ShardRouter;
 pub use shard::CommitTicket;
 pub use sharded::{
-    recover_sharded, recover_sharded_with, CommitPolicy, GroupCommitPolicy, ShardedConfig,
-    ShardedEngine,
+    recover_sharded, recover_sharded_from_backends, recover_sharded_with, CommitPolicy,
+    GroupCommitPolicy, ShardedConfig, ShardedEngine,
 };
 pub use snapshot::{GroupCommitSnapshot, ShardedSnapshot};

@@ -117,6 +117,11 @@ pub(crate) struct Shard {
     /// Fault-injection host consulted by the flusher, installer and
     /// explicit force paths. `None` in production-shaped runs.
     pub faults: Option<Arc<FaultHost>>,
+    /// Optional durability device pair (DESIGN §11): when attached, the
+    /// checkpoint coordinator persists the shard's store + log to it
+    /// incrementally after every checkpoint. Lock order: taken *after*
+    /// `engine` (never the reverse).
+    pub backend: Mutex<Option<llog_wal::DurabilityBackend>>,
 }
 
 impl Shard {
@@ -138,6 +143,7 @@ impl Shard {
             signal: WorkSignal::new(),
             counters: ShardCounters::default(),
             faults,
+            backend: Mutex::new(None),
         }
     }
 

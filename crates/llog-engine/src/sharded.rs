@@ -9,10 +9,10 @@ use std::time::Duration;
 use llog_core::shared::{lock, WorkSignal};
 use llog_core::{recover_with, Engine, EngineConfig, RecoveryOptions, RecoveryOutcome, RedoPolicy};
 use llog_ops::{OpKind, Transform, TransformRegistry};
-use llog_storage::{MetricsSnapshot, StableStore};
+use llog_storage::{Metrics, MetricsSnapshot, StableStore};
 use llog_testkit::faults::FaultHost;
 use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
-use llog_wal::Wal;
+use llog_wal::{DurabilityBackend, Wal};
 
 use crate::router::ShardRouter;
 use crate::shard::{flusher_loop, installer_loop, CommitTicket, Shard, StopMode};
@@ -362,6 +362,54 @@ impl ShardedEngine {
             .collect()
     }
 
+    /// Attach a durability backend to shard `i`: from now on, every
+    /// checkpoint of that shard also persists its store + log to the
+    /// device pair, incrementally (O(dirty) store deltas, tail-only log
+    /// appends, whole-segment truncation reclaim).
+    pub fn attach_backend(&self, i: usize, backend: DurabilityBackend) {
+        *lock(&self.shards[i].backend) = Some(backend);
+    }
+
+    /// Attach one backend per shard. Panics unless `backends.len()`
+    /// equals the shard count.
+    pub fn attach_backends(&self, backends: Vec<DurabilityBackend>) {
+        assert_eq!(
+            backends.len(),
+            self.shards.len(),
+            "one backend per shard required"
+        );
+        for (i, b) in backends.into_iter().enumerate() {
+            self.attach_backend(i, b);
+        }
+    }
+
+    /// Detach and return every shard's backend (device state survives a
+    /// [`ShardedEngine::crash`]; this is the reboot-from-device path —
+    /// see [`recover_sharded_from_backends`]).
+    pub fn take_backends(&self) -> Vec<Option<DurabilityBackend>> {
+        self.shards
+            .iter()
+            .map(|s| lock(&s.backend).take())
+            .collect()
+    }
+
+    /// Persist every live shard's `(store, forced log)` to its attached
+    /// backend without writing a new checkpoint record. Shards without a
+    /// backend (or already crashed) are skipped.
+    pub fn persist_all(&self) -> Result<()> {
+        for s in &self.shards {
+            let g = lock(&s.engine);
+            let Some(e) = g.as_ref() else { continue };
+            if s.is_dead() {
+                continue;
+            }
+            if let Some(b) = lock(&s.backend).as_mut() {
+                b.persist(e.store(), e.wal(), s.faults.as_deref())?;
+            }
+        }
+        Ok(())
+    }
+
     /// Spawn the checkpoint coordinator: every `interval` it checkpoints
     /// one shard round-robin and truncates that shard's log, bounding
     /// both log length and recovery's redo scan. Stops at
@@ -520,6 +568,15 @@ fn checkpoint_one(shard: &Shard, truncate: bool) -> Result<Lsn> {
         )));
     }
     let lsn = e.checkpoint(truncate)?;
+    // With a device backend attached, every checkpoint also persists the
+    // shard's store + log to the device tier — incrementally: the store
+    // checkpoint writes only objects dirtied since the last one (O(dirty)),
+    // and the log device appends only the new tail and reclaims whole
+    // segments the truncation dropped. Backend lock is taken *after* the
+    // engine lock (the only order used anywhere).
+    if let Some(b) = lock(&shard.backend).as_mut() {
+        b.persist(e.store(), e.wal(), shard.faults.as_deref())?;
+    }
     let forced = e.wal().forced_lsn();
     drop(g);
     shard.advance_durable(forced);
@@ -625,6 +682,31 @@ pub fn recover_sharded_with(
 
 fn poisoned_recovery_thread() -> LlogError {
     LlogError::Unexplainable("shard recovery thread panicked".into())
+}
+
+/// Reboot from the device tier: load every shard's persisted
+/// `(store, wal)` pair off its [`DurabilityBackend`] and recover them in
+/// parallel. A backend that was never persisted to yields an empty shard
+/// (fresh store, fresh log). The backends are returned alongside so the
+/// caller can re-attach them ([`ShardedEngine::attach_backends`]) and keep
+/// checkpointing incrementally onto the same devices.
+pub fn recover_sharded_from_backends(
+    backends: Vec<DurabilityBackend>,
+    registry: &TransformRegistry,
+    config: ShardedConfig,
+    policy: RedoPolicy,
+) -> Result<(ShardedEngine, Vec<RecoveryOutcome>, Vec<DurabilityBackend>)> {
+    let mut parts = Vec::with_capacity(backends.len());
+    for b in &backends {
+        let metrics = Metrics::new();
+        let pair = match b.load(metrics.clone())? {
+            Some(pair) => pair,
+            None => (StableStore::new(metrics.clone()), Wal::new(metrics)),
+        };
+        parts.push(pair);
+    }
+    let (engine, outcomes) = recover_sharded(parts, registry, config, policy)?;
+    Ok((engine, outcomes, backends))
 }
 
 #[cfg(test)]
@@ -1071,6 +1153,106 @@ mod tests {
         assert_eq!(total_redone, 200, "every forced op redoes on some shard");
         for i in 0..200u64 {
             assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("par"));
+        }
+    }
+
+    #[test]
+    fn device_backed_checkpoints_survive_reboot_from_devices() {
+        use llog_storage::device::DeviceConfig;
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 2,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        e.attach_backends(
+            (0..2)
+                .map(|_| DurabilityBackend::mem(Metrics::new(), &DeviceConfig::small()))
+                .collect(),
+        );
+        for i in 0..10u64 {
+            put(&e, ObjectId(i), "dev1");
+        }
+        e.checkpoint_all(true).unwrap();
+        for i in 10..20u64 {
+            put(&e, ObjectId(i), "dev2");
+        }
+        e.checkpoint_all(true).unwrap();
+        // The in-memory parts vanish; the devices survive the crash.
+        let backends: Vec<DurabilityBackend> = e.take_backends().into_iter().flatten().collect();
+        assert_eq!(backends.len(), 2);
+        drop(e.crash());
+        let (rec, outcomes, _backends) =
+            recover_sharded_from_backends(backends, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for i in 0..10u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("dev1"));
+        }
+        for i in 10..20u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("dev2"));
+        }
+    }
+
+    #[test]
+    fn device_checkpoints_cost_o_dirty_not_o_store() {
+        use llog_storage::device::DeviceConfig;
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let dev_metrics = Metrics::new();
+        e.attach_backend(
+            0,
+            DurabilityBackend::mem(dev_metrics.clone(), &DeviceConfig::small()),
+        );
+        for i in 0..8u64 {
+            put(&e, ObjectId(i), "full");
+        }
+        e.install_all().unwrap();
+        e.checkpoint_all(true).unwrap();
+        let first = dev_metrics.snapshot();
+        assert_eq!(first.ckpt_objects_written, 8, "first checkpoint is full");
+        // One more object dirtied: the next device checkpoint writes only
+        // that object and skips the clean eight.
+        put(&e, ObjectId(8), "dirty");
+        e.install_all().unwrap();
+        e.checkpoint_all(true).unwrap();
+        let delta = dev_metrics.snapshot().since(&first);
+        assert_eq!(delta.ckpt_objects_written, 1, "O(dirty), not O(store)");
+        assert_eq!(delta.ckpt_objects_skipped, 8);
+        drop(e);
+    }
+
+    #[test]
+    fn persist_all_makes_unforgotten_tail_device_durable() {
+        use llog_storage::device::DeviceConfig;
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        e.attach_backend(
+            0,
+            DurabilityBackend::mem(Metrics::new(), &DeviceConfig::small()),
+        );
+        for i in 0..6u64 {
+            put(&e, ObjectId(i), "tail");
+        }
+        // No checkpoint: persist_all pushes the forced log tail to the
+        // device so a device reboot still replays the committed ops.
+        e.persist_all().unwrap();
+        let backends: Vec<DurabilityBackend> = e.take_backends().into_iter().flatten().collect();
+        drop(e.crash());
+        let (rec, _, _) =
+            recover_sharded_from_backends(backends, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..6u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("tail"));
         }
     }
 }

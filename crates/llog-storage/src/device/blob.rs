@@ -1,0 +1,250 @@
+//! Blob substrate shared by both durability backends.
+//!
+//! A [`BlobStore`] is a flat namespace of named byte blobs with whole-blob
+//! `put`, byte-range `append`, `get`, `delete` and `sync`. The segmented log
+//! and the incremental checkpoint store are written *once*, generically over
+//! `B: BlobStore`, so the in-memory backend ([`MemBlobs`]) and the real-file
+//! backend ([`FileBlobs`]) execute byte-for-byte identical logic — the
+//! property the Mem↔File differential oracle relies on.
+//!
+//! Fault injection happens *above* this trait (in the segmented log / delta
+//! store), so an armed [`llog_testkit::faults::FaultHost`] produces the same
+//! mutated bytes in both backends.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use llog_types::{LlogError, Result};
+
+/// A flat namespace of named byte blobs. Durability substrate for both
+/// backends; all methods are infallible for [`MemBlobs`] and map `std::io`
+/// errors to [`LlogError::Io`] for [`FileBlobs`].
+pub trait BlobStore: Send + std::fmt::Debug {
+    /// Replace the blob `name` with `bytes` (whole-blob write).
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Append `bytes` to the blob `name`, creating it if absent.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Read the full blob, or `None` if it does not exist.
+    fn get(&self, name: &str) -> Result<Option<Vec<u8>>>;
+    /// Delete the blob if present (idempotent).
+    fn delete(&mut self, name: &str) -> Result<()>;
+    /// Durability barrier: everything previously written is stable after
+    /// this returns. A real fsync for [`FileBlobs`], a no-op for [`MemBlobs`].
+    fn sync(&mut self) -> Result<()>;
+    /// All blob names, sorted.
+    fn list(&self) -> Result<Vec<String>>;
+}
+
+/// In-memory blob store: a `BTreeMap` of named byte vectors. Deterministic,
+/// allocation-only, fuzz-fast — the `MemDevice` substrate.
+#[derive(Debug, Default, Clone)]
+pub struct MemBlobs {
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemBlobs {
+    /// Create an empty in-memory blob store.
+    pub fn new() -> MemBlobs {
+        MemBlobs::default()
+    }
+}
+
+impl BlobStore for MemBlobs {
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.blobs.insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.blobs
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.blobs.get(name).cloned())
+    }
+
+    fn delete(&mut self, name: &str) -> Result<()> {
+        self.blobs.remove(name);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.blobs.keys().cloned().collect())
+    }
+}
+
+/// File-backed blob store rooted at a directory: one file per blob, real
+/// `File::sync_all` on the durability barrier — the `FileDevice` substrate.
+/// Uses only `std::fs` (the workspace is dependency-free).
+#[derive(Debug)]
+pub struct FileBlobs {
+    root: PathBuf,
+    /// Paths written since the last sync (each gets a `sync_all`).
+    pending_sync: Vec<PathBuf>,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> LlogError {
+    LlogError::Io {
+        point: path.display().to_string(),
+        reason: e.to_string(),
+    }
+}
+
+impl FileBlobs {
+    /// Open (creating if needed) a file blob store rooted at `root`.
+    pub fn open(root: &Path) -> Result<FileBlobs> {
+        std::fs::create_dir_all(root).map_err(|e| io_err(root, e))?;
+        Ok(FileBlobs {
+            root: root.to_path_buf(),
+            pending_sync: Vec::new(),
+        })
+    }
+
+    /// The directory this blob store lives in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl BlobStore for FileBlobs {
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        let path = self.path_of(name);
+        std::fs::write(&path, bytes).map_err(|e| io_err(&path, e))?;
+        if !self.pending_sync.contains(&path) {
+            self.pending_sync.push(path);
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        use std::io::Write as _;
+        let path = self.path_of(name);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        f.write_all(bytes).map_err(|e| io_err(&path, e))?;
+        if !self.pending_sync.contains(&path) {
+            self.pending_sync.push(path);
+        }
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        let path = self.path_of(name);
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+
+    fn delete(&mut self, name: &str) -> Result<()> {
+        let path = self.path_of(name);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        for path in std::mem::take(&mut self.pending_sync) {
+            match std::fs::File::open(&path) {
+                Ok(f) => f.sync_all().map_err(|e| io_err(&path, e))?,
+                // Written then deleted before the barrier (segment reclaim).
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(&path, e)),
+            }
+        }
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.root, e))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<B: BlobStore>(b: &mut B) {
+        assert_eq!(b.get("a").unwrap(), None);
+        b.put("a", b"hello").unwrap();
+        b.append("a", b" world").unwrap();
+        assert_eq!(b.get("a").unwrap().unwrap(), b"hello world");
+        b.append("fresh", b"x").unwrap();
+        assert_eq!(b.get("fresh").unwrap().unwrap(), b"x");
+        b.put("a", b"replaced").unwrap();
+        assert_eq!(b.get("a").unwrap().unwrap(), b"replaced");
+        b.sync().unwrap();
+        assert_eq!(b.list().unwrap(), vec!["a".to_string(), "fresh".into()]);
+        b.delete("a").unwrap();
+        b.delete("a").unwrap(); // idempotent
+        assert_eq!(b.get("a").unwrap(), None);
+        assert_eq!(b.list().unwrap(), vec!["fresh".to_string()]);
+        b.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_blobs_roundtrip() {
+        exercise(&mut MemBlobs::new());
+    }
+
+    #[test]
+    fn file_blobs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "llog-fileblobs-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let mut b = FileBlobs::open(&dir).unwrap();
+        exercise(&mut b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_blobs_sync_after_delete_is_ok() {
+        let dir = std::env::temp_dir().join(format!(
+            "llog-fileblobs-del-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let mut b = FileBlobs::open(&dir).unwrap();
+        b.put("gone", b"bytes").unwrap();
+        b.delete("gone").unwrap();
+        b.sync().unwrap(); // must not error on the deleted pending path
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

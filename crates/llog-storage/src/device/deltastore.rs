@@ -1,0 +1,633 @@
+//! Incremental checkpoint store device: per-object delta pages + a manifest
+//! chain.
+//!
+//! Layout (blob names):
+//! - `ckpt-{epoch:016x}.llog` — one checkpoint delta:
+//!   `"LLOGDLT1" | epoch u64 | count u64 | count × (id u64, flags u8,
+//!   vsi u64, len u32, bytes) | crc32c u32`. `flags & 1` marks a tombstone
+//!   (object removed since the previous checkpoint; vsi/len are zero).
+//! - `store-manifest.llog` — the chain:
+//!   `"LLOGSMF1" | next_epoch u64 | chain_len u64 | chain × (epoch u64,
+//!   len u64, crc u32) | crc32c u32`.
+//!
+//! A checkpoint writes only objects *dirtied since the last checkpoint*
+//! (diffed against an in-memory mirror of the persisted state) plus
+//! tombstones — O(dirty), not O(store). Loading replays the chain in order.
+//! When the chain grows past `DeviceConfig::compact_chain` deltas, the next
+//! checkpoint folds it into one full-image delta and deletes the old blobs.
+//!
+//! Write ordering: the delta blob is written first, then the manifest; a
+//! crash between the two leaves an orphan delta the manifest never names.
+//! Compaction writes the new manifest *before* deleting folded deltas.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use llog_testkit::faults::{failpoint, FaultHost, WriteVerdict};
+use llog_types::{crc32c, LlogError, Lsn, ObjectId, Result, Value};
+
+use super::blob::{BlobStore, FileBlobs, MemBlobs};
+use super::DeviceConfig;
+use crate::metrics::Metrics;
+use crate::store::{StableStore, StoredObject};
+
+/// Manifest blob name for the checkpoint chain.
+pub const STORE_MANIFEST: &str = "store-manifest.llog";
+const MANIFEST_MAGIC: &[u8; 8] = b"LLOGSMF1";
+const DELTA_MAGIC: &[u8; 8] = b"LLOGDLT1";
+
+/// Blob name of the checkpoint delta for `epoch`.
+pub fn delta_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:016x}.llog")
+}
+
+/// What one incremental checkpoint cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkptStats {
+    /// Objects written (dirty since the last checkpoint, incl. tombstones).
+    pub objects_written: u64,
+    /// Objects skipped (clean since the last checkpoint).
+    pub objects_skipped: u64,
+    /// Delta + manifest bytes written.
+    pub bytes_written: u64,
+    /// True when this checkpoint folded the chain into one full image.
+    pub compacted: bool,
+}
+
+/// Pluggable store backend: incremental object checkpoints + manifest chain.
+pub trait StoreDevice: Send + std::fmt::Debug {
+    /// Backend name (`"mem"` or `"file"`), for stats and CLI output.
+    fn kind(&self) -> &'static str;
+    /// Incrementally checkpoint `store`: persist objects changed since the
+    /// last checkpoint (plus tombstones) and extend the manifest chain.
+    fn checkpoint(&mut self, store: &StableStore, faults: Option<&FaultHost>) -> Result<CkptStats>;
+    /// Replay the manifest chain into a fresh store, or `None` when no
+    /// manifest exists. Missing/corrupt deltas are `Codec` errors.
+    fn load_store(&self, metrics: Arc<Metrics>) -> Result<Option<StableStore>>;
+    /// Number of deltas currently in the manifest chain.
+    fn chain_len(&self) -> usize;
+}
+
+/// Generic incremental-checkpoint core; see the module docs for layout.
+#[derive(Debug)]
+pub struct DeltaStore<B: BlobStore> {
+    blobs: B,
+    metrics: Arc<Metrics>,
+    compact_chain: usize,
+    kind: &'static str,
+    next_epoch: u64,
+    chain: Vec<ChainEntry>,
+    /// Mirror of the state the chain reconstructs, used to diff out the
+    /// dirty set. Rebuilt from the chain on attach.
+    mirror: BTreeMap<ObjectId, StoredObject>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChainEntry {
+    epoch: u64,
+    len: u64,
+    crc: u32,
+}
+
+/// In-memory store device (the fuzz-fast deterministic backend).
+pub type MemStoreDevice = DeltaStore<MemBlobs>;
+/// File-backed store device (real files, real fsync).
+pub type FileStoreDevice = DeltaStore<FileBlobs>;
+
+impl MemStoreDevice {
+    /// Create a fresh in-memory store device.
+    pub fn mem(metrics: Arc<Metrics>, cfg: &DeviceConfig) -> MemStoreDevice {
+        DeltaStore::over(MemBlobs::new(), metrics, cfg, "mem")
+    }
+}
+
+impl FileStoreDevice {
+    /// Open (resuming if a manifest exists) a file-backed store device
+    /// rooted at `dir`.
+    pub fn file(
+        dir: &std::path::Path,
+        metrics: Arc<Metrics>,
+        cfg: &DeviceConfig,
+    ) -> Result<FileStoreDevice> {
+        let blobs = FileBlobs::open(dir)?;
+        DeltaStore::attach(blobs, metrics, cfg, "file")
+    }
+}
+
+impl<B: BlobStore> DeltaStore<B> {
+    fn over(
+        blobs: B,
+        metrics: Arc<Metrics>,
+        cfg: &DeviceConfig,
+        kind: &'static str,
+    ) -> DeltaStore<B> {
+        DeltaStore {
+            blobs,
+            metrics,
+            compact_chain: cfg.compact_chain.max(1),
+            kind,
+            next_epoch: 1,
+            chain: Vec::new(),
+            mirror: BTreeMap::new(),
+        }
+    }
+
+    /// Wrap existing blobs: resume from the manifest when present.
+    pub fn attach(
+        blobs: B,
+        metrics: Arc<Metrics>,
+        cfg: &DeviceConfig,
+        kind: &'static str,
+    ) -> Result<DeltaStore<B>> {
+        let mut d = DeltaStore::over(blobs, metrics, cfg, kind);
+        if let Some(raw) = d.blobs.get(STORE_MANIFEST)? {
+            let (next_epoch, chain) = parse_manifest(&raw)?;
+            let mut mirror = BTreeMap::new();
+            for entry in &chain {
+                let delta = d.read_delta(entry)?;
+                apply_delta(&mut mirror, &delta);
+            }
+            d.next_epoch = next_epoch;
+            d.chain = chain;
+            d.mirror = mirror;
+        }
+        Ok(d)
+    }
+
+    /// Dump every blob this device holds, sorted by name. The Mem↔File
+    /// differential oracle compares these dumps for byte-identity.
+    pub fn dump_blobs(&self) -> Result<Vec<(String, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for name in self.blobs.list()? {
+            let bytes = self.blobs.get(&name)?.unwrap_or_default();
+            out.push((name, bytes));
+        }
+        Ok(out)
+    }
+
+    fn read_delta(&self, entry: &ChainEntry) -> Result<Vec<DeltaEntry>> {
+        let err = |reason: String| LlogError::Codec { reason };
+        let Some(raw) = self.blobs.get(&delta_name(entry.epoch))? else {
+            return Err(err(format!(
+                "store manifest: missing delta {}",
+                delta_name(entry.epoch)
+            )));
+        };
+        if raw.len() as u64 != entry.len {
+            return Err(err(format!(
+                "delta {}: length {} != manifest {}",
+                delta_name(entry.epoch),
+                raw.len(),
+                entry.len
+            )));
+        }
+        if crc32c(&raw) != entry.crc {
+            return Err(err(format!(
+                "delta {}: checksum mismatch",
+                delta_name(entry.epoch)
+            )));
+        }
+        parse_delta(&raw, entry.epoch)
+    }
+
+    fn manifest_image(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.chain.len() * 20);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&self.next_epoch.to_le_bytes());
+        out.extend_from_slice(&(self.chain.len() as u64).to_le_bytes());
+        for e in &self.chain {
+            out.extend_from_slice(&e.epoch.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Write `image` through the failpoint `point`; returns bytes persisted.
+    fn faulted_put(
+        &mut self,
+        name: &str,
+        point: &'static str,
+        image: Vec<u8>,
+        faults: Option<&FaultHost>,
+    ) -> Result<u64> {
+        let verdict = match faults {
+            Some(h) => h.on_write(point, &image).map_err(|f| LlogError::Io {
+                point: f.point,
+                reason: f.reason,
+            })?,
+            None => WriteVerdict::Persist(image),
+        };
+        match verdict {
+            WriteVerdict::Persist(img) => {
+                let n = img.len() as u64;
+                self.blobs.put(name, &img)?;
+                Metrics::bump(&self.metrics.io_bytes_written, n);
+                Ok(n)
+            }
+            WriteVerdict::Skip => Ok(0), // lost write
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DeltaEntry {
+    id: ObjectId,
+    tombstone: bool,
+    vsi: Lsn,
+    value: Value,
+}
+
+fn apply_delta(mirror: &mut BTreeMap<ObjectId, StoredObject>, delta: &[DeltaEntry]) {
+    for e in delta {
+        if e.tombstone {
+            mirror.remove(&e.id);
+        } else {
+            mirror.insert(
+                e.id,
+                StoredObject {
+                    value: e.value.clone(),
+                    vsi: e.vsi,
+                },
+            );
+        }
+    }
+}
+
+fn serialize_delta(epoch: u64, entries: &[DeltaEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(DELTA_MAGIC);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&e.id.0.to_le_bytes());
+        out.push(u8::from(e.tombstone));
+        out.extend_from_slice(&e.vsi.0.to_le_bytes());
+        out.extend_from_slice(&(e.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(e.value.as_bytes());
+    }
+    let crc = crc32c(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn parse_delta(raw: &[u8], expect_epoch: u64) -> Result<Vec<DeltaEntry>> {
+    let err = |reason: String| LlogError::Codec {
+        reason: format!("delta {}: {reason}", delta_name(expect_epoch)),
+    };
+    if raw.len() < 8 + 8 + 8 + 4 {
+        return Err(err("too short".into()));
+    }
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    if crc32c(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return Err(err("checksum mismatch".into()));
+    }
+    if &body[0..8] != DELTA_MAGIC {
+        return Err(err("bad magic".into()));
+    }
+    let epoch = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    if epoch != expect_epoch {
+        return Err(err(format!("stale epoch {epoch}")));
+    }
+    let count = u64::from_le_bytes(body[16..24].try_into().unwrap()) as usize;
+    let mut at = 24;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        if body.len() < at + 21 {
+            return Err(err("truncated entry header".into()));
+        }
+        let id = ObjectId(u64::from_le_bytes(body[at..at + 8].try_into().unwrap()));
+        let flags = body[at + 8];
+        if flags > 1 {
+            return Err(err(format!("bad flags {flags}")));
+        }
+        let vsi = Lsn(u64::from_le_bytes(
+            body[at + 9..at + 17].try_into().unwrap(),
+        ));
+        let len = u32::from_le_bytes(body[at + 17..at + 21].try_into().unwrap()) as usize;
+        at += 21;
+        if body.len() < at + len {
+            return Err(err("truncated value".into()));
+        }
+        entries.push(DeltaEntry {
+            id,
+            tombstone: flags & 1 == 1,
+            vsi,
+            value: Value::from_slice(&body[at..at + len]),
+        });
+        at += len;
+    }
+    if at != body.len() {
+        return Err(err("trailing bytes".into()));
+    }
+    Ok(entries)
+}
+
+fn parse_manifest(raw: &[u8]) -> Result<(u64, Vec<ChainEntry>)> {
+    let err = |reason: &str| LlogError::Codec {
+        reason: format!("store manifest: {reason}"),
+    };
+    if raw.len() < 8 + 8 + 8 + 4 {
+        return Err(err("too short"));
+    }
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    if crc32c(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return Err(err("checksum mismatch"));
+    }
+    if &body[0..8] != MANIFEST_MAGIC {
+        return Err(err("bad magic"));
+    }
+    let next_epoch = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    let count = u64::from_le_bytes(body[16..24].try_into().unwrap()) as usize;
+    if body.len() != 24 + count * 20 {
+        return Err(err("chain table size mismatch"));
+    }
+    let mut chain = Vec::with_capacity(count);
+    let mut at = 24;
+    let mut prev_epoch = 0u64;
+    for _ in 0..count {
+        let epoch = u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+        let len = u64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap());
+        let crc = u32::from_le_bytes(body[at + 16..at + 20].try_into().unwrap());
+        if epoch <= prev_epoch {
+            return Err(err("duplicated or out-of-order chain epoch"));
+        }
+        if epoch >= next_epoch {
+            return Err(err("chain epoch beyond next_epoch"));
+        }
+        prev_epoch = epoch;
+        chain.push(ChainEntry { epoch, len, crc });
+        at += 20;
+    }
+    Ok((next_epoch, chain))
+}
+
+impl<B: BlobStore> StoreDevice for DeltaStore<B> {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    fn checkpoint(&mut self, store: &StableStore, faults: Option<&FaultHost>) -> Result<CkptStats> {
+        let compact = self.chain.len() >= self.compact_chain;
+        let mut entries: Vec<DeltaEntry> = Vec::new();
+        let mut skipped = 0u64;
+        if compact {
+            // Fold: one full-image delta replaces the chain.
+            for (id, obj) in store.iter() {
+                entries.push(DeltaEntry {
+                    id: *id,
+                    tombstone: false,
+                    vsi: obj.vsi,
+                    value: obj.value.clone(),
+                });
+            }
+        } else {
+            for (id, obj) in store.iter() {
+                match self.mirror.get(id) {
+                    Some(m) if m.vsi == obj.vsi && m.value == obj.value => skipped += 1,
+                    _ => entries.push(DeltaEntry {
+                        id: *id,
+                        tombstone: false,
+                        vsi: obj.vsi,
+                        value: obj.value.clone(),
+                    }),
+                }
+            }
+            for id in self.mirror.keys() {
+                if store.peek(*id).is_none() {
+                    entries.push(DeltaEntry {
+                        id: *id,
+                        tombstone: true,
+                        vsi: Lsn::ZERO,
+                        value: Value::empty(),
+                    });
+                }
+            }
+            entries.sort_by_key(|e| e.id);
+            if entries.is_empty() {
+                // Nothing dirty: the chain on disk already reconstructs
+                // `store` exactly. O(0) durability cost.
+                Metrics::bump(&self.metrics.ckpt_objects_skipped, skipped);
+                return Ok(CkptStats {
+                    objects_skipped: skipped,
+                    ..CkptStats::default()
+                });
+            }
+        }
+        let epoch = self.next_epoch;
+        let image = serialize_delta(epoch, &entries);
+        let mut bytes_written = self.faulted_put(
+            &delta_name(epoch),
+            failpoint::DEV_STORE_DELTA,
+            image.clone(),
+            faults,
+        )?;
+        let entry = ChainEntry {
+            epoch,
+            len: image.len() as u64,
+            crc: crc32c(&image),
+        };
+        let old_chain = if compact {
+            std::mem::take(&mut self.chain)
+        } else {
+            Vec::new()
+        };
+        self.chain.push(entry);
+        self.next_epoch += 1;
+        bytes_written += self.faulted_put(
+            STORE_MANIFEST,
+            failpoint::DEV_STORE_MANIFEST,
+            self.manifest_image(),
+            faults,
+        )?;
+        self.blobs.sync()?;
+        Metrics::bump(&self.metrics.io_fsyncs, 1);
+        // New manifest durable: folded deltas are unreachable, delete them.
+        for e in &old_chain {
+            self.blobs.delete(&delta_name(e.epoch))?;
+        }
+        if !old_chain.is_empty() {
+            self.blobs.sync()?;
+        }
+        self.mirror = store.snapshot();
+        let written = entries.len() as u64;
+        Metrics::bump(&self.metrics.ckpt_objects_written, written);
+        Metrics::bump(&self.metrics.ckpt_objects_skipped, skipped);
+        Ok(CkptStats {
+            objects_written: written,
+            objects_skipped: skipped,
+            bytes_written,
+            compacted: compact,
+        })
+    }
+
+    fn load_store(&self, metrics: Arc<Metrics>) -> Result<Option<StableStore>> {
+        if self.blobs.get(STORE_MANIFEST)?.is_none() {
+            return Ok(None);
+        }
+        let raw = self.blobs.get(STORE_MANIFEST)?.unwrap();
+        let (_, chain) = parse_manifest(&raw)?;
+        let mut objects = BTreeMap::new();
+        for entry in &chain {
+            let delta = self.read_delta(entry)?;
+            apply_delta(&mut objects, &delta);
+        }
+        let mut store = StableStore::new(metrics);
+        store.restore(objects);
+        Ok(Some(store))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llog_testkit::faults::FaultKind;
+
+    fn cfg(compact: usize) -> DeviceConfig {
+        DeviceConfig {
+            compact_chain: compact,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn store_of(pairs: &[(u64, &str, u64)]) -> StableStore {
+        let mut s = StableStore::new(Metrics::new());
+        for (id, v, vsi) in pairs {
+            s.write(ObjectId(*id), Value::from(*v), Lsn(*vsi));
+        }
+        s
+    }
+
+    #[test]
+    fn incremental_checkpoint_writes_only_dirty() {
+        let mut d = MemStoreDevice::mem(Metrics::new(), &cfg(100));
+        let mut s = store_of(&[(1, "a", 1), (2, "b", 2), (3, "c", 3)]);
+        let st = d.checkpoint(&s, None).unwrap();
+        assert_eq!((st.objects_written, st.objects_skipped), (3, 0));
+        // One object dirtied, one removed: delta has exactly those two.
+        s.write(ObjectId(2), Value::from("B"), Lsn(9));
+        s.remove(ObjectId(3));
+        let st = d.checkpoint(&s, None).unwrap();
+        assert_eq!((st.objects_written, st.objects_skipped), (2, 1));
+        // Clean store: zero-cost checkpoint.
+        let st = d.checkpoint(&s, None).unwrap();
+        assert_eq!((st.objects_written, st.bytes_written), (0, 0));
+        assert_eq!(st.objects_skipped, 2);
+        // Replaying the chain reconstructs the store exactly.
+        let loaded = d.load_store(Metrics::new()).unwrap().unwrap();
+        assert_eq!(loaded.snapshot(), s.snapshot());
+        let m = d.metrics.snapshot();
+        assert_eq!(m.ckpt_objects_written, 5);
+        assert_eq!(m.ckpt_objects_skipped, 3);
+    }
+
+    #[test]
+    fn fresh_device_loads_none() {
+        let d = MemStoreDevice::mem(Metrics::new(), &DeviceConfig::default());
+        assert!(d.load_store(Metrics::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn chain_compacts_at_threshold() {
+        let mut d = MemStoreDevice::mem(Metrics::new(), &cfg(3));
+        let mut s = StableStore::new(Metrics::new());
+        for i in 1..=4u64 {
+            s.write(ObjectId(i), Value::from("v"), Lsn(i));
+            let st = d.checkpoint(&s, None).unwrap();
+            assert_eq!(st.compacted, i == 4, "fold on the 4th (chain hit 3)");
+        }
+        assert_eq!(d.chain_len(), 1, "chain folded to one full image");
+        // Folded deltas are gone from the blob namespace.
+        let names = d.blobs.list().unwrap();
+        assert_eq!(
+            names.iter().filter(|n| n.starts_with("ckpt-")).count(),
+            1,
+            "old deltas deleted: {names:?}"
+        );
+        let loaded = d.load_store(Metrics::new()).unwrap().unwrap();
+        assert_eq!(loaded.snapshot(), s.snapshot());
+    }
+
+    #[test]
+    fn attach_resumes_mirror_and_epochs() {
+        let dir = std::env::temp_dir().join(format!(
+            "llog-deltastore-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let s = store_of(&[(1, "a", 1), (2, "b", 2)]);
+        {
+            let mut d = FileStoreDevice::file(&dir, Metrics::new(), &cfg(100)).unwrap();
+            d.checkpoint(&s, None).unwrap();
+        }
+        // Reopen: the mirror is rebuilt, so a clean store checkpoints for free.
+        let mut d = FileStoreDevice::file(&dir, Metrics::new(), &cfg(100)).unwrap();
+        let st = d.checkpoint(&s, None).unwrap();
+        assert_eq!((st.objects_written, st.objects_skipped), (0, 2));
+        let loaded = d.load_store(Metrics::new()).unwrap().unwrap();
+        assert_eq!(loaded.snapshot(), s.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_delta_is_codec_on_load() {
+        let mut d = MemStoreDevice::mem(Metrics::new(), &cfg(100));
+        let s = store_of(&[(1, "aaaa", 1)]);
+        let h = FaultHost::new();
+        h.arm(
+            failpoint::DEV_STORE_DELTA,
+            FaultKind::TornWrite { at_byte: 17 },
+        );
+        d.checkpoint(&s, Some(&h)).unwrap();
+        let err = d.load_store(Metrics::new()).unwrap_err();
+        assert!(matches!(err, LlogError::Codec { .. }), "got {err}");
+    }
+
+    #[test]
+    fn delayed_manifest_keeps_previous_chain_loadable() {
+        let mut d = MemStoreDevice::mem(Metrics::new(), &cfg(100));
+        let mut s = store_of(&[(1, "a", 1)]);
+        d.checkpoint(&s, None).unwrap();
+        s.write(ObjectId(1), Value::from("z"), Lsn(5));
+        let h = FaultHost::new();
+        h.arm(failpoint::DEV_STORE_MANIFEST, FaultKind::DelayedWrite);
+        d.checkpoint(&s, Some(&h)).unwrap();
+        // The stale manifest still reconstructs the first checkpoint.
+        let loaded = d.load_store(Metrics::new()).unwrap().unwrap();
+        assert_eq!(loaded.peek(ObjectId(1)).unwrap().value.as_bytes(), b"a");
+    }
+
+    #[test]
+    fn duplicated_chain_epoch_is_codec() {
+        let mut d = MemStoreDevice::mem(Metrics::new(), &cfg(100));
+        let s = store_of(&[(1, "a", 1)]);
+        d.checkpoint(&s, None).unwrap();
+        // Forge a manifest listing epoch 1 twice.
+        let raw = d.blobs.get(STORE_MANIFEST).unwrap().unwrap();
+        let (_, chain) = parse_manifest(&raw).unwrap();
+        let e = chain[0];
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&3u64.to_le_bytes()); // next_epoch
+        out.extend_from_slice(&2u64.to_le_bytes()); // chain_len
+        for _ in 0..2 {
+            out.extend_from_slice(&e.epoch.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        d.blobs.put(STORE_MANIFEST, &out).unwrap();
+        let err = d.load_store(Metrics::new()).unwrap_err();
+        assert!(matches!(err, LlogError::Codec { .. }), "got {err}");
+    }
+}

@@ -1,0 +1,725 @@
+//! Segmented log device: append-only WAL segments + a CRC'd manifest.
+//!
+//! Layout (blob names):
+//! - `seg-{start:016x}.llog` — raw WAL frame bytes whose first byte sits at
+//!   absolute LSN `start`. No per-file header; the name carries the start and
+//!   the manifest carries length + CRC for every *sealed* segment. The open
+//!   (tail) segment is unsealed: its bytes are validated by the frame-level
+//!   scan at recovery, exactly like the in-memory WAL's unforced tail.
+//! - `wal-manifest.llog` — `"LLOGWMF1" | base u64 | master u64 |
+//!   open_start u64 | sealed_count u64 | sealed × (start u64, len u64,
+//!   crc u32) | crc32c u32`.
+//!
+//! Write ordering: segment bytes are appended first, the manifest is written
+//! at the force barrier; truncation writes the shrunk manifest *before*
+//! deleting reclaimed segment blobs so a crash between the two leaves only
+//! harmless orphans, never a manifest pointing at missing data.
+//!
+//! The generic core [`SegLog<B>`] runs identical logic over [`MemBlobs`] and
+//! [`FileBlobs`]; fault verdicts from an armed [`FaultHost`] mutate the bytes
+//! *before* they reach the blob layer, so both backends persist identical
+//! images under identical fault plans.
+
+use std::sync::Arc;
+
+use llog_testkit::faults::{failpoint, FaultHost, WriteVerdict};
+use llog_types::{crc32c, LlogError, Lsn, Result};
+
+use super::blob::{BlobStore, FileBlobs, MemBlobs};
+use super::DeviceConfig;
+use crate::metrics::Metrics;
+
+/// Manifest blob name for the segmented log.
+pub const WAL_MANIFEST: &str = "wal-manifest.llog";
+const MANIFEST_MAGIC: &[u8; 8] = b"LLOGWMF1";
+
+/// Blob name of the segment whose first byte is at absolute LSN `start`.
+pub fn segment_name(start: Lsn) -> String {
+    format!("seg-{:016x}.llog", start.0)
+}
+
+/// The durable content of a log device, read back at recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogParts {
+    /// Absolute LSN of `bytes[0]` (the retained base).
+    pub base: Lsn,
+    /// Master checkpoint LSN (`Lsn::ZERO` when none recorded).
+    pub master: Lsn,
+    /// Torn-tail boundary: corruption at-or-after this LSN is a clipped torn
+    /// tail; corruption below it is hard `Corrupt`. Equals the open segment's
+    /// start — every sealed segment below it was CRC-verified at load.
+    pub tail_guard: Lsn,
+    /// The retained frame bytes, sealed segments then the open tail.
+    pub bytes: Vec<u8>,
+}
+
+/// Pluggable append-only log backend: segment rotation, manifest-at-force,
+/// whole-segment truncation reclaim.
+pub trait LogDevice: Send + std::fmt::Debug {
+    /// Backend name (`"mem"` or `"file"`), for stats and CLI output.
+    fn kind(&self) -> &'static str;
+    /// Absolute LSN of the first retained byte.
+    fn start(&self) -> Lsn;
+    /// One past the last persisted byte (`start` + total retained length).
+    fn end(&self) -> Lsn;
+    /// Highest LSN known durable *and* uncorrupted (wounds from injected
+    /// bit-rot cap this below [`LogDevice::end`]).
+    fn durable_end(&self) -> Lsn;
+    /// Master checkpoint LSN recorded for the manifest.
+    fn master(&self) -> Lsn;
+    /// Record the master checkpoint LSN (persisted at the next force).
+    fn set_master(&mut self, lsn: Lsn);
+    /// Append frame bytes whose first byte is at `at` (must equal
+    /// [`LogDevice::end`]). Returns the count of *clean* bytes appended —
+    /// a fault verdict may tear, skip or corrupt the write.
+    fn append(&mut self, at: Lsn, bytes: &[u8], faults: Option<&FaultHost>) -> Result<u64>;
+    /// Durability barrier: writes the manifest if stale and syncs all blobs.
+    fn force(&mut self, faults: Option<&FaultHost>) -> Result<()>;
+    /// Reclaim whole segments strictly below `lsn` (durable space reclaim).
+    /// Returns the number of segments dropped. The retained base may stay
+    /// below `lsn` — reclaim is segment-granular, never byte-granular.
+    fn truncate_below(&mut self, lsn: Lsn, faults: Option<&FaultHost>) -> Result<u64>;
+    /// Wipe everything and restart the log at `base` (fresh attach or full
+    /// rewrite fallback).
+    fn reset(&mut self, base: Lsn, faults: Option<&FaultHost>) -> Result<()>;
+    /// Read back the durable content, or `None` when no manifest exists.
+    /// Sealed-segment CRC/length/contiguity violations are `Codec` errors.
+    fn load_parts(&self) -> Result<Option<LogParts>>;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SealedSeg {
+    start: Lsn,
+    len: u64,
+    crc: u32,
+}
+
+/// Generic segmented-log core; see the module docs for layout and ordering.
+#[derive(Debug)]
+pub struct SegLog<B: BlobStore> {
+    blobs: B,
+    metrics: Arc<Metrics>,
+    segment_bytes: usize,
+    kind: &'static str,
+    base: Lsn,
+    master: Lsn,
+    sealed: Vec<SealedSeg>,
+    open_start: Lsn,
+    /// In-memory mirror of the open segment's blob content (post-verdict
+    /// bytes), so sealing can CRC without re-reading the blob.
+    open: Vec<u8>,
+    /// Absolute LSN where durable corruption begins (injected bit-rot). Once
+    /// wounded the device refuses further appends, so callers can never ack
+    /// bytes beyond the corruption.
+    wounded: Option<Lsn>,
+    dirty_manifest: bool,
+}
+
+/// In-memory log device (the fuzz-fast deterministic backend).
+pub type MemLogDevice = SegLog<MemBlobs>;
+/// File-backed log device (real files, real fsync).
+pub type FileLogDevice = SegLog<FileBlobs>;
+
+impl MemLogDevice {
+    /// Create a fresh in-memory log device starting at `base`.
+    pub fn mem(metrics: Arc<Metrics>, cfg: &DeviceConfig, base: Lsn) -> MemLogDevice {
+        let mut d = SegLog::over(MemBlobs::new(), metrics, cfg, "mem");
+        d.base = base;
+        d.open_start = base;
+        d
+    }
+}
+
+impl FileLogDevice {
+    /// Open (resuming if a manifest exists, else creating at `base`) a
+    /// file-backed log device rooted at `dir`.
+    pub fn file(
+        dir: &std::path::Path,
+        metrics: Arc<Metrics>,
+        cfg: &DeviceConfig,
+        base: Lsn,
+    ) -> Result<FileLogDevice> {
+        let blobs = FileBlobs::open(dir)?;
+        SegLog::attach(blobs, metrics, cfg, "file", base)
+    }
+}
+
+impl<B: BlobStore> SegLog<B> {
+    fn over(blobs: B, metrics: Arc<Metrics>, cfg: &DeviceConfig, kind: &'static str) -> SegLog<B> {
+        SegLog {
+            blobs,
+            metrics,
+            segment_bytes: cfg.segment_bytes.max(1),
+            kind,
+            base: Lsn(1),
+            master: Lsn::ZERO,
+            sealed: Vec::new(),
+            open_start: Lsn(1),
+            open: Vec::new(),
+            wounded: None,
+            dirty_manifest: true,
+        }
+    }
+
+    /// Wrap existing blobs: resume from the manifest when present, otherwise
+    /// start fresh at `base`.
+    pub fn attach(
+        blobs: B,
+        metrics: Arc<Metrics>,
+        cfg: &DeviceConfig,
+        kind: &'static str,
+        base: Lsn,
+    ) -> Result<SegLog<B>> {
+        let mut d = SegLog::over(blobs, metrics, cfg, kind);
+        match d.load_parts()? {
+            Some(parts) => {
+                let state = parse_manifest(&d.blobs.get(WAL_MANIFEST)?.unwrap())?;
+                d.base = state.base;
+                d.master = state.master;
+                d.sealed = state.sealed;
+                d.open_start = state.open_start;
+                d.open = parts.bytes[(state.open_start.0 - state.base.0) as usize..].to_vec();
+                d.dirty_manifest = false;
+            }
+            None => {
+                d.base = base;
+                d.open_start = base;
+            }
+        }
+        Ok(d)
+    }
+
+    /// Dump every blob this device holds, sorted by name. The Mem↔File
+    /// differential oracle compares these dumps for byte-identity: identical
+    /// workloads under identically-armed fault plans must leave identical
+    /// blob state in both backends.
+    pub fn dump_blobs(&self) -> Result<Vec<(String, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for name in self.blobs.list()? {
+            let bytes = self.blobs.get(&name)?.unwrap_or_default();
+            out.push((name, bytes));
+        }
+        Ok(out)
+    }
+
+    fn manifest_image(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.sealed.len() * 20);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&self.base.0.to_le_bytes());
+        out.extend_from_slice(&self.master.0.to_le_bytes());
+        out.extend_from_slice(&self.open_start.0.to_le_bytes());
+        out.extend_from_slice(&(self.sealed.len() as u64).to_le_bytes());
+        for s in &self.sealed {
+            out.extend_from_slice(&s.start.0.to_le_bytes());
+            out.extend_from_slice(&s.len.to_le_bytes());
+            out.extend_from_slice(&s.crc.to_le_bytes());
+        }
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn write_manifest(&mut self, faults: Option<&FaultHost>) -> Result<()> {
+        let image = self.manifest_image();
+        let verdict = match faults {
+            Some(h) => h
+                .on_write(failpoint::DEV_LOG_MANIFEST, &image)
+                .map_err(|f| LlogError::Io {
+                    point: f.point,
+                    reason: f.reason,
+                })?,
+            None => WriteVerdict::Persist(image),
+        };
+        match verdict {
+            WriteVerdict::Persist(img) => {
+                Metrics::bump(&self.metrics.io_bytes_written, img.len() as u64);
+                self.blobs.put(WAL_MANIFEST, &img)?;
+            }
+            WriteVerdict::Skip => {} // lost write: stale manifest stays
+        }
+        self.dirty_manifest = false;
+        Ok(())
+    }
+
+    fn seal_open(&mut self) {
+        let crc = crc32c(&self.open);
+        self.sealed.push(SealedSeg {
+            start: self.open_start,
+            len: self.open.len() as u64,
+            crc,
+        });
+        self.open_start = Lsn(self.open_start.0 + self.open.len() as u64);
+        self.open.clear();
+        self.dirty_manifest = true;
+        Metrics::bump(&self.metrics.segments_rotated, 1);
+    }
+}
+
+impl<B: BlobStore> LogDevice for SegLog<B> {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn start(&self) -> Lsn {
+        self.base
+    }
+
+    fn end(&self) -> Lsn {
+        Lsn(self.open_start.0 + self.open.len() as u64)
+    }
+
+    fn durable_end(&self) -> Lsn {
+        match self.wounded {
+            Some(w) => Lsn(w.0.min(self.end().0)),
+            None => self.end(),
+        }
+    }
+
+    fn master(&self) -> Lsn {
+        self.master
+    }
+
+    fn set_master(&mut self, lsn: Lsn) {
+        if self.master != lsn {
+            self.master = lsn;
+            self.dirty_manifest = true;
+        }
+    }
+
+    fn append(&mut self, at: Lsn, bytes: &[u8], faults: Option<&FaultHost>) -> Result<u64> {
+        if self.wounded.is_some() {
+            return Ok(0); // refuse writes past durable corruption
+        }
+        if at != self.end() {
+            return Err(LlogError::Io {
+                point: "device.log.append".to_string(),
+                reason: format!("append gap: at={} device end={}", at.0, self.end().0),
+            });
+        }
+        let verdict = match faults {
+            Some(h) => h
+                .on_write(failpoint::DEV_LOG_APPEND, bytes)
+                .map_err(|f| LlogError::Io {
+                    point: f.point,
+                    reason: f.reason,
+                })?,
+            None => WriteVerdict::Persist(bytes.to_vec()),
+        };
+        let actual = match verdict {
+            WriteVerdict::Persist(img) => img,
+            WriteVerdict::Skip => Vec::new(), // lost write
+        };
+        // Clean prefix: bytes persisted verbatim. A bit-flip verdict wounds
+        // the device at the first divergent byte.
+        let clean = actual
+            .iter()
+            .zip(bytes.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if clean < actual.len() {
+            self.wounded = Some(Lsn(at.0 + clean as u64));
+        }
+        if !actual.is_empty() {
+            Metrics::bump(&self.metrics.io_bytes_written, actual.len() as u64);
+            // Split across segment boundaries so rotation happens at the
+            // configured size regardless of append chunking.
+            let mut rest: &[u8] = &actual;
+            while !rest.is_empty() {
+                let room = self.segment_bytes.saturating_sub(self.open.len()).max(1);
+                let take = rest.len().min(room);
+                let (chunk, tail) = rest.split_at(take);
+                self.blobs.append(&segment_name(self.open_start), chunk)?;
+                self.open.extend_from_slice(chunk);
+                rest = tail;
+                if self.open.len() >= self.segment_bytes {
+                    self.seal_open();
+                }
+            }
+        }
+        Ok(clean as u64)
+    }
+
+    fn force(&mut self, faults: Option<&FaultHost>) -> Result<()> {
+        if self.dirty_manifest {
+            self.write_manifest(faults)?;
+        }
+        self.blobs.sync()?;
+        Metrics::bump(&self.metrics.io_fsyncs, 1);
+        Ok(())
+    }
+
+    fn truncate_below(&mut self, lsn: Lsn, faults: Option<&FaultHost>) -> Result<u64> {
+        let mut dropped: Vec<SealedSeg> = Vec::new();
+        while let Some(first) = self.sealed.first().copied() {
+            if first.start.0 + first.len <= lsn.0 {
+                dropped.push(first);
+                self.sealed.remove(0);
+            } else {
+                break;
+            }
+        }
+        if dropped.is_empty() {
+            return Ok(0);
+        }
+        self.base = self.sealed.first().map_or(self.open_start, |s| s.start);
+        if self.master != Lsn::ZERO && self.master < self.base {
+            self.master = Lsn::ZERO;
+        }
+        self.dirty_manifest = true;
+        // Manifest first, then delete: a crash between the two leaves orphan
+        // segment blobs (harmless), never a manifest naming missing data.
+        self.write_manifest(faults)?;
+        self.blobs.sync()?;
+        Metrics::bump(&self.metrics.io_fsyncs, 1);
+        for seg in &dropped {
+            self.blobs.delete(&segment_name(seg.start))?;
+        }
+        Metrics::bump(&self.metrics.segments_reclaimed, dropped.len() as u64);
+        Ok(dropped.len() as u64)
+    }
+
+    fn reset(&mut self, base: Lsn, faults: Option<&FaultHost>) -> Result<()> {
+        let mut dropped = 0u64;
+        for name in self.blobs.list()? {
+            if name.starts_with("seg-") {
+                self.blobs.delete(&name)?;
+                dropped += 1;
+            }
+        }
+        // A reset over live segments reclaims their space just as a
+        // truncation does; count it so "durable bytes dropped" is always
+        // visible in the stats.
+        Metrics::bump(&self.metrics.segments_reclaimed, dropped);
+        self.sealed.clear();
+        self.open.clear();
+        self.base = base;
+        self.open_start = base;
+        self.master = Lsn::ZERO;
+        self.wounded = None;
+        self.dirty_manifest = true;
+        self.write_manifest(faults)?;
+        self.blobs.sync()?;
+        Metrics::bump(&self.metrics.io_fsyncs, 1);
+        Ok(())
+    }
+
+    fn load_parts(&self) -> Result<Option<LogParts>> {
+        let Some(raw) = self.blobs.get(WAL_MANIFEST)? else {
+            return Ok(None);
+        };
+        let m = parse_manifest(&raw)?;
+        let err = |reason: String| LlogError::Codec { reason };
+        let mut bytes = Vec::new();
+        let mut expect = m.base;
+        for seg in &m.sealed {
+            if seg.start != expect {
+                return Err(err(format!(
+                    "wal manifest: segment gap (expected start {}, found {})",
+                    expect.0, seg.start.0
+                )));
+            }
+            let Some(content) = self.blobs.get(&segment_name(seg.start))? else {
+                return Err(err(format!(
+                    "wal manifest: missing segment {}",
+                    segment_name(seg.start)
+                )));
+            };
+            if content.len() as u64 != seg.len {
+                return Err(err(format!(
+                    "segment {}: length {} != manifest {}",
+                    segment_name(seg.start),
+                    content.len(),
+                    seg.len
+                )));
+            }
+            if crc32c(&content) != seg.crc {
+                return Err(err(format!(
+                    "segment {}: checksum mismatch",
+                    segment_name(seg.start)
+                )));
+            }
+            bytes.extend_from_slice(&content);
+            expect = Lsn(seg.start.0 + seg.len);
+        }
+        if m.open_start != expect {
+            return Err(err(format!(
+                "wal manifest: open segment at {} but sealed end at {}",
+                m.open_start.0, expect.0
+            )));
+        }
+        // The open (tail) segment is unsealed: read raw; the frame-level
+        // recovery scan validates it (torn tails clipped at-or-after
+        // `tail_guard`).
+        if let Some(tail) = self.blobs.get(&segment_name(m.open_start))? {
+            bytes.extend_from_slice(&tail);
+        }
+        if m.master != Lsn::ZERO && m.master < m.base {
+            return Err(err(format!(
+                "wal manifest: master {} below base {}",
+                m.master.0, m.base.0
+            )));
+        }
+        Ok(Some(LogParts {
+            base: m.base,
+            master: m.master,
+            tail_guard: m.open_start,
+            bytes,
+        }))
+    }
+}
+
+struct ManifestState {
+    base: Lsn,
+    master: Lsn,
+    open_start: Lsn,
+    sealed: Vec<SealedSeg>,
+}
+
+fn parse_manifest(raw: &[u8]) -> Result<ManifestState> {
+    let err = |reason: &str| LlogError::Codec {
+        reason: format!("wal manifest: {reason}"),
+    };
+    if raw.len() < 8 + 8 * 3 + 8 + 4 {
+        return Err(err("too short"));
+    }
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    if crc32c(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return Err(err("checksum mismatch"));
+    }
+    if &body[0..8] != MANIFEST_MAGIC {
+        return Err(err("bad magic"));
+    }
+    let u64_at = |at: usize| u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+    let base = Lsn(u64_at(8));
+    let master = Lsn(u64_at(16));
+    let open_start = Lsn(u64_at(24));
+    let count = u64_at(32) as usize;
+    let mut at = 40;
+    if body.len() != at + count * 20 {
+        return Err(err("sealed table size mismatch"));
+    }
+    let mut sealed = Vec::with_capacity(count);
+    for _ in 0..count {
+        let start = Lsn(u64_at(at));
+        let len = u64_at(at + 8);
+        let crc = u32::from_le_bytes(body[at + 16..at + 20].try_into().unwrap());
+        sealed.push(SealedSeg { start, len, crc });
+        at += 20;
+    }
+    Ok(ManifestState {
+        base,
+        master,
+        open_start,
+        sealed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llog_testkit::faults::FaultKind;
+
+    fn cfg(seg: usize) -> DeviceConfig {
+        DeviceConfig {
+            segment_bytes: seg,
+            ..DeviceConfig::default()
+        }
+    }
+
+    fn mem(seg: usize) -> MemLogDevice {
+        MemLogDevice::mem(Metrics::new(), &cfg(seg), Lsn(1))
+    }
+
+    #[test]
+    fn append_force_load_roundtrip() {
+        let mut d = mem(8);
+        assert_eq!(d.append(Lsn(1), b"abcde", None).unwrap(), 5);
+        assert_eq!(d.append(Lsn(6), b"fghij", None).unwrap(), 5);
+        d.force(None).unwrap();
+        assert_eq!(d.end(), Lsn(11));
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.base, Lsn(1));
+        assert_eq!(parts.bytes, b"abcdefghij");
+        // 10 bytes over 8-byte segments: one sealed [1,9), open at 9.
+        assert_eq!(parts.tail_guard, Lsn(9));
+        assert_eq!(d.metrics.snapshot().segments_rotated, 1);
+    }
+
+    #[test]
+    fn fresh_device_loads_none() {
+        let d = mem(8);
+        assert!(d.load_parts().unwrap().is_none());
+    }
+
+    #[test]
+    fn append_gap_is_rejected() {
+        let mut d = mem(8);
+        d.append(Lsn(1), b"ab", None).unwrap();
+        let err = d.append(Lsn(9), b"cd", None).unwrap_err();
+        assert!(matches!(err, LlogError::Io { .. }));
+    }
+
+    #[test]
+    fn rotation_splits_large_appends() {
+        let mut d = mem(4);
+        let payload: Vec<u8> = (0..23u8).collect();
+        assert_eq!(d.append(Lsn(1), &payload, None).unwrap(), 23);
+        d.force(None).unwrap();
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.bytes, payload);
+        // 23 bytes over 4-byte segments: 5 sealed, open holds 3.
+        assert_eq!(d.metrics.snapshot().segments_rotated, 5);
+        assert_eq!(parts.tail_guard, Lsn(21));
+    }
+
+    #[test]
+    fn truncate_below_reclaims_whole_segments() {
+        let mut d = mem(4);
+        d.append(Lsn(1), &[7u8; 14], None).unwrap();
+        d.force(None).unwrap();
+        // Segments: [1,5) [5,9) [9,13) sealed, open [13,15).
+        let reclaimed = d.truncate_below(Lsn(10), None).unwrap();
+        assert_eq!(reclaimed, 2, "only whole segments below 10 drop");
+        assert_eq!(d.start(), Lsn(9));
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.base, Lsn(9));
+        assert_eq!(parts.bytes.len(), 6);
+        assert_eq!(d.metrics.snapshot().segments_reclaimed, 2);
+        // Truncating below the base is a no-op.
+        assert_eq!(d.truncate_below(Lsn(3), None).unwrap(), 0);
+    }
+
+    #[test]
+    fn sealed_crc_flip_is_codec_on_load() {
+        let mut d = mem(4);
+        d.append(Lsn(1), &[9u8; 10], None).unwrap();
+        d.force(None).unwrap();
+        // Corrupt the first sealed segment's blob directly.
+        let name = segment_name(Lsn(1));
+        let mut seg = d.blobs.get(&name).unwrap().unwrap();
+        seg[1] ^= 0x40;
+        d.blobs.put(&name, &seg).unwrap();
+        let err = d.load_parts().unwrap_err();
+        assert!(matches!(err, LlogError::Codec { .. }), "got {err}");
+    }
+
+    #[test]
+    fn missing_middle_segment_is_codec_on_load() {
+        let mut d = mem(4);
+        d.append(Lsn(1), &[3u8; 12], None).unwrap();
+        d.force(None).unwrap();
+        d.blobs.delete(&segment_name(Lsn(5))).unwrap();
+        let err = d.load_parts().unwrap_err();
+        assert!(matches!(err, LlogError::Codec { .. }), "got {err}");
+    }
+
+    #[test]
+    fn torn_manifest_is_codec_on_load() {
+        let mut d = mem(4);
+        d.append(Lsn(1), &[1u8; 6], None).unwrap();
+        let h = FaultHost::new();
+        h.arm(
+            failpoint::DEV_LOG_MANIFEST,
+            FaultKind::TornWrite { at_byte: 9 },
+        );
+        d.force(Some(&h)).unwrap();
+        let err = d.load_parts().unwrap_err();
+        assert!(matches!(err, LlogError::Codec { .. }), "got {err}");
+    }
+
+    #[test]
+    fn torn_append_persists_clean_prefix_only() {
+        let mut d = mem(64);
+        let h = FaultHost::new();
+        h.arm(
+            failpoint::DEV_LOG_APPEND,
+            FaultKind::TornWrite { at_byte: 3 },
+        );
+        assert_eq!(d.append(Lsn(1), b"abcdef", Some(&h)).unwrap(), 3);
+        d.force(None).unwrap();
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.bytes, b"abc");
+        // The device is not wounded (its content is a clean prefix); the
+        // caller re-appends the missing suffix on the next persist.
+        assert_eq!(d.durable_end(), Lsn(4));
+        assert_eq!(d.append(Lsn(4), b"def", None).unwrap(), 3);
+        d.force(None).unwrap();
+        assert_eq!(d.load_parts().unwrap().unwrap().bytes, b"abcdef");
+    }
+
+    #[test]
+    fn bit_flip_append_wounds_the_device() {
+        let mut d = mem(64);
+        let h = FaultHost::new();
+        h.arm(failpoint::DEV_LOG_APPEND, FaultKind::BitFlip { offset: 20 });
+        let clean = d.append(Lsn(1), b"abcdef", Some(&h)).unwrap();
+        assert_eq!(clean, 2, "bit 20 corrupts byte 2");
+        assert_eq!(d.durable_end(), Lsn(3));
+        // Wounded: further appends are refused so nothing past the
+        // corruption can ever be acked.
+        assert_eq!(d.append(Lsn(7), b"xyz", None).unwrap(), 0);
+        assert_eq!(d.end(), Lsn(7));
+    }
+
+    #[test]
+    fn delayed_manifest_keeps_stale_manifest() {
+        let mut d = mem(64);
+        d.append(Lsn(1), b"one", None).unwrap();
+        d.force(None).unwrap();
+        d.set_master(Lsn(2));
+        let h = FaultHost::new();
+        h.arm(failpoint::DEV_LOG_MANIFEST, FaultKind::DelayedWrite);
+        d.force(Some(&h)).unwrap();
+        // The stale manifest (master=0) is still the durable one.
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.master, Lsn::ZERO);
+    }
+
+    #[test]
+    fn reset_wipes_and_restarts() {
+        let mut d = mem(4);
+        d.append(Lsn(1), &[5u8; 10], None).unwrap();
+        d.force(None).unwrap();
+        d.reset(Lsn(42), None).unwrap();
+        assert_eq!(d.start(), Lsn(42));
+        assert_eq!(d.end(), Lsn(42));
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.base, Lsn(42));
+        assert!(parts.bytes.is_empty());
+        assert!(d
+            .blobs
+            .list()
+            .unwrap()
+            .iter()
+            .all(|n| !n.starts_with("seg-")));
+    }
+
+    #[test]
+    fn file_device_roundtrips_and_resumes() {
+        let dir = std::env::temp_dir().join(format!(
+            "llog-seglog-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let metrics = Metrics::new();
+        {
+            let mut d = FileLogDevice::file(&dir, metrics.clone(), &cfg(4), Lsn(1)).unwrap();
+            d.append(Lsn(1), &[8u8; 10], None).unwrap();
+            d.set_master(Lsn(5));
+            d.force(None).unwrap();
+        }
+        // Reopen: resumes from the manifest and keeps appending.
+        let mut d = FileLogDevice::file(&dir, metrics, &cfg(4), Lsn(1)).unwrap();
+        assert_eq!(d.end(), Lsn(11));
+        assert_eq!(d.master(), Lsn(5));
+        d.append(Lsn(11), &[9u8; 3], None).unwrap();
+        d.force(None).unwrap();
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.bytes.len(), 13);
+        assert_eq!(parts.master, Lsn(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,6 +11,7 @@
 //! crash; volatile state (caches, log buffers, uncommitted shadow
 //! intentions) is owned by other crates and simply dropped.
 
+pub mod device;
 mod metrics;
 mod persist;
 mod shadow;

@@ -59,6 +59,18 @@ pub struct Metrics {
     pub recovery_ring_reused: AtomicU64,
     /// Log records decoded during recovery (analysis + any gap rescans).
     pub recovery_records_decoded: AtomicU64,
+    /// Bytes written through a durability device (segments, deltas, manifests).
+    pub io_bytes_written: AtomicU64,
+    /// Device-level fsync (force-to-durable) calls.
+    pub io_fsyncs: AtomicU64,
+    /// WAL segments sealed and rotated by a log device.
+    pub segments_rotated: AtomicU64,
+    /// Whole WAL segments reclaimed by truncate-below.
+    pub segments_reclaimed: AtomicU64,
+    /// Objects written by incremental checkpoints (dirty since last ckpt).
+    pub ckpt_objects_written: AtomicU64,
+    /// Objects skipped by incremental checkpoints (clean since last ckpt).
+    pub ckpt_objects_skipped: AtomicU64,
 }
 
 impl Metrics {
@@ -100,6 +112,12 @@ impl Metrics {
             recovery_parallel_workers: g(&self.recovery_parallel_workers),
             recovery_ring_reused: g(&self.recovery_ring_reused),
             recovery_records_decoded: g(&self.recovery_records_decoded),
+            io_bytes_written: g(&self.io_bytes_written),
+            io_fsyncs: g(&self.io_fsyncs),
+            segments_rotated: g(&self.segments_rotated),
+            segments_reclaimed: g(&self.segments_reclaimed),
+            ckpt_objects_written: g(&self.ckpt_objects_written),
+            ckpt_objects_skipped: g(&self.ckpt_objects_skipped),
         }
     }
 
@@ -130,6 +148,12 @@ impl Metrics {
             &self.recovery_parallel_workers,
             &self.recovery_ring_reused,
             &self.recovery_records_decoded,
+            &self.io_bytes_written,
+            &self.io_fsyncs,
+            &self.segments_rotated,
+            &self.segments_reclaimed,
+            &self.ckpt_objects_written,
+            &self.ckpt_objects_skipped,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -187,6 +211,18 @@ pub struct MetricsSnapshot {
     pub recovery_ring_reused: u64,
     /// Log records decoded during recovery.
     pub recovery_records_decoded: u64,
+    /// Bytes written through a durability device.
+    pub io_bytes_written: u64,
+    /// Device-level fsync calls.
+    pub io_fsyncs: u64,
+    /// WAL segments sealed and rotated.
+    pub segments_rotated: u64,
+    /// Whole WAL segments reclaimed by truncate-below.
+    pub segments_reclaimed: u64,
+    /// Objects written by incremental checkpoints.
+    pub ckpt_objects_written: u64,
+    /// Objects skipped by incremental checkpoints.
+    pub ckpt_objects_skipped: u64,
 }
 
 impl MetricsSnapshot {
@@ -199,7 +235,7 @@ impl MetricsSnapshot {
     ///
     /// The single source of truth for serialization and aggregation, so a
     /// counter added to the struct cannot silently go missing from either.
-    pub fn fields(&self) -> [(&'static str, u64); 24] {
+    pub fn fields(&self) -> [(&'static str, u64); 30] {
         [
             ("obj_reads", self.obj_reads),
             ("obj_read_bytes", self.obj_read_bytes),
@@ -225,6 +261,12 @@ impl MetricsSnapshot {
             ("recovery_parallel_workers", self.recovery_parallel_workers),
             ("recovery_ring_reused", self.recovery_ring_reused),
             ("recovery_records_decoded", self.recovery_records_decoded),
+            ("io_bytes_written", self.io_bytes_written),
+            ("io_fsyncs", self.io_fsyncs),
+            ("segments_rotated", self.segments_rotated),
+            ("segments_reclaimed", self.segments_reclaimed),
+            ("ckpt_objects_written", self.ckpt_objects_written),
+            ("ckpt_objects_skipped", self.ckpt_objects_skipped),
         ]
     }
 
@@ -287,6 +329,18 @@ impl MetricsSnapshot {
             recovery_records_decoded: self
                 .recovery_records_decoded
                 .saturating_add(other.recovery_records_decoded),
+            io_bytes_written: self.io_bytes_written.saturating_add(other.io_bytes_written),
+            io_fsyncs: self.io_fsyncs.saturating_add(other.io_fsyncs),
+            segments_rotated: self.segments_rotated.saturating_add(other.segments_rotated),
+            segments_reclaimed: self
+                .segments_reclaimed
+                .saturating_add(other.segments_reclaimed),
+            ckpt_objects_written: self
+                .ckpt_objects_written
+                .saturating_add(other.ckpt_objects_written),
+            ckpt_objects_skipped: self
+                .ckpt_objects_skipped
+                .saturating_add(other.ckpt_objects_skipped),
         }
     }
 
@@ -331,6 +385,22 @@ impl MetricsSnapshot {
             recovery_records_decoded: self
                 .recovery_records_decoded
                 .saturating_sub(earlier.recovery_records_decoded),
+            io_bytes_written: self
+                .io_bytes_written
+                .saturating_sub(earlier.io_bytes_written),
+            io_fsyncs: self.io_fsyncs.saturating_sub(earlier.io_fsyncs),
+            segments_rotated: self
+                .segments_rotated
+                .saturating_sub(earlier.segments_rotated),
+            segments_reclaimed: self
+                .segments_reclaimed
+                .saturating_sub(earlier.segments_reclaimed),
+            ckpt_objects_written: self
+                .ckpt_objects_written
+                .saturating_sub(earlier.ckpt_objects_written),
+            ckpt_objects_skipped: self
+                .ckpt_objects_skipped
+                .saturating_sub(earlier.ckpt_objects_skipped),
         }
     }
 }
@@ -410,6 +480,35 @@ mod tests {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
         }
         assert_eq!(s.merged(&s).recovery_records_decoded, 46);
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn backend_io_counters_round_trip() {
+        let m = Metrics::new();
+        Metrics::bump(&m.io_bytes_written, 4096);
+        Metrics::bump(&m.io_fsyncs, 3);
+        Metrics::bump(&m.segments_rotated, 2);
+        Metrics::bump(&m.segments_reclaimed, 1);
+        Metrics::bump(&m.ckpt_objects_written, 10);
+        Metrics::bump(&m.ckpt_objects_skipped, 990);
+        let s = m.snapshot();
+        assert_eq!(s.io_bytes_written, 4096);
+        assert_eq!(s.ckpt_objects_skipped, 990);
+        let json = s.to_json();
+        for key in [
+            "io_bytes_written",
+            "io_fsyncs",
+            "segments_rotated",
+            "segments_reclaimed",
+            "ckpt_objects_written",
+            "ckpt_objects_skipped",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert_eq!(s.merged(&s).io_fsyncs, 6);
         assert_eq!(s.since(&s), MetricsSnapshot::default());
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());

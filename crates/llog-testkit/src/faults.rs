@@ -36,6 +36,14 @@ pub mod failpoint {
     pub const FLUSHER_FORCE: &str = "flusher.force";
     /// The background installer, before installing one operation.
     pub const INSTALL: &str = "install";
+    /// Device layer: appending frame bytes to the open WAL segment.
+    pub const DEV_LOG_APPEND: &str = "device.log.append";
+    /// Device layer: writing the WAL segment manifest (seal/rotate/truncate).
+    pub const DEV_LOG_MANIFEST: &str = "device.log.manifest";
+    /// Device layer: writing one incremental checkpoint delta file.
+    pub const DEV_STORE_DELTA: &str = "device.store.delta";
+    /// Device layer: writing the store checkpoint-manifest chain.
+    pub const DEV_STORE_MANIFEST: &str = "device.store.manifest";
 
     /// All failpoints, in a stable order (used by `FaultPlan::draw`).
     pub const ALL: &[&str] = &[
@@ -46,6 +54,19 @@ pub mod failpoint {
         WAL_FORCE,
         FLUSHER_FORCE,
         INSTALL,
+        DEV_LOG_APPEND,
+        DEV_LOG_MANIFEST,
+        DEV_STORE_DELTA,
+        DEV_STORE_MANIFEST,
+    ];
+
+    /// The device-layer write failpoints (used to restrict fault plans to the
+    /// segmented backends in the Mem↔File differential oracle).
+    pub const DEVICE: &[&str] = &[
+        DEV_LOG_APPEND,
+        DEV_LOG_MANIFEST,
+        DEV_STORE_DELTA,
+        DEV_STORE_MANIFEST,
     ];
 }
 
@@ -410,11 +431,22 @@ impl FaultPlan {
     /// | `*.save`       | torn, short_fsync, io_error, bit_flip, delayed, reordered |
     /// | `*.load`       | io_error, bit_flip, torn                             |
     /// | `wal.force` / `flusher.force` | torn, short_fsync, io_error, bit_flip |
+    /// | `device.*`     | torn, short_fsync, io_error, bit_flip, delayed       |
     /// | `install`      | io_error                                             |
     fn kind_for(point: &str, s: &mut u64) -> FaultKind {
         let r = splitmix64(s);
         let param = splitmix64(s) % 4096;
         match point {
+            failpoint::DEV_LOG_APPEND
+            | failpoint::DEV_LOG_MANIFEST
+            | failpoint::DEV_STORE_DELTA
+            | failpoint::DEV_STORE_MANIFEST => match r % 5 {
+                0 => FaultKind::TornWrite { at_byte: param },
+                1 => FaultKind::ShortFsync { keep_bytes: param },
+                2 => FaultKind::IoError,
+                3 => FaultKind::BitFlip { offset: param },
+                _ => FaultKind::DelayedWrite,
+            },
             failpoint::STORE_SAVE | failpoint::WAL_SAVE => match r % 6 {
                 0 => FaultKind::TornWrite { at_byte: param },
                 1 => FaultKind::ShortFsync { keep_bytes: param },
@@ -458,6 +490,22 @@ mod tests {
             let p = FaultPlan::draw(seed, 10, &[failpoint::WAL_FORCE]);
             assert_eq!(p.faults[0].point, failpoint::WAL_FORCE);
             assert!(p.faults[0].step < 10);
+        }
+    }
+
+    #[test]
+    fn device_points_draw_valid_kinds() {
+        for seed in 0..256 {
+            let p = FaultPlan::draw(seed, 10, failpoint::DEVICE);
+            let f = &p.faults[0];
+            assert!(
+                failpoint::DEVICE.contains(&f.point.as_str()),
+                "plan escaped the device restriction: {f}"
+            );
+            assert!(
+                !matches!(f.kind, FaultKind::ReorderedWrite),
+                "reordered writes are not modelled at device points: {f}"
+            );
         }
     }
 

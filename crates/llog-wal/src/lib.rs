@@ -15,10 +15,13 @@
 //! torn-tail scan).
 
 mod archive;
+mod backend;
+mod device;
 mod persist;
 mod record;
 mod wal;
 
 pub use archive::LogArchive;
+pub use backend::{DurabilityBackend, PersistOutcome, LOG_SUBDIR, STORE_SUBDIR};
 pub use record::{CheckpointRecord, InstallRecord, LogRecord};
 pub use wal::{ForceOutcome, ScanSummary, Wal, WalScan};

@@ -295,6 +295,23 @@ impl Wal {
         stable: Vec<u8>,
         master_checkpoint: Option<Lsn>,
     ) -> Wal {
+        // Conservative: a monolithic restored image carries no force
+        // history, so any corruption in it classifies as a torn tail.
+        Wal::from_durable_parts_guarded(metrics, base, stable, master_checkpoint, Lsn(base))
+    }
+
+    /// Rebuild a WAL from its durable parts with an explicit torn-tail
+    /// guard. A segmented log device *does* carry force history: every
+    /// sealed segment was CRC-verified at load, so the guard advances to the
+    /// open segment's start and corruption below it surfaces as `Corrupt`
+    /// instead of being clipped.
+    pub(crate) fn from_durable_parts_guarded(
+        metrics: Arc<Metrics>,
+        base: u64,
+        stable: Vec<u8>,
+        master_checkpoint: Option<Lsn>,
+        tail_guard: Lsn,
+    ) -> Wal {
         Wal {
             metrics,
             stable,
@@ -302,9 +319,7 @@ impl Wal {
             buffer: Vec::new(),
             master_checkpoint,
             pending_checkpoint: None,
-            // Conservative: a restored image carries no force history, so
-            // any corruption in it classifies as a torn tail.
-            tail_guard: Lsn(base),
+            tail_guard: tail_guard.max(Lsn(base)),
         }
     }
 

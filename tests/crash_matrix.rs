@@ -436,6 +436,235 @@ fn recovery_modes_agree_on_torn_tails() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Post-truncation device equivalence (DESIGN §11): after a checkpoint
+// truncates the WAL, persisting through a durability backend must reclaim
+// whole durable segments, and recovery from the device image must match
+// recovery from the in-memory crash image — on both backends, which must
+// also match each other byte for byte.
+// ---------------------------------------------------------------------------
+
+/// Smallest segment start LSN present in a file-backend log directory
+/// (parsed from the `seg-{start:016x}.llog` names).
+fn min_seg_start(log_dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(log_dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            let hex = name.strip_prefix("seg-")?.strip_suffix(".llog")?;
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .min()
+        .expect("file backend must hold at least one segment")
+}
+
+/// A unique, panic-safe temp dir for the file backend under test.
+struct BackendDir(std::path::PathBuf);
+
+impl BackendDir {
+    fn new(tag: &str) -> BackendDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "llog-crash-matrix-{tag}-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        assert!(!dir.exists(), "temp dir collision: {}", dir.display());
+        BackendDir(dir)
+    }
+}
+
+impl Drop for BackendDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn wal_truncation_reclaims_device_space_and_recovery_agrees() {
+    use llog::core::{recover_with, RecoveryOptions};
+    use llog_storage::device::DeviceConfig;
+    use llog_storage::Metrics;
+    use llog_wal::{DurabilityBackend, LOG_SUBDIR};
+
+    let reg = registry();
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1011).generate();
+    let mut engine = llog::core::Engine::new(rw_config(), reg.clone());
+
+    // Phase A: first half, installed, forced, and persisted through both
+    // devices (including the identity-write install records, so the
+    // device's end reaches the future truncation point and the reclaim
+    // runs as a truncation, not a window-gap reset).
+    llog::sim::run_workload(&mut engine, &ops[..25], 3, 0).unwrap();
+    engine.install_all().unwrap();
+    engine.wal_mut().force();
+
+    let cfg = DeviceConfig::small();
+    let dir = BackendDir::new("reclaim");
+    let mem_metrics = Metrics::new();
+    let file_metrics = Metrics::new();
+    let mut mem = DurabilityBackend::mem(mem_metrics.clone(), &cfg);
+    let mut file =
+        DurabilityBackend::file(&dir.0, file_metrics.clone(), &cfg).expect("file backend");
+    mem.persist(engine.store(), engine.wal(), None).unwrap();
+    file.persist(engine.store(), engine.wal(), None).unwrap();
+    let floor_before = min_seg_start(&dir.0.join(LOG_SUBDIR));
+
+    // Checkpoint with truncation: the WAL base advances past phase A.
+    let base_before = engine.wal().start_lsn();
+    engine.checkpoint(true).unwrap();
+    let base_after = engine.wal().start_lsn();
+    assert!(
+        base_after > base_before,
+        "checkpoint(true) must truncate the in-memory WAL ({base_before:?} -> {base_after:?})"
+    );
+
+    // Phase B, forced, persisted again: both devices must reclaim the
+    // durable space below the new base (the bug this test pins down was
+    // a file backend that kept every pre-truncation segment forever).
+    llog::sim::run_workload(&mut engine, &ops[25..], 0, 0).unwrap();
+    engine.wal_mut().force();
+    mem.persist(engine.store(), engine.wal(), None).unwrap();
+    file.persist(engine.store(), engine.wal(), None).unwrap();
+
+    assert!(
+        mem_metrics.snapshot().segments_reclaimed > 0,
+        "mem backend reclaimed no segments after truncation"
+    );
+    assert!(
+        file_metrics.snapshot().segments_reclaimed > 0,
+        "file backend reclaimed no segments after truncation"
+    );
+    let floor_after = min_seg_start(&dir.0.join(LOG_SUBDIR));
+    assert!(
+        floor_after > floor_before,
+        "whole segments below the new base must be deleted from disk \
+         (floor stayed at {floor_before:#x})"
+    );
+
+    // Crash. Recovery from the in-memory pair is the ground truth.
+    let (store, wal) = engine.crash();
+    let (ge, go) = recover_with(
+        store.clone(),
+        wal.clone(),
+        reg.clone(),
+        rw_config(),
+        RedoPolicy::RsiExposed,
+        RecoveryOptions::serial(),
+    )
+    .expect("in-memory recovery");
+
+    let mut loaded = Vec::new();
+    for (name, backend) in [("mem", &mem), ("file", &file)] {
+        let (ds, dw) = backend
+            .load(Metrics::new())
+            .unwrap()
+            .unwrap_or_else(|| panic!("{name}: nothing persisted"));
+        // Truncation reclaim is segment-granular: the device may keep a
+        // sub-segment prefix below the WAL's base, never the reverse.
+        assert!(
+            dw.start_lsn() <= wal.start_lsn(),
+            "{name}: device base {:?} ran ahead of the WAL base {:?}",
+            dw.start_lsn(),
+            wal.start_lsn()
+        );
+        assert_eq!(
+            dw.forced_lsn(),
+            wal.forced_lsn(),
+            "{name}: durable end diverged"
+        );
+        let image = dw.serialize();
+        let (de, doo) = recover_with(
+            ds,
+            dw,
+            reg.clone(),
+            rw_config(),
+            RedoPolicy::RsiExposed,
+            RecoveryOptions::serial(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: device recovery failed: {e}"));
+        // The retained prefix records are installed, so they must all fail
+        // the REDO test: same redo work, same recovered state.
+        assert_eq!(doo.redone, go.redone, "{name}: redo work diverged");
+        assert_eq!(doo.torn_tail, go.torn_tail, "{name}: tear status diverged");
+        assert_eq!(
+            mode_fingerprint(&de),
+            mode_fingerprint(&ge),
+            "{name}: recovered state diverged from in-memory recovery"
+        );
+        loaded.push((image, doo));
+    }
+    let (mem_loaded, file_loaded) = (&loaded[0], &loaded[1]);
+    assert_eq!(
+        mem_loaded.0, file_loaded.0,
+        "mem and file WAL images diverged after truncation reclaim"
+    );
+    assert_eq!(
+        mem_loaded.1, file_loaded.1,
+        "mem and file recovery outcomes diverged"
+    );
+}
+
+/// Sweep the checkpoint-truncation position across the workload: at every
+/// cut, the device-persisted image must recover to the same state and
+/// outcome as the in-memory crash image, on both backends.
+#[test]
+fn post_truncation_recovery_equivalence_sweep() {
+    use llog::core::{recover_with, RecoveryOptions};
+    use llog_storage::device::DeviceConfig;
+    use llog_storage::Metrics;
+    use llog_wal::DurabilityBackend;
+
+    let reg = registry();
+    let ops = Workload::new(5, 30, WorkloadKind::app_mix(), 1012).generate();
+    let cfg = DeviceConfig::small();
+    for cut in (5..30).step_by(5) {
+        let mut engine = llog::core::Engine::new(rw_config(), reg.clone());
+        llog::sim::run_workload(&mut engine, &ops[..cut], 2, 0).unwrap();
+        engine.wal_mut().force();
+        engine.install_all().unwrap();
+        engine.checkpoint(true).unwrap();
+        llog::sim::run_workload(&mut engine, &ops[cut..], 0, 0).unwrap();
+        engine.wal_mut().force();
+
+        let dir = BackendDir::new("sweep");
+        let mut mem = DurabilityBackend::mem(Metrics::new(), &cfg);
+        let mut file = DurabilityBackend::file(&dir.0, Metrics::new(), &cfg).expect("file backend");
+        mem.persist(engine.store(), engine.wal(), None).unwrap();
+        file.persist(engine.store(), engine.wal(), None).unwrap();
+
+        let (store, wal) = engine.crash();
+        let (ge, go) = recover_with(
+            store,
+            wal,
+            reg.clone(),
+            rw_config(),
+            RedoPolicy::RsiExposed,
+            RecoveryOptions::serial(),
+        )
+        .unwrap_or_else(|e| panic!("cut {cut}: in-memory recovery failed: {e}"));
+        for (name, backend) in [("mem", &mem), ("file", &file)] {
+            let (ds, dw) = backend.load(Metrics::new()).unwrap().unwrap();
+            let (de, doo) = recover_with(
+                ds,
+                dw,
+                reg.clone(),
+                rw_config(),
+                RedoPolicy::RsiExposed,
+                RecoveryOptions::serial(),
+            )
+            .unwrap_or_else(|e| panic!("cut {cut} {name}: device recovery failed: {e}"));
+            assert_eq!(doo, go, "cut {cut} {name}: outcome diverged");
+            assert_eq!(
+                mode_fingerprint(&de),
+                mode_fingerprint(&ge),
+                "cut {cut} {name}: state diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn delete_heavy_workload_matrix() {
     let mix = WorkloadKind {
