@@ -23,22 +23,63 @@ if grep -nE "^[[:space:]]*(${banned})[[:space:]]*(=|\.workspace)" "${manifests[@
     fail=1
 fi
 
-# Inside any *dependencies* section, every entry must either be an
-# `llog-*` name or carry an explicit `path =`; anything else is a
-# registry dependency.
+# Member crates must take every dependency through the workspace table:
+# inside any *dependencies* section the only legal line is
+# `llog-<name>.workspace = true`. A stray `path =`/`version =`/inline
+# table would bypass the single pinned dependency graph.
 if awk '
     /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
-    in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
-        if ($0 !~ /^[[:space:]]*llog-/ && $0 !~ /path[[:space:]]*=/) {
+    in_deps && $0 !~ /^\[/ && NF && $0 !~ /^[[:space:]]*#/ {
+        if ($0 !~ /^llog-[a-z0-9-]+\.workspace[[:space:]]*=[[:space:]]*true[[:space:]]*$/) {
             printf "%s:%d:%s\n", FILENAME, FNR, $0
             bad = 1
         }
     }
     END { exit bad }
-' "${manifests[@]}"; then
+' crates/*/Cargo.toml; then
     : # clean
 else
-    echo "ERROR: non-llog registry dependency in a manifest (see above)" >&2
+    echo "ERROR: member dependency not of the form llog-*.workspace = true (see above)" >&2
+    fail=1
+fi
+
+# The root manifest is the one place a path may appear: the
+# [workspace.dependencies] table must map each llog crate to its
+# in-tree path, and the root package's own dep sections must go through
+# the workspace table like everyone else.
+if awk '
+    /^\[/ {
+        ws  = ($0 ~ /^\[workspace\.dependencies\]$/)
+        pkg = (!ws && $0 ~ /dependencies\]$/)
+    }
+    (ws || pkg) && $0 !~ /^\[/ && NF && $0 !~ /^[[:space:]]*#/ {
+        ok = 0
+        if (ws && $0 ~ /^llog-[a-z0-9-]+[[:space:]]*=[[:space:]]*\{[[:space:]]*path[[:space:]]*=[[:space:]]*"crates\/llog-[a-z0-9-]+"[[:space:]]*\}[[:space:]]*$/)
+            ok = 1
+        if (pkg && $0 ~ /^llog-[a-z0-9-]+\.workspace[[:space:]]*=[[:space:]]*true[[:space:]]*$/)
+            ok = 1
+        if (!ok) {
+            printf "%s:%d:%s\n", FILENAME, FNR, $0
+            bad = 1
+        }
+    }
+    END { exit bad }
+' Cargo.toml; then
+    : # clean
+else
+    echo "ERROR: root manifest dependency outside the workspace-path form (see above)" >&2
+    fail=1
+fi
+
+# 1b. Build scripts are banned outright: a build.rs runs arbitrary code
+#     at compile time, which can reach the network or generate sources —
+#     both break the hermetic story even with an empty dependency graph.
+if find . -name build.rs -not -path './target/*' -not -path './.git/*' | grep .; then
+    echo "ERROR: build.rs found — build scripts are banned (see above)" >&2
+    fail=1
+fi
+if grep -nE '^[[:space:]]*build[[:space:]]*=' "${manifests[@]}"; then
+    echo "ERROR: explicit build-script key in a manifest (see above)" >&2
     fail=1
 fi
 

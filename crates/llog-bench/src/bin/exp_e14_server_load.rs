@@ -1,0 +1,51 @@
+//! E14: served traffic — open-loop latency and goodput-under-overload
+//! against the `llog-server` TCP front end.
+//!
+//! Writes `BENCH_e14.json` (override the path with `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI smoke runs.
+
+use llog_bench::e14_server_load::{load_table, run, Params};
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "E14 — server load: {} shards, {} conns, target {:.0} ops/s \
+         ({} ops/conn, {}-byte values, seed {:#x})",
+        p.shards,
+        p.conns,
+        p.offered_rate(),
+        p.ops_per_conn,
+        p.value_bytes,
+        p.seed
+    );
+    let report = run(&p);
+
+    println!("\nOpen-loop rows (latency from *scheduled* arrival):");
+    println!("{}", load_table(&report));
+    let r1 = &report.rows[0];
+    println!(
+        "p99 at 1x: {} µs (budget {} µs): {}",
+        r1.latency_us[2],
+        p.p99_budget_us,
+        if report.latency_ok() { "OK" } else { "FAIL" }
+    );
+    let r2 = &report.rows[1];
+    println!(
+        "goodput at 2x overload: {:.0} ops/s (floor {:.0} = 0.9 x target): {}",
+        r2.goodput(),
+        0.9 * p.offered_rate(),
+        if report.goodput_ok() { "OK" } else { "FAIL" }
+    );
+
+    let json = report.to_json();
+    println!("\n{json}");
+    let path = std::env::var("LLOG_BENCH_JSON").unwrap_or_else(|_| "BENCH_e14.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}

@@ -1,9 +1,12 @@
 //! `llog-fuzz` — seeded crash-recovery fuzzer.
 //!
 //! Each iteration draws a 64-bit seed, generates a mixed workload (raw kv,
-//! sharded group-commit, persist round-trips, or domain operations), injects
+//! sharded group-commit, persist round-trips, domain operations, or seeded
+//! traffic against a live `llog-server` TCP front end), injects
 //! **one** fault from the [`llog_testkit::faults`] taxonomy at a seeded
-//! step, crashes, recovers, and checks an invariant suite:
+//! step (or, for the server mode, connection drops, half-written frames and
+//! garbage bytes at the codec boundary), crashes, recovers, and checks an
+//! invariant suite:
 //!
 //! - recovery succeeds (torn tails and tail bit-rot are *detected and
 //!   clipped*, never fatal);
@@ -32,9 +35,11 @@
 //! (iteration count). Flags `--seed`/`--iters` override the environment.
 
 use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use llog_core::{
     recover, recover_with, Engine, EngineConfig, RecoveryMode, RecoveryOptions, RecoveryOutcome,
@@ -48,6 +53,7 @@ use llog_engine::{
     recover_sharded, CommitPolicy, CommitTicket, GroupCommitPolicy, ShardedConfig, ShardedEngine,
 };
 use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog_server::{proto, Client, Request, Server, ServerConfig};
 use llog_sim::{replay_stable_log, verify_against_log, Workload, WorkloadKind};
 use llog_testkit::faults::{failpoint, FaultHost, FaultPlan};
 use llog_testkit::prop::{run_property_result, Config};
@@ -135,9 +141,11 @@ fn print_help() {
          \n\
          --iters N   iterations to run (env LLOG_FUZZ_ITERS, default {DEFAULT_ITERS})\n\
          --seed S    base seed (env LLOG_FUZZ_SEED, default: wall clock)\n\
-         --mode M    pin the case family 0-4 (env LLOG_FUZZ_MODE; 0 kv,\n\
+         --mode M    pin the case family 0-5 (env LLOG_FUZZ_MODE; 0 kv,\n\
         \x20            1 sharded, 2 persist, 3 domains, 4 mem-vs-file\n\
-        \x20            durability-backend differential on real files)\n\
+        \x20            durability-backend differential on real files,\n\
+        \x20            5 TCP server codec chaos: dropped/half-written/\n\
+        \x20            garbage frames against a live llog-server)\n\
          --replay    replay a single failing iteration seed and exit\n\
          \n\
          On failure the minimal shrunk counterexample is written to\n\
@@ -194,8 +202,8 @@ fn run_iteration(seed: u64, pin_mode: Option<usize>) -> Result<(), String> {
     // the Mem↔File backend differential, mode 4, on real files in a
     // tmpdir); unpinned runs draw the mode from the seed.
     let modes = match pin_mode {
-        Some(m) => m.min(4)..m.min(4) + 1,
-        None => 0usize..5,
+        Some(m) => m.min(5)..m.min(5) + 1,
+        None => 0usize..6,
     };
     let strategy = (modes, 1usize..=40, 0u64..u64::MAX);
     let r = run_property_result(
@@ -214,7 +222,8 @@ fn run_case(mode: usize, n_ops: usize, material: u64) -> Result<(), String> {
         1 => fuzz_sharded(n_ops, material),
         2 => fuzz_persist(n_ops, material),
         3 => fuzz_domains(n_ops, material),
-        _ => fuzz_backend_diff(n_ops, material),
+        4 => fuzz_backend_diff(n_ops, material),
+        _ => fuzz_server(n_ops, material),
     }
 }
 
@@ -450,6 +459,7 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
         force_latency: Duration::ZERO,
         max_uninstalled: 64,
         install_high_water: rng.random_range(2usize..8),
+        persist_on_force: false,
     };
     let registry = TransformRegistry::with_builtins();
     let policy = pick_policy(&mut rng);
@@ -1050,5 +1060,169 @@ fn fuzz_domains(n_ops: usize, material: u64) -> Result<(), String> {
             ));
         }
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 5: TCP server codec chaos
+// ---------------------------------------------------------------------------
+
+/// Drive seeded traffic against a live [`Server`] while injecting chaos at
+/// the codec boundary: connections dropped mid-frame, single-bit-flipped
+/// frames, and plain garbage bytes. Every `Put` on the well-behaved
+/// connection is waited on synchronously, so its ack is a durability
+/// promise. Invariants:
+///
+/// - bad connections never take the server down — a fresh connection still
+///   answers a ping afterwards, and each one is recorded as a protocol
+///   error or a dropped connection;
+/// - acked-durable across a hard abort: `Server::abort` + `crash()` +
+///   recovery must surface the **exact** last acknowledged value of every
+///   object (nothing unacked was ever executed, so equality is exact);
+/// - double-recovery idempotence: crashing the recovered engine and
+///   recovering again yields the identical exposed state.
+fn fuzz_server(n_ops: usize, material: u64) -> Result<(), String> {
+    let mut rng = TestRng::seed_from_u64(material ^ 0x5E4F_E400);
+    let n_objects = rng.random_range(2u64..10);
+    let shards = rng.random_range(1usize..4);
+    let registry = TransformRegistry::with_builtins();
+    let sconfig = llog_server::boot::server_engine_config(shards);
+    let engine = ShardedEngine::new(sconfig, &registry);
+    let server = Server::start(engine, ServerConfig::default())
+        .map_err(|e| format!("server: start: {e}"))?;
+    let addr = server.local_addr();
+
+    let ctx = |what: &str| format!("server: shards={shards} n_ops={n_ops}: {what}");
+
+    let mut client = Client::connect(addr).map_err(|e| ctx(&format!("connect: {e}")))?;
+    // Last acknowledged value per object. The well-behaved connection waits
+    // for every ack before the next request, and chaos frames never decode,
+    // so this is the complete write history the recovery must reproduce.
+    let mut acked: BTreeMap<ObjectId, Vec<u8>> = BTreeMap::new();
+    let mut expected_bad = 0u64;
+
+    for i in 0..n_ops {
+        // Occasionally recycle the polite connection (clean EOF at a frame
+        // boundary — must not count as a drop or an error).
+        if rng.ratio(0.08) {
+            client = Client::connect(addr).map_err(|e| ctx(&format!("reconnect: {e}")))?;
+        }
+        if rng.ratio(0.2) {
+            // Chaos connection: one mangled write, then drop the stream.
+            let x = ObjectId(rng.random_range(0..n_objects));
+            let victim = proto::frame(&proto::encode_request(&Request::Put {
+                req_id: 0xBAD,
+                object: x,
+                value: b"never-acked".to_vec(),
+            }));
+            let mut s =
+                TcpStream::connect(addr).map_err(|e| ctx(&format!("chaos connect: {e}")))?;
+            match rng.random_range(0u64..3) {
+                0 => {
+                    // Half-written frame: the reader sees EOF mid-frame.
+                    let cut = rng.random_range(1..victim.len() as u64) as usize;
+                    let _ = s.write_all(&victim[..cut]);
+                }
+                1 => {
+                    // One flipped bit: bad magic, bad length or a CRC
+                    // mismatch — never a decodable request.
+                    let mut f = victim.clone();
+                    let bit = rng.random_range(0..f.len() as u64 * 8);
+                    f[(bit / 8) as usize] ^= 1 << (bit % 8);
+                    let _ = s.write_all(&f);
+                }
+                _ => {
+                    // Garbage bytes that were never a frame.
+                    let n = rng.random_range(1u64..64) as usize;
+                    let junk: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
+                    let _ = s.write_all(&junk);
+                }
+            }
+            let _ = s.flush();
+            drop(s);
+            expected_bad += 1;
+            continue;
+        }
+        let x = ObjectId(rng.random_range(0..n_objects));
+        if rng.ratio(0.15) {
+            // Read-your-writes on the acked connection.
+            let got = client.get(x).map_err(|e| ctx(&format!("get {x}: {e}")))?;
+            if let Some(want) = acked.get(&x) {
+                if &got != want {
+                    return Err(ctx(&format!(
+                        "get {x} after ack returned {got:?}, last acked {want:?}"
+                    )));
+                }
+            }
+        } else {
+            let v = format!("srv{i}-{}", rng.next_u32()).into_bytes();
+            client
+                .put(x, &v)
+                .map_err(|e| ctx(&format!("put {x}: {e}")))?;
+            acked.insert(x, v);
+        }
+    }
+
+    // The server must still accept and serve fresh connections after every
+    // mangled one.
+    let mut probe = Client::connect(addr).map_err(|e| ctx(&format!("probe connect: {e}")))?;
+    probe.ping().map_err(|e| ctx(&format!("probe ping: {e}")))?;
+
+    // Every chaos connection must be accounted for as a protocol error or
+    // a dropped connection (its reader thread may still be draining).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let c = server.counters();
+        if c.protocol_errors + c.dropped_conns >= expected_bad {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(ctx(&format!(
+                "chaos connections unaccounted for: {} protocol errors + {} drops \
+                 < {expected_bad} injected",
+                c.protocol_errors, c.dropped_conns
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    drop(client);
+    drop(probe);
+
+    // Hard abort (the SIGKILL path: no drain, queued responses dropped),
+    // then crash and recover. Everything acked must be there, exactly.
+    let engine = server.abort();
+    let parts = engine.crash();
+    let (rec, _) = recover_sharded(parts, &registry, sconfig, RedoPolicy::RsiExposed)
+        .map_err(|e| ctx(&format!("recovery failed: {e}")))?;
+    for (x, want) in &acked {
+        let got = rec
+            .read_value(*x)
+            .map_err(|e| ctx(&format!("read {x} after recovery: {e}")))?;
+        if got != Value::from(want.as_slice()) {
+            return Err(ctx(&format!(
+                "acked-durable violated on {x}: recovered {got:?}, last acked {want:?}"
+            )));
+        }
+    }
+
+    // Double-recovery idempotence.
+    let ids: Vec<ObjectId> = (0..n_objects).map(ObjectId).collect();
+    let first: Vec<Value> = ids
+        .iter()
+        .map(|&x| rec.read_value(x))
+        .collect::<Result<_, _>>()
+        .map_err(|e| ctx(&format!("first recovery read: {e}")))?;
+    let parts = rec.crash();
+    let (rec2, _) = recover_sharded(parts, &registry, sconfig, RedoPolicy::RsiExposed)
+        .map_err(|e| ctx(&format!("second recovery failed: {e}")))?;
+    let second: Vec<Value> = ids
+        .iter()
+        .map(|&x| rec2.read_value(x))
+        .collect::<Result<_, _>>()
+        .map_err(|e| ctx(&format!("second recovery read: {e}")))?;
+    if first != second {
+        return Err(ctx("recovery is not idempotent across a second crash"));
+    }
+    drop(rec2);
     Ok(())
 }

@@ -20,11 +20,13 @@
 //! | [`e11_sharding`] | per-engine rW graphs: shard scaling + group commit |
 //! | [`e12_recovery_speed`] | Figure 2 extended: single-pass + parallel redo |
 //! | [`e13_backend_cost`] | DESIGN §11: incremental checkpoints + segment reclaim vs monolithic images |
+//! | [`e14_server_load`] | DESIGN §12: open-loop load against the TCP front end |
 
 pub mod e10_amortization;
 pub mod e11_sharding;
 pub mod e12_recovery_speed;
 pub mod e13_backend_cost;
+pub mod e14_server_load;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;

@@ -16,19 +16,23 @@
 //! llogtool stats <dir>               store/log statistics + backend I/O counters
 //! llogtool recover <dir> [policy]    recover (vsi|rsi), install, save back
 //! llogtool verify <dir>              recover in memory and check the oracle
+//! llogtool serve <dir> [shards] [addr]  run the TCP front end (DESIGN §12)
+//! llogtool load <addr> [ops] [seed] [conns]   seeded put workload, acked
+//! llogtool check <addr> [ops] [seed] [conns]  verify a load's pairs
+//! llogtool stop <addr>               ask a server to drain and exit
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use llog_cli::{
-    cmd_backup, cmd_demo, cmd_dump, cmd_media_recover, cmd_recover, cmd_shard_demo, cmd_stats,
-    cmd_verify, Backend,
+    cmd_backup, cmd_demo, cmd_dump, cmd_load, cmd_media_recover, cmd_recover, cmd_serve,
+    cmd_shard_demo, cmd_stats, cmd_stop, cmd_verify, Backend,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: llogtool <demo|shard-demo|dump|stats|recover|verify|backup|media-recover> <dir> [args]\n\
+        "usage: llogtool <demo|shard-demo|dump|stats|recover|verify|backup|media-recover|serve|load|check|stop> <dir|addr> [args]\n\
          \n\
          demo <dir> [ops=200] [seed=42]   run a workload, crash, save the image\n\
          shard-demo <dir> [n=4] [ops] [seed] sharded run, group commit, crash, parallel recovery\n\
@@ -38,6 +42,11 @@ fn usage() -> ExitCode {
          verify <dir>                     recover in memory, compare to the oracle\n\
          backup <dir> <file>              archive a snapshot backup\n\
          media-recover <dir> <file>       restore from backup + surviving log\n\
+         serve <dir> [shards=4] [addr=127.0.0.1:0]  run the TCP front end until `stop`;\n\
+                                          writes the bound address to <dir>/server.addr\n\
+         load <addr> [ops=500] [seed=42] [conns=2]  seeded puts; exit 0 = all acked durable\n\
+         check <addr> [ops=500] [seed=42] [conns=2] read the same pairs back, verify\n\
+         stop <addr>                      ask a running server to drain and exit\n\
          \n\
          demo/shard-demo also take --backend {{mem,file}}: mem = monolithic\n\
          image files; file = segmented WAL + incremental checkpoint devices"
@@ -100,6 +109,20 @@ fn main() -> ExitCode {
             Some(f) => cmd_media_recover(&dir, Path::new(f)),
             None => return usage(),
         },
+        "serve" => {
+            let shards = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let addr = args.get(3).map(String::as_str).unwrap_or("127.0.0.1:0");
+            cmd_serve(&dir, shards, addr)
+        }
+        "load" | "check" => {
+            // Here the second positional is an address, not a directory.
+            let addr = args.get(1).map(String::as_str).unwrap_or_default();
+            let ops = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500);
+            let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+            let conns = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2);
+            cmd_load(addr, ops, seed, conns, cmd == "check")
+        }
+        "stop" => cmd_stop(args.get(1).map(String::as_str).unwrap_or_default()),
         _ => return usage(),
     };
     match result {

@@ -122,13 +122,26 @@ pub(crate) struct Shard {
     /// incrementally after every checkpoint. Lock order: taken *after*
     /// `engine` (never the reverse).
     pub backend: Mutex<Option<llog_wal::DurabilityBackend>>,
+    /// When set (and a backend is attached), every successful force also
+    /// persists the WAL tail to the backend's log device *before* the
+    /// watermark advances — so an acknowledgement means "on the device",
+    /// and a `SIGKILL` of the whole process loses nothing acknowledged
+    /// (DESIGN §12). A persist failure demotes the force to a retryable
+    /// failure: nothing is acknowledged on the strength of a force the
+    /// device never saw.
+    pub persist_on_force: bool,
 }
 
 impl Shard {
     /// Wrap `engine` as shard `index`. The watermark starts at the WAL's
     /// already-forced LSN so operations recovered from the log are born
     /// durable.
-    pub fn new(index: usize, engine: Engine, faults: Option<Arc<FaultHost>>) -> Shard {
+    pub fn new(
+        index: usize,
+        engine: Engine,
+        faults: Option<Arc<FaultHost>>,
+        persist_on_force: bool,
+    ) -> Shard {
         let forced = engine.wal().forced_lsn();
         Shard {
             index,
@@ -144,6 +157,7 @@ impl Shard {
             counters: ShardCounters::default(),
             faults,
             backend: Mutex::new(None),
+            persist_on_force,
         }
     }
 
@@ -234,6 +248,22 @@ impl Shard {
         }
     }
 
+    /// Extend a just-completed force onto the device tier (see
+    /// [`Shard::persist_on_force`]). Call with the engine lock held — the
+    /// engine→backend lock order is the only one used anywhere. Returns
+    /// `false` when the device rejected the tail: the caller must demote
+    /// the force to a retryable failure instead of advancing the
+    /// watermark, because nothing is on the device yet.
+    pub fn persist_forced(&self, e: &Engine) -> bool {
+        if !self.persist_on_force {
+            return true;
+        }
+        match lock(&self.backend).as_mut() {
+            Some(b) => b.persist_wal(e.wal(), self.faults.as_deref()).is_ok(),
+            None => true,
+        }
+    }
+
     /// Force the shard's WAL once and advance the watermark — the
     /// single-force path used by checkpoints and explicit `force_shard`.
     /// Returns `false` if the engine is gone, the force failed with an
@@ -247,13 +277,16 @@ impl Shard {
             if self.is_dead() {
                 return false; // the device already died mid-force
             }
-            let outcome = force_through_faults(e, self.faults.as_deref());
+            let mut outcome = force_through_faults(e, self.faults.as_deref());
             if matches!(outcome, ForceOutcome::Torn(_)) {
                 // Latch device death while the engine lock is still held:
                 // a concurrent force site must never slip in between the
                 // torn write and the kill and advance the WAL's tail
                 // guard over the rotted bytes.
                 self.dead.store(true, Ordering::SeqCst);
+            }
+            if matches!(outcome, ForceOutcome::Forced(_)) && !self.persist_forced(e) {
+                outcome = ForceOutcome::Failed;
             }
             outcome
         };
@@ -365,12 +398,19 @@ pub(crate) fn flusher_loop(
             if shard.is_dead() {
                 return; // killed by a fault on another force path
             }
-            let outcome = force_through_faults(e, shard.faults.as_deref());
+            let mut outcome = force_through_faults(e, shard.faults.as_deref());
             if matches!(outcome, ForceOutcome::Torn(_)) {
                 // Latch death under the engine lock (see `Shard::dead`):
                 // after a torn batch no other force site may touch the
                 // device.
                 shard.dead.store(true, Ordering::SeqCst);
+            }
+            if matches!(outcome, ForceOutcome::Forced(_)) && !shard.persist_forced(e) {
+                // The in-process force landed but the device never saw the
+                // tail: demote to a retryable failure so the batch is
+                // re-enqueued and nothing is acknowledged (see
+                // `Shard::persist_on_force`).
+                outcome = ForceOutcome::Failed;
             }
             outcome
         };
@@ -540,6 +580,37 @@ impl CommitTicket {
         c.flush_wait_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         true
+    }
+
+    /// Like [`CommitTicket::wait`], but give up after `timeout`:
+    /// `Some(true)` durable, `Some(false)` shard crashed, `None` timed out
+    /// (the operation may still become durable later — poll again). Lets a
+    /// server's response writer park on a ticket while staying responsive
+    /// to its own shutdown flag.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<bool> {
+        let start = Instant::now();
+        let mut d = lock(&self.shard.durable);
+        while *d < self.target {
+            if self.shard.is_dead() {
+                return Some(false);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return None;
+            }
+            let (g, _) = self
+                .shard
+                .durable_cv
+                .wait_timeout(d, timeout - elapsed)
+                .unwrap_or_else(PoisonError::into_inner);
+            d = g;
+        }
+        drop(d);
+        let c = &self.shard.counters;
+        c.waits.fetch_add(1, Ordering::Relaxed);
+        c.flush_wait_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Some(true)
     }
 }
 

@@ -70,6 +70,13 @@ pub struct ShardedConfig {
     /// The per-shard background installer drains the write graph once it
     /// exceeds this many uninstalled operations.
     pub install_high_water: usize,
+    /// Persist the WAL tail to each shard's attached durability backend
+    /// after every successful force, *before* the durable watermark
+    /// advances (DESIGN §12). With this set, an acknowledged operation is
+    /// on the backend's log device — a `SIGKILL` of the whole process
+    /// loses nothing acknowledged. Only meaningful once backends are
+    /// attached ([`ShardedEngine::attach_backends`]); the server sets it.
+    pub persist_on_force: bool,
 }
 
 impl Default for ShardedConfig {
@@ -81,6 +88,7 @@ impl Default for ShardedConfig {
             force_latency: Duration::ZERO,
             max_uninstalled: 1024,
             install_high_water: 64,
+            persist_on_force: false,
         }
     }
 }
@@ -147,7 +155,7 @@ impl ShardedEngine {
         let shards: Vec<Arc<Shard>> = engines
             .into_iter()
             .enumerate()
-            .map(|(i, e)| Arc::new(Shard::new(i, e, faults.clone())))
+            .map(|(i, e)| Arc::new(Shard::new(i, e, faults.clone(), config.persist_on_force)))
             .collect();
         let mut threads = Vec::new();
         for shard in &shards {
@@ -252,6 +260,16 @@ impl ShardedEngine {
             let sync_forced = match self.config.commit {
                 CommitPolicy::Sync => {
                     e.wal_mut().force();
+                    if !shard.persist_forced(e) {
+                        // The device rejected the tail: the watermark does
+                        // not advance and nothing is acknowledged; a later
+                        // force (or `force_shard`) re-persists the whole
+                        // tail (see `Shard::persist_on_force`).
+                        return Err(LlogError::Io {
+                            point: "persist_on_force".into(),
+                            reason: "backend rejected WAL tail on sync commit".into(),
+                        });
+                    }
                     if !self.config.force_latency.is_zero() {
                         // The device is busy with our force; commits on
                         // this shard serialize behind it.
@@ -309,6 +327,16 @@ impl ShardedEngine {
             self.force_shard(i)?;
         }
         Ok(())
+    }
+
+    /// Drain the commit pipeline without tearing the engine down: force
+    /// every live shard so all outstanding [`CommitTicket`]s resolve (their
+    /// waiters wake durable), leaving the engine fully usable. A server's
+    /// graceful shutdown calls this after it stops accepting work and
+    /// before it joins its connection threads — every response written
+    /// after the drain reflects a durable operation.
+    pub fn drain(&self) -> Result<()> {
+        self.force_all()
     }
 
     /// Shard `i`'s durable-LSN watermark.

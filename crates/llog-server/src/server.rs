@@ -1,0 +1,533 @@
+//! The TCP front end: accept loop, per-connection pipelining, admission
+//! control, graceful drain (DESIGN §12).
+//!
+//! ## Threading model
+//!
+//! One **acceptor** thread owns the listener. Each connection gets two
+//! threads:
+//!
+//! - a **reader** that decodes frames, executes each request against the
+//!   [`ShardedEngine`] immediately (so the shard's group-commit flusher
+//!   sees the append right away), and enqueues the *completion* — a
+//!   [`CommitTicket`] for puts, a ready [`Response`] for everything else —
+//!   on a bounded in-order queue;
+//! - a **writer** that pops completions in order, waits each ticket
+//!   durable, and writes the response frame. Responses therefore come back
+//!   in request order, and an `Ack` is written only after the shard's
+//!   durable watermark covers the operation.
+//!
+//! ## Admission control
+//!
+//! Backpressure composes from two bounds, both visible to the client as a
+//! stalled TCP window rather than an error:
+//!
+//! 1. the engine's own uninstalled-window parking — `execute` blocks the
+//!    reader while the target shard is over `max_uninstalled`;
+//! 2. the per-connection completion queue ([`ServerConfig::queue_depth`])
+//!    — a reader whose writer has fallen behind blocks on the full queue
+//!    and stops draining the socket, so the kernel's receive buffer fills
+//!    and the client's sends stall.
+//!
+//! ## Drain
+//!
+//! [`Server::shutdown`] stops the acceptor, half-closes every connection
+//! (readers see EOF after the frame they are parsing), forces all shards
+//! so every queued ticket resolves, joins all threads, and hands the
+//! still-running engine back to the caller. Every response written before
+//! the socket closed reflects a durable operation.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use llog_engine::{CommitTicket, ShardedEngine};
+use llog_ops::{builtin, OpKind, Transform};
+use llog_types::{LlogError, Result, Value};
+
+use crate::proto::{
+    decode_request, encode_response, read_frame, write_frame, ErrCode, Request, Response, StatsBody,
+};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Per-connection completion-queue bound: at most this many responses
+    /// may be in flight before the reader stops draining the socket.
+    pub queue_depth: usize,
+    /// How often a parked response writer re-checks the server's
+    /// stop/abort flags while waiting a ticket durable.
+    pub ticket_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_depth: 256,
+            ticket_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Monotonic counters for observability and the chaos oracle.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    dropped_conns: AtomicU64,
+}
+
+/// Snapshot of a server's connection/request counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Requests decoded and executed.
+    pub requests: u64,
+    /// Connections closed on a `Codec` violation (bad magic/crc/tag).
+    pub protocol_errors: u64,
+    /// Connections that died mid-frame (`Io`).
+    pub dropped_conns: u64,
+}
+
+/// One completion, queued in request order.
+enum Pending {
+    /// A put waiting on durability; ack with the ticket's LSN.
+    Ticket { req_id: u64, ticket: CommitTicket },
+    /// Already computed (get/flush/stats/ping/errors).
+    Ready(Response),
+}
+
+/// The bounded in-order completion queue between a connection's reader
+/// and writer.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    /// Reader is done (EOF or error); writer drains what's left and exits.
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Block until there is room (admission control), then enqueue.
+    /// Returns `false` if the queue closed underneath us (writer died).
+    fn push(&self, item: Pending) -> bool {
+        let mut s = lock(&self.state);
+        while s.items.len() >= self.depth && !s.closed {
+            s = self
+                .not_full
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.closed {
+            return false;
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Pop the next completion; `None` once drained *and* closed.
+    fn pop(&self) -> Option<Pending> {
+        let mut s = lock(&self.state);
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .not_empty
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Mark the queue closed and wake both sides.
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+struct Inner {
+    engine: ShardedEngine,
+    config: ServerConfig,
+    /// Stop accepting connections and work; drain in flight.
+    stopping: AtomicBool,
+    /// Abandon in flight (crash path): writers drop queued completions.
+    aborting: AtomicBool,
+    /// A client sent `Shutdown`: the serve loop should wind down.
+    shutdown_requested: AtomicBool,
+    /// Clones of every live connection's stream, for half-closing at
+    /// drain time.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Connection reader/writer threads, joined at shutdown.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    counters: Counters,
+}
+
+/// A running TCP front end over a [`ShardedEngine`].
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `config.addr` and start serving `engine`. The engine should
+    /// be configured with `CommitPolicy::Group` (pipelined acks ride the
+    /// flusher) and, for process-kill durability, attached backends plus
+    /// `persist_on_force`.
+    pub fn start(engine: ShardedEngine, config: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| LlogError::Io {
+            point: "server bind".into(),
+            reason: format!("{}: {e}", config.addr),
+        })?;
+        let addr = listener.local_addr().map_err(|e| LlogError::Io {
+            point: "server local_addr".into(),
+            reason: e.to_string(),
+        })?;
+        let inner = Arc::new(Inner {
+            engine,
+            config,
+            stopping: AtomicBool::new(false),
+            aborting: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        });
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::spawn(move || acceptor_loop(&listener, &inner))
+        };
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has a client asked the server to shut down (`Request::Shutdown`)?
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Connection/request counters so far.
+    pub fn counters(&self) -> ServerCounters {
+        let c = &self.inner.counters;
+        ServerCounters {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            dropped_conns: c.dropped_conns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: stop accepting, half-close every connection, force
+    /// all shards so queued tickets resolve, join every thread, and hand
+    /// the still-running engine back. Every response written before a
+    /// socket closed reflects a durable operation.
+    pub fn shutdown(mut self) -> ShardedEngine {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        self.wake_acceptor();
+        // Half-close: readers finish the frame in flight, then see EOF.
+        for s in lock(&self.inner.conns).iter() {
+            let _ = s.shutdown(NetShutdown::Read);
+        }
+        // Resolve queued tickets now instead of waiting out the flusher's
+        // max_delay on every connection in turn.
+        let _ = self.inner.engine.drain();
+        self.join_all();
+        self.take_engine()
+    }
+
+    /// Abandon in flight (the test/chaos crash path): connections are cut
+    /// both ways, writers drop queued completions — exactly the
+    /// unacknowledged-loss a real process kill inflicts — and the engine
+    /// comes back for `ShardedEngine::crash`.
+    pub fn abort(mut self) -> ShardedEngine {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        self.inner.aborting.store(true, Ordering::SeqCst);
+        self.wake_acceptor();
+        for s in lock(&self.inner.conns).iter() {
+            let _ = s.shutdown(NetShutdown::Both);
+        }
+        self.join_all();
+        self.take_engine()
+    }
+
+    /// Unblock the acceptor's blocking `accept` with a throwaway connect.
+    fn wake_acceptor(&self) {
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn join_all(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Connection threads may still be spawning when the acceptor
+        // exits; after join() above, the thread list is final.
+        let handles: Vec<JoinHandle<()>> = lock(&self.inner.threads).drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+
+    fn take_engine(self) -> ShardedEngine {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.engine,
+            Err(_) => unreachable!("all threads joined; no Inner clones remain"),
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if inner.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if inner.stopping.load(Ordering::SeqCst) {
+            return; // the wake-up connect, or a straggler during drain
+        }
+        inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&inner.conns).push(clone);
+        }
+        let queue = Arc::new(ConnQueue::new(inner.config.queue_depth));
+        let reader = {
+            let inner = inner.clone();
+            let queue = queue.clone();
+            let stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            std::thread::spawn(move || {
+                reader_loop(&inner, &queue, stream);
+                queue.close();
+            })
+        };
+        let writer = {
+            let inner = inner.clone();
+            std::thread::spawn(move || {
+                writer_loop(&inner, &queue, stream);
+                queue.close(); // a dead writer must not strand the reader
+            })
+        };
+        let mut threads = lock(&inner.threads);
+        threads.push(reader);
+        threads.push(writer);
+    }
+}
+
+/// Decode and execute until EOF/error. Every request is executed *here*,
+/// in arrival order, so the shard's flusher sees appends immediately and
+/// batches across the whole pipeline window.
+fn reader_loop(inner: &Arc<Inner>, queue: &ConnQueue, stream: TcpStream) {
+    let mut r = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut r) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean close
+            Err(LlogError::Codec { .. }) => {
+                inner
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => {
+                inner.counters.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(_) => {
+                inner
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if inner.stopping.load(Ordering::SeqCst) {
+            let resp = Response::Err {
+                req_id: req_id_of(&req),
+                code: ErrCode::Stopping,
+                message: "server is draining".into(),
+            };
+            let _ = queue.push(Pending::Ready(resp));
+            return;
+        }
+        let completion = execute_request(inner, req);
+        if !queue.push(completion) {
+            return; // writer died; nothing can be acknowledged anymore
+        }
+    }
+}
+
+fn req_id_of(req: &Request) -> u64 {
+    match req {
+        Request::Put { req_id, .. }
+        | Request::Get { req_id, .. }
+        | Request::Flush { req_id }
+        | Request::Stats { req_id }
+        | Request::Ping { req_id }
+        | Request::Shutdown { req_id } => *req_id,
+    }
+}
+
+fn execute_request(inner: &Arc<Inner>, req: Request) -> Pending {
+    match req {
+        Request::Put {
+            req_id,
+            object,
+            value,
+        } => {
+            let transform = Transform::new(
+                builtin::CONST,
+                builtin::encode_values(&[Value::from(value.as_slice())]),
+            );
+            // This is where the engine's uninstalled-window backpressure
+            // parks the reader: a connection hammering one hot shard
+            // stalls here, its socket buffer fills, and the client's
+            // sends block — admission control without a reject path.
+            match inner
+                .engine
+                .execute(OpKind::Physical, vec![], vec![object], transform)
+            {
+                Ok(ticket) => Pending::Ticket { req_id, ticket },
+                Err(e) => Pending::Ready(Response::Err {
+                    req_id,
+                    code: ErrCode::Engine,
+                    message: e.to_string(),
+                }),
+            }
+        }
+        Request::Get { req_id, object } => match inner.engine.read_value(object) {
+            Ok(v) => Pending::Ready(Response::Value {
+                req_id,
+                value: v.as_bytes().to_vec(),
+            }),
+            Err(e) => Pending::Ready(Response::Err {
+                req_id,
+                code: ErrCode::Engine,
+                message: e.to_string(),
+            }),
+        },
+        Request::Flush { req_id } => match inner.engine.force_all() {
+            Ok(()) => Pending::Ready(Response::Ok { req_id }),
+            Err(e) => Pending::Ready(Response::Err {
+                req_id,
+                code: ErrCode::ShardDead,
+                message: e.to_string(),
+            }),
+        },
+        Request::Stats { req_id } => {
+            let snap = inner.engine.metrics_snapshot();
+            Pending::Ready(Response::Stats {
+                req_id,
+                body: StatsBody {
+                    shards: snap.shards as u32,
+                    batches: snap.group_commit.batches,
+                    batched_ops: snap.group_commit.batched_ops,
+                    backpressure_waits: snap.group_commit.backpressure_waits,
+                },
+            })
+        }
+        Request::Ping { req_id } => Pending::Ready(Response::Ok { req_id }),
+        Request::Shutdown { req_id } => {
+            inner.shutdown_requested.store(true, Ordering::SeqCst);
+            Pending::Ready(Response::Ok { req_id })
+        }
+    }
+}
+
+/// Pop completions in order, wait tickets durable, write response frames.
+fn writer_loop(inner: &Arc<Inner>, queue: &ConnQueue, stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    while let Some(pending) = queue.pop() {
+        let resp = match pending {
+            Pending::Ready(resp) => resp,
+            Pending::Ticket { req_id, ticket } => loop {
+                // Poll-wait so an abort can reclaim this thread even if
+                // the shard's watermark never reaches the ticket.
+                match ticket.wait_timeout(inner.config.ticket_poll) {
+                    Some(true) => {
+                        break Response::Ack {
+                            req_id,
+                            lsn: ticket.lsn(),
+                        }
+                    }
+                    Some(false) => {
+                        break Response::Err {
+                            req_id,
+                            code: ErrCode::ShardDead,
+                            message: format!("shard {} crashed", ticket.shard()),
+                        }
+                    }
+                    None => {
+                        if inner.aborting.load(Ordering::SeqCst) {
+                            return; // crash path: drop unacknowledged work
+                        }
+                    }
+                }
+            },
+        };
+        if inner.aborting.load(Ordering::SeqCst) {
+            return;
+        }
+        if write_frame(&mut w, &encode_response(&resp)).is_err() || w.flush().is_err() {
+            return; // peer gone; reader will notice on its next read
+        }
+    }
+    let _ = w.flush();
+}

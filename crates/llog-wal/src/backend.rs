@@ -122,6 +122,16 @@ impl DurabilityBackend {
         Ok(PersistOutcome { durable, ckpt })
     }
 
+    /// Persist only the WAL tail (no store checkpoint) — the group-commit
+    /// force hook. Making the log device *fresher* than the store device is
+    /// always safe (the extra records replay at recovery; the reverse order
+    /// is what [`DurabilityBackend::persist`] exists to prevent), so a
+    /// flusher may call this after every force to extend durability to the
+    /// device tier without paying the checkpoint.
+    pub fn persist_wal(&mut self, wal: &Wal, faults: Option<&FaultHost>) -> Result<Lsn> {
+        wal.persist_to(self.log.as_mut(), faults)
+    }
+
     /// Reboot: load the persisted pair, or `None` when *neither* device
     /// holds a manifest (nothing was ever persisted). A missing store
     /// manifest with a present log means the store was empty at every
