@@ -1,0 +1,57 @@
+//! E15: log shipping — replica lag under the E14 open-loop load, and
+//! failover fidelity after an abrupt primary death.
+//!
+//! Writes `BENCH_e15.json` (override the path with `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks both phases for CI smoke runs.
+
+use llog_bench::e15_replication::{report_table, run, Params};
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "E15 — replication: {} shards, {} conns at {:.0} ops/s, \
+         {} acked + {} unacked failover writes (seed {:#x})",
+        p.shards,
+        p.conns,
+        p.rate_per_conn * p.conns as f64,
+        p.acked_puts,
+        p.unacked_puts,
+        p.seed
+    );
+    let report = run(&p);
+
+    println!("\n{}", report_table(&report));
+    println!(
+        "lag: drained to the primary's durable end in {} ms \
+         (budget {} ms, peak lag {} frames): {}",
+        report.lag.drain_ms,
+        p.drain_budget_ms,
+        report.lag.max_lag_frames,
+        if report.lag_ok() { "OK" } else { "FAIL" }
+    );
+    println!(
+        "failover: {}/{} acked writes readable, {} phantoms, \
+         promoted put {}: {}",
+        report.failover.acked_readable,
+        report.failover.acked,
+        report.failover.phantoms,
+        if report.failover.promoted_put_ok {
+            "accepted"
+        } else {
+            "refused"
+        },
+        if report.failover_ok() { "OK" } else { "FAIL" }
+    );
+
+    let json = report.to_json();
+    println!("\n{json}");
+    let path = std::env::var("LLOG_BENCH_JSON").unwrap_or_else(|_| "BENCH_e15.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}

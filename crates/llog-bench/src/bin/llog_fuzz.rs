@@ -22,7 +22,14 @@
 //! - differential mode oracle: every crashed image recovers to the same
 //!   store, dirty table, live-op set and [`RecoveryOutcome`] under
 //!   `RecoveryMode::Serial` and `RecoveryMode::Parallel` (and if one mode
-//!   rejects the image, so does the other).
+//!   rejects the image, so does the other);
+//! - replication divergence oracle (mode 6): under lost, duplicated and
+//!   reordered segment delivery, replica crashes mid-redo and promotion
+//!   at an arbitrary shipping cut, the promoted replica's visible state
+//!   is identical to a real recovery of the primary's log clipped at the
+//!   replica's replayed-LSN watermark — duplicates are absorbed, gaps are
+//!   rejected without corrupting the session, and the watermark never
+//!   regresses.
 //!
 //! Failures are shrunk by the testkit property harness and print a repro
 //! command:
@@ -54,7 +61,7 @@ use llog_engine::{
 };
 use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
 use llog_server::{proto, Client, Request, Server, ServerConfig};
-use llog_sim::{replay_stable_log, verify_against_log, Workload, WorkloadKind};
+use llog_sim::{replay_stable_log, verify_against_log, OpSpec, Workload, WorkloadKind};
 use llog_testkit::faults::{failpoint, FaultHost, FaultPlan};
 use llog_testkit::prop::{run_property_result, Config};
 use llog_testkit::rng::{SplitMix64, TestRng};
@@ -141,11 +148,14 @@ fn print_help() {
          \n\
          --iters N   iterations to run (env LLOG_FUZZ_ITERS, default {DEFAULT_ITERS})\n\
          --seed S    base seed (env LLOG_FUZZ_SEED, default: wall clock)\n\
-         --mode M    pin the case family 0-5 (env LLOG_FUZZ_MODE; 0 kv,\n\
+         --mode M    pin the case family 0-6 (env LLOG_FUZZ_MODE; 0 kv,\n\
         \x20            1 sharded, 2 persist, 3 domains, 4 mem-vs-file\n\
         \x20            durability-backend differential on real files,\n\
         \x20            5 TCP server codec chaos: dropped/half-written/\n\
-        \x20            garbage frames against a live llog-server)\n\
+        \x20            garbage frames against a live llog-server,\n\
+        \x20            6 log-shipping replication chaos: lost/duplicated/\n\
+        \x20            reordered chunks, replica crash mid-redo, promote\n\
+        \x20            at a random cut, divergence oracle)\n\
          --replay    replay a single failing iteration seed and exit\n\
          \n\
          On failure the minimal shrunk counterexample is written to\n\
@@ -202,8 +212,8 @@ fn run_iteration(seed: u64, pin_mode: Option<usize>) -> Result<(), String> {
     // the Mem↔File backend differential, mode 4, on real files in a
     // tmpdir); unpinned runs draw the mode from the seed.
     let modes = match pin_mode {
-        Some(m) => m.min(5)..m.min(5) + 1,
-        None => 0usize..6,
+        Some(m) => m.min(6)..m.min(6) + 1,
+        None => 0usize..7,
     };
     let strategy = (modes, 1usize..=40, 0u64..u64::MAX);
     let r = run_property_result(
@@ -223,7 +233,8 @@ fn run_case(mode: usize, n_ops: usize, material: u64) -> Result<(), String> {
         2 => fuzz_persist(n_ops, material),
         3 => fuzz_domains(n_ops, material),
         4 => fuzz_backend_diff(n_ops, material),
-        _ => fuzz_server(n_ops, material),
+        5 => fuzz_server(n_ops, material),
+        _ => fuzz_replication(n_ops, material),
     }
 }
 
@@ -1224,5 +1235,253 @@ fn fuzz_server(n_ops: usize, material: u64) -> Result<(), String> {
         return Err(ctx("recovery is not idempotent across a second crash"));
     }
     drop(rec2);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 6: log-shipping replication chaos
+// ---------------------------------------------------------------------------
+
+/// Crash a primary, then ship its stable log to a warm-standby
+/// [`RedoSession`](llog_core::RedoSession) through a hostile delivery
+/// channel: chunks are lost, duplicated and reordered, and the replica
+/// itself crashes mid-redo (full re-attach from a fresh manifest). The
+/// shipment stops at a seeded cut and the session is promoted there.
+/// Invariants:
+///
+/// - duplicated/overlapping chunks are absorbed and never regress the
+///   replayed-LSN watermark;
+/// - a chunk that would open a gap is rejected without perturbing the
+///   session (watermark and stable end unchanged);
+/// - two divergence oracles at the promoted cut: the replica's visible
+///   state equals a pure replay of its own sealed log (the primary's
+///   state at the same cut), and equals a second replica fed the same
+///   bytes strictly in order with no chaos (delivery independence).
+fn fuzz_replication(n_ops: usize, material: u64) -> Result<(), String> {
+    use llog_core::RedoSession;
+    use llog_repl::visible_divergence;
+    use llog_storage::{Metrics, StableStore};
+    use llog_wal::Wal;
+
+    let mut rng = TestRng::seed_from_u64(material ^ 0x4EB1_1CA7);
+    let n_objects = rng.random_range(2u64..8);
+    let ops = Workload::new(n_objects, n_ops, WorkloadKind::app_mix(), rng.next_u64()).generate();
+    let registry = TransformRegistry::with_builtins();
+    let config = EngineConfig::default();
+    let policy = pick_policy(&mut rng);
+    let force_every = rng.random_range(1usize..5);
+    let split = rng.random_range(0usize..=ops.len());
+
+    let run = |engine: &mut Engine, slice: &[OpSpec], rng: &mut TestRng| -> Result<(), String> {
+        for (i, spec) in slice.iter().enumerate() {
+            engine
+                .execute(
+                    spec.kind,
+                    spec.reads.clone(),
+                    spec.writes.clone(),
+                    spec.transform.clone(),
+                )
+                .map_err(|e| format!("replication: execute step {i} failed: {e}"))?;
+            if rng.ratio(0.2) {
+                engine
+                    .install_one()
+                    .map_err(|e| format!("replication: install failed: {e}"))?;
+            }
+            if (i + 1) % force_every == 0 {
+                engine.wal_mut().force();
+            }
+        }
+        Ok(())
+    };
+
+    // Phase 1: run part of the workload, then cut the manifest — the store
+    // image a replica attaches from, taken at a durable cut of the log.
+    // Records below this cut may already be reflected in the image and MUST
+    // go through real recovery on attach; records at or above it are new
+    // and may be blind-replayed (the soundness rule DESIGN §13 states).
+    let mut engine = Engine::new(config, registry.clone());
+    run(&mut engine, &ops[..split], &mut rng)?;
+    engine.wal_mut().force();
+    let (mstore, mwal) = engine.crash();
+    let manifest_bytes = mstore.serialize();
+    let base = mwal.start_lsn();
+    let manifest_cut = mwal.contiguous_end(base);
+    let master = mwal.master_checkpoint();
+
+    // Phase 2: the primary keeps running past the manifest, then dies.
+    let (mut engine, _) = recover(mstore, mwal, registry.clone(), config, policy)
+        .map_err(|e| format!("replication: primary restart failed: {e}"))?;
+    run(&mut engine, &ops[split..], &mut rng)?;
+    let (_pstore, pwal) = match rng.random_range(0u32..3) {
+        0 => {
+            engine.wal_mut().force();
+            engine.crash()
+        }
+        1 => engine.crash(), // unforced buffer lost
+        _ => engine.crash_torn(rng.random_range(0usize..2048)),
+    };
+
+    let durable = pwal.contiguous_end(base);
+    // Promote at a seeded cut of the shippable range — including the
+    // manifest cut itself (promote straight off the attach image) and the
+    // full durable end.
+    let target = Lsn(manifest_cut.0 + rng.random_range(0..=(durable.0 - manifest_cut.0)));
+
+    let ctx = || {
+        format!(
+            "replication: n_objects={n_objects} n_ops={n_ops} policy={policy:?} split={split} \
+             base={base} manifest_cut={manifest_cut} durable={durable} target={target}"
+        )
+    };
+
+    // Attach exactly the way `llog-repl` does: deserialize the manifest
+    // image, ship the log up to the manifest's durable cut into a fresh
+    // shipped wal, and run real recovery over that prefix.
+    let attach = || -> Result<RedoSession, String> {
+        let store = StableStore::deserialize(&manifest_bytes, Metrics::new())
+            .map_err(|e| format!("{}: attach image rejected: {e}", ctx()))?;
+        let mut wal = Wal::from_shipped(Metrics::new(), base.0, master);
+        if manifest_cut > base {
+            let prefix = pwal
+                .ship_tail(base, (manifest_cut.0 - base.0) as usize)
+                .map_err(|e| format!("{}: attach ship: {e}", ctx()))?
+                .to_vec();
+            wal.extend_stable(base, &prefix)
+                .map_err(|e| format!("{}: attach extend: {e}", ctx()))?;
+        }
+        RedoSession::begin(store, wal, registry.clone(), config, policy)
+            .map(|(s, _)| s)
+            .map_err(|e| format!("{}: attach recovery failed: {e}", ctx()))
+    };
+
+    let mut session = attach()?;
+    let mut crashes_left = 3u32;
+    let mut guard = 0u32;
+    while session.stable_end() < target {
+        guard += 1;
+        if guard > 10_000 {
+            return Err(format!("{}: shipping made no progress", ctx()));
+        }
+        let from = session.stable_end();
+        let max = (rng.random_range(1u64..512) as usize).min((target.0 - from.0) as usize);
+        let bytes = pwal
+            .ship_tail(from, max)
+            .map_err(|e| format!("{}: ship_tail({from}): {e}", ctx()))?
+            .to_vec();
+        match rng.random_range(0u32..10) {
+            // Lost chunk: the replica refetches from the same offset.
+            0 => {}
+            // Duplicate delivery: an already-held range arrives again; it
+            // must be absorbed and the watermark must not regress.
+            1 if from > base => {
+                let back = rng.random_range(1..=(from.0 - base.0));
+                let dup_from = Lsn(from.0 - back);
+                let dup = pwal
+                    .ship_tail(dup_from, back as usize)
+                    .map_err(|e| format!("{}: ship_tail(dup): {e}", ctx()))?
+                    .to_vec();
+                let before = session.watermark();
+                session
+                    .extend(dup_from, &dup)
+                    .map_err(|e| format!("{}: duplicate delivery rejected: {e}", ctx()))?;
+                if session.watermark() < before {
+                    return Err(format!("{}: watermark regressed on a duplicate", ctx()));
+                }
+            }
+            // Reordered delivery: a future chunk arrives first, opening a
+            // gap. It must be rejected and the session left untouched.
+            2 if from.0 + 1 < target.0 => {
+                let gap_from = Lsn(from.0 + rng.random_range(1..(target.0 - from.0)));
+                let fut = pwal
+                    .ship_tail(gap_from, max.max(1))
+                    .map_err(|e| format!("{}: ship_tail(gap): {e}", ctx()))?
+                    .to_vec();
+                if !fut.is_empty() {
+                    let (w0, e0) = (session.watermark(), session.stable_end());
+                    if session.extend(gap_from, &fut).is_ok() {
+                        return Err(format!(
+                            "{}: a gapped chunk at {gap_from} was accepted",
+                            ctx()
+                        ));
+                    }
+                    if session.watermark() != w0 || session.stable_end() != e0 {
+                        return Err(format!("{}: rejected gap perturbed the session", ctx()));
+                    }
+                }
+            }
+            // Replica crash mid-redo: all volatile state is lost; the
+            // replica re-attaches from a fresh manifest.
+            3 if crashes_left > 0 => {
+                crashes_left -= 1;
+                session = attach()?;
+            }
+            _ => {
+                if !bytes.is_empty() {
+                    session
+                        .extend(from, &bytes)
+                        .map_err(|e| format!("{}: extend({from}): {e}", ctx()))?;
+                }
+            }
+        }
+    }
+
+    // Promote at the cut.
+    let watermark = session.watermark();
+    if watermark > durable {
+        return Err(format!(
+            "{}: watermark {watermark} ran past the durable cut",
+            ctx()
+        ));
+    }
+    let promoted = session
+        .promote()
+        .map_err(|e| format!("{}: promotion failed: {e}", ctx()))?;
+
+    // Oracle 1 — log semantics: the promoted replica's visible state must
+    // equal a pure replay of its own sealed log. The log bytes are
+    // verbatim the primary's stable prefix, so this IS the primary's state
+    // at the watermark cut. (Sound because this mode never truncates the
+    // log: replay-from-empty covers the manifest image's installs too. A
+    // `recover_with` oracle over the manifest image would be UNsound here:
+    // Install records past the manifest cut are not reflected in that
+    // image, which is exactly why the session blind-applies and skips
+    // cache-manager records.)
+    verify_against_log(&promoted, &registry)
+        .map_err(|e| format!("{}: promoted replica diverged from its log: {e}", ctx()))?;
+
+    // Oracle 2 — delivery independence: a second session fed the same
+    // byte range strictly in order, with no chaos, must land on the same
+    // watermark and byte-identical visible state.
+    let mut clean = attach()?;
+    while clean.stable_end() < watermark {
+        let from = clean.stable_end();
+        let bytes = pwal
+            .ship_tail(from, (watermark.0 - from.0) as usize)
+            .map_err(|e| format!("{}: clean ship: {e}", ctx()))?
+            .to_vec();
+        if bytes.is_empty() {
+            return Err(format!("{}: clean ship starved at {from}", ctx()));
+        }
+        clean
+            .extend(from, &bytes)
+            .map_err(|e| format!("{}: clean extend({from}): {e}", ctx()))?;
+    }
+    if clean.watermark() != watermark {
+        return Err(format!(
+            "{}: clean delivery watermark {} != chaos watermark {watermark}",
+            ctx(),
+            clean.watermark()
+        ));
+    }
+    let clean = clean
+        .promote()
+        .map_err(|e| format!("{}: clean promotion failed: {e}", ctx()))?;
+    if let Some(diff) = visible_divergence(&clean, &promoted) {
+        return Err(format!(
+            "{}: chaos-delivered replica diverged from clean delivery at \
+             watermark {watermark}: {diff}",
+            ctx()
+        ));
+    }
     Ok(())
 }

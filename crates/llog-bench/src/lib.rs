@@ -21,12 +21,14 @@
 //! | [`e12_recovery_speed`] | Figure 2 extended: single-pass + parallel redo |
 //! | [`e13_backend_cost`] | DESIGN §11: incremental checkpoints + segment reclaim vs monolithic images |
 //! | [`e14_server_load`] | DESIGN §12: open-loop load against the TCP front end |
+//! | [`e15_replication`] | DESIGN §13: replica lag under load + failover fidelity |
 
 pub mod e10_amortization;
 pub mod e11_sharding;
 pub mod e12_recovery_speed;
 pub mod e13_backend_cost;
 pub mod e14_server_load;
+pub mod e15_replication;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;

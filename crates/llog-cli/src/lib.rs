@@ -611,10 +611,15 @@ pub fn cmd_load(addr: &str, ops: u64, seed: u64, conns: usize, check: bool) -> R
     let conns = conns.clamp(1, 64) as u64;
     let per_conn = ops / conns + u64::from(ops % conns != 0);
     let total = std::sync::atomic::AtomicU64::new(0);
+    // Mismatches collect here instead of aborting their connection, so
+    // after the join we can report the *first* divergent key (lowest
+    // index) deterministically regardless of thread interleaving.
+    let mismatches = std::sync::Mutex::new(Vec::<(u64, String)>::new());
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         for c in 0..conns {
             let total = &total;
+            let mismatches = &mismatches;
             handles.push(scope.spawn(move || -> Result<()> {
                 let mut client = llog_server::Client::connect(addr)?;
                 let lo = c * per_conn;
@@ -624,11 +629,15 @@ pub fn cmd_load(addr: &str, ops: u64, seed: u64, conns: usize, check: bool) -> R
                     if check {
                         let got = client.get(object)?;
                         if got != value {
-                            return Err(LlogError::Unexplainable(format!(
-                                "object {object:?}: expected {:?}, got {:?}",
-                                String::from_utf8_lossy(&value),
-                                String::from_utf8_lossy(&got),
-                            )));
+                            mismatches.lock().unwrap().push((
+                                i,
+                                format!(
+                                    "object {object}: expected {:?}, got {:?}",
+                                    String::from_utf8_lossy(&value),
+                                    String::from_utf8_lossy(&got),
+                                ),
+                            ));
+                            continue;
                         }
                     } else {
                         client.put(object, &value)?;
@@ -643,10 +652,97 @@ pub fn cmd_load(addr: &str, ops: u64, seed: u64, conns: usize, check: bool) -> R
         }
         Ok(())
     })?;
+    let mut mismatches = mismatches.into_inner().unwrap();
+    if !mismatches.is_empty() {
+        mismatches.sort_by_key(|(i, _)| *i);
+        let (_, first) = &mismatches[0];
+        println!(
+            "check: FAILED — {} divergent key(s); first: {first}",
+            mismatches.len()
+        );
+        return Err(LlogError::Unexplainable(format!(
+            "first divergent key: {first}"
+        )));
+    }
     let verb = if check { "verified" } else { "acked" };
     println!(
         "load: {} op(s) {verb} over {conns} connection(s) (seed {seed})",
         total.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    Ok(())
+}
+
+/// `llogtool replicate <dir> <primary-addr> [addr]`: attach a warm-standby
+/// replica to a running primary and serve read-only `Get`/`Stats` (plus
+/// `Promote`) until a client sends `Shutdown`. The replica state lives in
+/// memory (it is rebuilt from the primary on every start); `<dir>` only
+/// receives `replica.addr` with the bound address, mirroring
+/// `<dir>/server.addr` from `llogtool serve` so scripts can find it.
+pub fn cmd_replicate(dir: &Path, primary: &str, addr: &str) -> Result<()> {
+    use std::io::Write as _;
+    let replica = llog_repl::Replica::start(
+        primary,
+        registry(),
+        llog_repl::ReplicaConfig {
+            addr: addr.to_string(),
+            ..llog_repl::ReplicaConfig::default()
+        },
+    )?;
+    println!("llogtool replicate: standby of {primary}");
+    println!("listening on {}", replica.local_addr());
+    let _ = std::io::stdout().flush();
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    std::fs::write(
+        dir.join("replica.addr"),
+        format!("{}\n", replica.local_addr()),
+    )
+    .map_err(io_err)?;
+    while !replica.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let counters = replica.counters();
+    replica.stop()?;
+    println!(
+        "replicated {} chunk(s), {}; drained clean",
+        counters.chunks_received,
+        human_bytes(counters.bytes_received)
+    );
+    Ok(())
+}
+
+/// `llogtool promote <addr> [--from-dir <dir>]`: promote the replica at
+/// `addr` to primary. With `--from-dir`, each shard first catches up from
+/// the crashed primary's on-disk log under `<dir>/shard-N` — the primary
+/// persists before acking, so this closes any shipping gap a `SIGKILL`
+/// left open.
+pub fn cmd_promote(addr: &str, from_dir: Option<&Path>) -> Result<()> {
+    let source = from_dir
+        .map(|d| d.display().to_string())
+        .unwrap_or_default();
+    let mut client = llog_server::Client::connect(addr)?;
+    client.promote(&source)?;
+    match from_dir {
+        Some(d) => println!(
+            "promote: {addr} is now primary (device catch-up from {})",
+            d.display()
+        ),
+        None => println!("promote: {addr} is now primary"),
+    }
+    Ok(())
+}
+
+/// `llogtool lag <addr>`: print the replication watermark/lag counters of
+/// a server or replica, one `name=value` per field.
+pub fn cmd_lag(addr: &str) -> Result<()> {
+    let mut client = llog_server::Client::connect(addr)?;
+    let stats = client.stats()?;
+    println!(
+        "lag: repl_watermark_lsn={} repl_replay_lag_frames={} \
+         repl_segments_shipped={} repl_bytes_shipped={}",
+        stats.repl_watermark_lsn,
+        stats.repl_replay_lag_frames,
+        stats.repl_segments_shipped,
+        stats.repl_bytes_shipped
     );
     Ok(())
 }
@@ -885,5 +981,64 @@ mod tests {
                 Backend::File
             );
         }
+    }
+
+    /// Wait for `<dir>/<file>` to hold a parseable socket address.
+    fn wait_addr(dir: &Path, file: &str) -> String {
+        let path = dir.join(file);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if let Ok(s) = std::fs::read_to_string(&path) {
+                if s.trim().parse::<std::net::SocketAddr>().is_ok() {
+                    return s.trim().to_string();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{file} never appeared in {}",
+                dir.display()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn replicate_promote_lag_failover_roundtrip() {
+        let dir = TestDir::new("replicate");
+        let primary_dir = dir.join("primary");
+        let replica_dir = dir.join("replica");
+        let serve_dir = primary_dir.clone();
+        let server = std::thread::spawn(move || cmd_serve(&serve_dir, 2, "127.0.0.1:0"));
+        let addr = wait_addr(&primary_dir, "server.addr");
+
+        let (rdir, raddr_of) = (replica_dir.clone(), addr.clone());
+        let replica = std::thread::spawn(move || cmd_replicate(&rdir, &raddr_of, "127.0.0.1:0"));
+        let raddr = wait_addr(&replica_dir, "replica.addr");
+
+        cmd_load(&addr, 40, 8, 2, false).unwrap(); // acked on the primary
+                                                   // The replica converges to the primary's acked state; `check`
+                                                   // fails only while it is still catching up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while cmd_load(&raddr, 40, 8, 1, true).is_err() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replica never caught up with the primary"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        cmd_lag(&raddr).unwrap();
+        // Writes are refused until promotion.
+        assert!(cmd_load(&raddr, 1, 99, 1, false).is_err());
+
+        // Fail over: stop the primary, promote with device catch-up.
+        cmd_stop(&addr).unwrap();
+        server.join().unwrap().unwrap();
+        cmd_promote(&raddr, Some(&primary_dir)).unwrap();
+        cmd_load(&raddr, 40, 8, 1, true).unwrap(); // every acked pair survives
+        cmd_load(&raddr, 20, 12, 1, false).unwrap(); // and it takes writes now
+        cmd_load(&raddr, 20, 12, 1, true).unwrap();
+
+        cmd_stop(&raddr).unwrap();
+        replica.join().unwrap().unwrap();
     }
 }

@@ -17,6 +17,9 @@
 //! llogtool recover <dir> [policy]    recover (vsi|rsi), install, save back
 //! llogtool verify <dir>              recover in memory and check the oracle
 //! llogtool serve <dir> [shards] [addr]  run the TCP front end (DESIGN §12)
+//! llogtool replicate <dir> <primary> [addr]  warm-standby replica (DESIGN §13)
+//! llogtool promote <addr> [--from-dir <dir>] promote a replica to primary
+//! llogtool lag <addr>                replication watermark/lag counters
 //! llogtool load <addr> [ops] [seed] [conns]   seeded put workload, acked
 //! llogtool check <addr> [ops] [seed] [conns]  verify a load's pairs
 //! llogtool stop <addr>               ask a server to drain and exit
@@ -26,13 +29,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use llog_cli::{
-    cmd_backup, cmd_demo, cmd_dump, cmd_load, cmd_media_recover, cmd_recover, cmd_serve,
-    cmd_shard_demo, cmd_stats, cmd_stop, cmd_verify, Backend,
+    cmd_backup, cmd_demo, cmd_dump, cmd_lag, cmd_load, cmd_media_recover, cmd_promote, cmd_recover,
+    cmd_replicate, cmd_serve, cmd_shard_demo, cmd_stats, cmd_stop, cmd_verify, Backend,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: llogtool <demo|shard-demo|dump|stats|recover|verify|backup|media-recover|serve|load|check|stop> <dir|addr> [args]\n\
+        "usage: llogtool <demo|shard-demo|dump|stats|recover|verify|backup|media-recover|serve|replicate|promote|lag|load|check|stop> <dir|addr> [args]\n\
          \n\
          demo <dir> [ops=200] [seed=42]   run a workload, crash, save the image\n\
          shard-demo <dir> [n=4] [ops] [seed] sharded run, group commit, crash, parallel recovery\n\
@@ -44,6 +47,11 @@ fn usage() -> ExitCode {
          media-recover <dir> <file>       restore from backup + surviving log\n\
          serve <dir> [shards=4] [addr=127.0.0.1:0]  run the TCP front end until `stop`;\n\
                                           writes the bound address to <dir>/server.addr\n\
+         replicate <dir> <primary> [addr=127.0.0.1:0]  warm-standby replica of a running\n\
+                                          server; writes its address to <dir>/replica.addr\n\
+         promote <addr> [--from-dir <dir>] promote a replica to primary, optionally\n\
+                                          catching up from the dead primary's directory\n\
+         lag <addr>                       replication watermark/lag counters\n\
          load <addr> [ops=500] [seed=42] [conns=2]  seeded puts; exit 0 = all acked durable\n\
          check <addr> [ops=500] [seed=42] [conns=2] read the same pairs back, verify\n\
          stop <addr>                      ask a running server to drain and exit\n\
@@ -114,6 +122,25 @@ fn main() -> ExitCode {
             let addr = args.get(3).map(String::as_str).unwrap_or("127.0.0.1:0");
             cmd_serve(&dir, shards, addr)
         }
+        "replicate" => match args.get(2) {
+            Some(primary) => {
+                let addr = args.get(3).map(String::as_str).unwrap_or("127.0.0.1:0");
+                cmd_replicate(&dir, primary, addr)
+            }
+            None => return usage(),
+        },
+        "promote" => {
+            let addr = args.get(1).map(String::as_str).unwrap_or_default();
+            let from_dir = match args.iter().position(|a| a == "--from-dir") {
+                Some(i) => match args.get(i + 1) {
+                    Some(d) => Some(PathBuf::from(d)),
+                    None => return usage(),
+                },
+                None => None,
+            };
+            cmd_promote(addr, from_dir.as_deref())
+        }
+        "lag" => cmd_lag(args.get(1).map(String::as_str).unwrap_or_default()),
         "load" | "check" => {
             // Here the second positional is an address, not a directory.
             let addr = args.get(1).map(String::as_str).unwrap_or_default();

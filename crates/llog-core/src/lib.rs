@@ -25,6 +25,9 @@
 //!   writeset` (the §2 commutativity argument that makes parallel redo
 //!   sound).
 //! - [`invariant`]: the `Inv(I)` audit used by tests (§3).
+//! - [`replica`]: continuous redo for warm standbys — an incremental
+//!   [`RedoSession`] over a shipped log, with a replayed-LSN watermark
+//!   and promotion (recovery that never stops).
 
 pub mod cache;
 pub mod exposed;
@@ -34,6 +37,7 @@ pub mod media;
 pub mod partition;
 pub mod recover;
 pub mod redo;
+pub mod replica;
 pub mod rwgraph;
 pub mod shared;
 pub mod wgraph;
@@ -44,6 +48,7 @@ pub use media::{media_recover, media_recover_archived, Backup, BackupMode};
 pub use partition::partition_ops;
 pub use recover::{recover, recover_with, RecoveryMode, RecoveryOptions, RecoveryOutcome};
 pub use redo::RedoPolicy;
+pub use replica::RedoSession;
 pub use rwgraph::{NodeId, RWGraph};
 pub use shared::{InstallerHandle, SharedEngine};
 pub use wgraph::WriteGraph;

@@ -1,0 +1,305 @@
+//! Continuous redo: a recovery that never stops.
+//!
+//! A [`RedoSession`] is the replica-side replay engine of log shipping. It
+//! begins with an ordinary single-pass recovery over the shipped `(store
+//! image, log prefix)` pair, then *keeps replaying* as further stable bytes
+//! arrive from the primary, maintaining a **replayed-LSN watermark**: the
+//! end of the last contiguously replayed frame. Reads are served at the
+//! watermark cut — the engine state *is* that cut, because replay is
+//! strictly in log order and stops at the first incomplete frame.
+//!
+//! Soundness of the two-phase scheme:
+//!
+//! - Records up to the attach-time durable cut may already be reflected in
+//!   the shipped store image, so they go through the real recovery REDO
+//!   test in [`RedoSession::begin`] (never blindly re-applied — logical
+//!   operations are not idempotent).
+//! - Records past that cut are reflected in **no** shipped state, and the
+//!   replica's cache mirrors the primary's execution exactly (same ops,
+//!   same order, same inputs), so [`Engine::apply_logged`] replays them
+//!   verbatim. `Install`/`Flush`/`FlushTxn`/`Checkpoint` records describe
+//!   the *primary's* cache-manager activity and are skipped: the replica
+//!   keeps every replayed effect dirty in its own cache, so the visible
+//!   value of every object (cache over store) is identical at the cut.
+//!
+//! A session must not install, evict or checkpoint before promotion: those
+//! would append the replica's own records to a log whose tail the primary
+//! still owns. [`RedoSession::promote`] ends the session — it seals the
+//! log at the watermark (discarding any torn or unreplayed suffix) and
+//! returns the engine, now writable and indistinguishable from a freshly
+//! recovered primary.
+
+use llog_ops::TransformRegistry;
+use llog_storage::StableStore;
+use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
+use llog_wal::{LogRecord, Wal};
+
+use crate::cache::{Engine, EngineConfig};
+use crate::recover::{recover_with, RecoveryOptions, RecoveryOutcome};
+use crate::redo::RedoPolicy;
+
+/// An incremental redo session over a shipped log (see the module docs).
+pub struct RedoSession {
+    engine: Engine,
+    watermark: Lsn,
+}
+
+impl RedoSession {
+    /// Start a session over a shipped `(store, wal)` pair: run a full
+    /// single-pass recovery (REDO-test discipline for every record already
+    /// covered by the store image), then position the watermark at the end
+    /// of the last complete, valid frame.
+    pub fn begin(
+        store: StableStore,
+        wal: Wal,
+        registry: TransformRegistry,
+        config: EngineConfig,
+        policy: RedoPolicy,
+    ) -> Result<(RedoSession, RecoveryOutcome)> {
+        let (engine, outcome) = recover_with(
+            store,
+            wal,
+            registry,
+            config,
+            policy,
+            RecoveryOptions::default(),
+        )?;
+        let watermark = engine.wal().contiguous_end(engine.wal().start_lsn());
+        Ok((RedoSession { engine, watermark }, outcome))
+    }
+
+    /// The replayed-LSN watermark: the consistent cut reads are served at,
+    /// and the address the replica reports back to the primary.
+    pub fn watermark(&self) -> Lsn {
+        self.watermark
+    }
+
+    /// The stable end of the session's log — where the next shipped chunk
+    /// should start. May sit past the watermark when the tail holds a
+    /// partial frame awaiting its remainder.
+    pub fn stable_end(&self) -> Lsn {
+        self.engine.wal().forced_lsn()
+    }
+
+    /// The underlying engine (read-only access; e.g. for fingerprinting in
+    /// divergence oracles).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Read `x` at the watermark cut without disturbing cache state.
+    pub fn read(&self, x: ObjectId) -> Value {
+        self.engine.peek_value(x)
+    }
+
+    /// Ingest shipped stable bytes starting at log address `at` and replay
+    /// every newly completed frame. Duplicate and overlapping delivery is
+    /// tolerated (the held prefix is skipped); a gap is rejected with
+    /// [`LlogError::LsnOutOfRange`] and the caller refetches from
+    /// [`stable_end`](Self::stable_end). Returns the number of operation
+    /// records replayed.
+    pub fn extend(&mut self, at: Lsn, bytes: &[u8]) -> Result<u64> {
+        let end = self.engine.wal_mut().extend_stable(at, bytes)?;
+        // Collect the newly replayable records first (the scan borrows the
+        // wal; apply_logged needs the whole engine), stopping at the first
+        // torn or corrupt frame — a later extend may complete it.
+        let mut recs = Vec::new();
+        let mut stop = None;
+        for item in self.engine.wal().scan(self.watermark) {
+            match item {
+                Ok(r) => recs.push(r),
+                Err(LlogError::Corrupt { offset, .. }) => {
+                    stop = Some(Lsn(offset));
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut applied = 0;
+        for (lsn, rec) in recs {
+            if let LogRecord::Op(op) = rec {
+                self.engine.apply_logged(&op, lsn)?;
+                applied += 1;
+            }
+        }
+        self.watermark = stop.unwrap_or(end);
+        Ok(applied)
+    }
+
+    /// Promote the replica: seal the log at the watermark (the torn or
+    /// unreplayed suffix is discarded — those writes were never replayed,
+    /// so the returned engine's state matches its log exactly) and hand
+    /// back the engine, ready for writes.
+    pub fn promote(mut self) -> Result<Engine> {
+        self.engine.wal_mut().seal_to(self.watermark)?;
+        Ok(self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{FlushStrategy, GraphKind};
+    use llog_ops::{builtin, OpKind, Transform};
+    use llog_storage::Metrics;
+    use llog_types::ObjectId;
+
+    fn config() -> EngineConfig {
+        EngineConfig {
+            graph: GraphKind::RW,
+            flush: FlushStrategy::IdentityWrites,
+            audit: true,
+        }
+    }
+
+    fn fresh_engine() -> Engine {
+        Engine::new(config(), TransformRegistry::with_builtins())
+    }
+
+    fn put(e: &mut Engine, x: u64, v: &[u8]) {
+        e.execute(
+            OpKind::Physical,
+            vec![],
+            vec![ObjectId(x)],
+            Transform::new(
+                builtin::CONST,
+                builtin::encode_values(&[Value::from_slice(v)]),
+            ),
+        )
+        .unwrap();
+    }
+
+    /// Ship a primary's full stable image into a fresh session and check
+    /// the replica converges to the primary's visible state.
+    #[test]
+    fn session_tracks_primary_through_incremental_shipping() {
+        let mut primary = fresh_engine();
+        for i in 0..4 {
+            put(&mut primary, i, format!("seed-{i}").as_bytes());
+        }
+        primary.wal_mut().force();
+        let attach_cut = primary.wal().forced_lsn();
+
+        // Attach: empty store image + the log prefix up to the durable cut.
+        let metrics = Metrics::new();
+        let mut wal = Wal::from_shipped(metrics.clone(), primary.wal().start_lsn().0, None);
+        let prefix = primary
+            .wal()
+            .ship_tail(primary.wal().start_lsn(), usize::MAX)
+            .unwrap()
+            .to_vec();
+        wal.extend_stable(primary.wal().start_lsn(), &prefix)
+            .unwrap();
+        let (mut session, outcome) = RedoSession::begin(
+            StableStore::new(metrics),
+            wal,
+            TransformRegistry::with_builtins(),
+            config(),
+            RedoPolicy::Vsi,
+        )
+        .unwrap();
+        assert_eq!(outcome.redone, 4);
+        assert_eq!(session.watermark(), attach_cut);
+
+        // Primary keeps writing; ship the new tail in two uneven chunks.
+        for i in 0..4 {
+            put(&mut primary, i, format!("live-{i}").as_bytes());
+        }
+        primary.wal_mut().force();
+        let tail = primary
+            .wal()
+            .ship_tail(attach_cut, usize::MAX)
+            .unwrap()
+            .to_vec();
+        let cut = tail.len() / 3;
+        let applied = session.extend(attach_cut, &tail[..cut]).unwrap();
+        let mid = session.stable_end();
+        let applied2 = session
+            .extend(mid, &tail[(mid.0 - attach_cut.0) as usize..])
+            .unwrap();
+        assert_eq!(applied + applied2, 4);
+        assert_eq!(session.watermark(), primary.wal().forced_lsn());
+        for i in 0..4 {
+            assert_eq!(
+                session.read(ObjectId(i)),
+                primary.peek_value(ObjectId(i)),
+                "object {i} diverged"
+            );
+        }
+    }
+
+    /// A torn trailing frame parks under the watermark until completed;
+    /// promotion before completion seals it away.
+    #[test]
+    fn torn_tail_is_invisible_and_sealed_at_promotion() {
+        let mut primary = fresh_engine();
+        put(&mut primary, 1, b"committed");
+        primary.wal_mut().force();
+        let durable = primary.wal().forced_lsn();
+        put(&mut primary, 2, b"in-flight");
+        // Simulate a torn force: only part of the last frame reaches the
+        // replica (as if the primary crashed mid-send).
+        let (_, torn_wal) = primary.crash_torn(5);
+        let all = torn_wal
+            .ship_tail(torn_wal.start_lsn(), usize::MAX)
+            .unwrap()
+            .to_vec();
+
+        let metrics = Metrics::new();
+        let mut wal = Wal::from_shipped(metrics.clone(), torn_wal.start_lsn().0, None);
+        wal.extend_stable(torn_wal.start_lsn(), &all).unwrap();
+        let (session, _) = RedoSession::begin(
+            StableStore::new(metrics),
+            wal,
+            TransformRegistry::with_builtins(),
+            config(),
+            RedoPolicy::Vsi,
+        )
+        .unwrap();
+        assert_eq!(session.watermark(), durable);
+        assert!(session.read(ObjectId(2)).is_empty());
+        assert_eq!(session.read(ObjectId(1)), Value::from_slice(b"committed"));
+
+        let mut engine = session.promote().unwrap();
+        assert_eq!(engine.wal().forced_lsn(), durable);
+        // The promoted engine is writable and allocates fresh op ids.
+        put(&mut engine, 2, b"post-promote");
+        engine.wal_mut().force();
+        assert_eq!(
+            engine.peek_value(ObjectId(2)),
+            Value::from_slice(b"post-promote")
+        );
+        assert!(engine.audit_explainable().unwrap());
+    }
+
+    /// Gap delivery is rejected and leaves the session consistent.
+    #[test]
+    fn gaps_are_rejected_without_corrupting_the_session() {
+        let mut primary = fresh_engine();
+        put(&mut primary, 1, b"a");
+        primary.wal_mut().force();
+        let metrics = Metrics::new();
+        let wal = Wal::from_shipped(metrics.clone(), primary.wal().start_lsn().0, None);
+        let (mut session, _) = RedoSession::begin(
+            StableStore::new(metrics),
+            wal,
+            TransformRegistry::with_builtins(),
+            config(),
+            RedoPolicy::Vsi,
+        )
+        .unwrap();
+        let bytes = primary
+            .wal()
+            .ship_tail(primary.wal().start_lsn(), usize::MAX)
+            .unwrap()
+            .to_vec();
+        // Deliver at an address past the stable end: gap.
+        let err = session
+            .extend(primary.wal().forced_lsn(), &bytes)
+            .unwrap_err();
+        assert!(matches!(err, LlogError::LsnOutOfRange { .. }));
+        // Correct delivery still lands.
+        session.extend(session.stable_end(), &bytes).unwrap();
+        assert_eq!(session.read(ObjectId(1)), Value::from_slice(b"a"));
+    }
+}

@@ -67,6 +67,6 @@ pub use router::ShardRouter;
 pub use shard::CommitTicket;
 pub use sharded::{
     recover_sharded, recover_sharded_from_backends, recover_sharded_with, CommitPolicy,
-    GroupCommitPolicy, ShardedConfig, ShardedEngine,
+    GroupCommitPolicy, ShardedConfig, ShardedEngine, ShipManifest,
 };
 pub use snapshot::{GroupCommitSnapshot, ShardedSnapshot};

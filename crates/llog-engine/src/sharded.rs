@@ -93,6 +93,23 @@ impl Default for ShardedConfig {
     }
 }
 
+/// A consistent attach image for one shard, captured by
+/// [`ShardedEngine::ship_manifest`]: everything a replica needs to start
+/// a [`llog_core::RedoSession`] over shipped log bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipManifest {
+    /// The shard's stable store, serialized ([`StableStore::serialize`]).
+    pub store: Vec<u8>,
+    /// The shard log's base address (start of the retained log).
+    pub base: Lsn,
+    /// The durable cut at capture time: the end of the last complete,
+    /// valid stable frame. Every effect the store image may reflect lies
+    /// below it.
+    pub durable: Lsn,
+    /// The shard's master checkpoint pointer, if any.
+    pub master: Option<Lsn>,
+}
+
 /// N hash-partitioned [`Engine`]s behind one handle: shard-local
 /// execution, per-shard group commit, backpressure, parallel crash and
 /// recovery. See the crate docs for the full picture.
@@ -435,6 +452,67 @@ impl ShardedEngine {
                 b.persist(e.store(), e.wal(), s.faults.as_deref())?;
             }
         }
+        Ok(())
+    }
+
+    /// Capture a consistent attach image of shard `i` for a new replica:
+    /// the serialized stable store plus the log addresses a
+    /// [`llog_core::RedoSession`] needs to start replaying. Taken under
+    /// the shard lock, so the store image, log base and durable cut are
+    /// one instant of the shard — every record the image may reflect lies
+    /// below `durable`, which is what makes the replica's blind replay of
+    /// later records sound.
+    pub fn ship_manifest(&self, i: usize) -> Result<ShipManifest> {
+        let s = &self.shards[i];
+        let g = lock(&s.engine);
+        let Some(e) = g.as_ref() else {
+            return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
+        };
+        let base = e.wal().start_lsn();
+        Ok(ShipManifest {
+            store: e.store().serialize(),
+            base,
+            durable: e.wal().contiguous_end(base),
+            master: e.wal().master_checkpoint(),
+        })
+    }
+
+    /// Ship up to `max` stable log bytes of shard `i` starting at `from`,
+    /// clamped to the durable cut (the end of the last complete, valid
+    /// frame — bytes past a torn force are never shipped). Returns the
+    /// chunk and the durable cut. `from` below the log base (the replica
+    /// fell behind a checkpoint truncation) is an `LsnOutOfRange` error:
+    /// the replica must re-attach from a fresh manifest.
+    pub fn ship_chunk(&self, i: usize, from: Lsn, max: usize) -> Result<(Vec<u8>, Lsn)> {
+        let s = &self.shards[i];
+        let g = lock(&s.engine);
+        let Some(e) = g.as_ref() else {
+            return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
+        };
+        let durable = e.wal().contiguous_end(from.max(e.wal().start_lsn()));
+        let allowed = (durable.0.saturating_sub(from.0)) as usize;
+        let bytes = e.wal().ship_tail(from, max.min(allowed))?.to_vec();
+        if !bytes.is_empty() {
+            let m = e.metrics();
+            Metrics::bump(&m.repl_segments_shipped, 1);
+            Metrics::bump(&m.repl_bytes_shipped, bytes.len() as u64);
+        }
+        Ok((bytes, durable))
+    }
+
+    /// Record a replica's replayed-LSN watermark report for shard `i`:
+    /// updates the `repl_watermark_lsn` gauge and recomputes
+    /// `repl_replay_lag_frames` (complete frames between the watermark and
+    /// the shard's stable end).
+    pub fn note_replica_watermark(&self, i: usize, lsn: Lsn) -> Result<()> {
+        let s = &self.shards[i];
+        let g = lock(&s.engine);
+        let Some(e) = g.as_ref() else {
+            return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
+        };
+        let m = e.metrics();
+        Metrics::set_gauge(&m.repl_watermark_lsn, lsn.0);
+        Metrics::set_gauge(&m.repl_replay_lag_frames, e.wal().frames_from(lsn));
         Ok(())
     }
 

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! Log shipping: warm standbys as recovery that never stops.
+//!
+//! The paper's logical redo engine replays a log prefix deterministically
+//! — exactly the primitive replication needs. A [`Replica`] attaches to a
+//! running primary over the framed TCP protocol, pulls each shard's
+//! attach image (`SealManifest`) plus a stream of stable log chunks
+//! (`SegmentChunk`), and feeds them to per-shard
+//! [`llog_core::RedoSession`]s: continuous single-pass redo with a
+//! **replayed-LSN watermark** per shard. The replica serves read-only
+//! `Get`/`Stats` at the watermark cut and, on primary failure, a
+//! `Promote` request seals each shard's log at its watermark and reopens
+//! the engine for writes — the standby *is* the recovered database.
+//!
+//! Watermark discipline (the recoverability rule the whole design hangs
+//! on): a replica only exposes state at-or-below a durable, contiguously
+//! replayed LSN cut. The primary never ships bytes past its durable cut,
+//! and the replica never replays past the last complete, CRC-valid
+//! frame; everything above the watermark is invisible until it becomes
+//! both.
+//!
+//! The module also exports the primary↔replica **divergence oracle**
+//! ([`visible_divergence`]) — the generalization of the mem↔file
+//! differential oracle: two engines agree when every object's visible
+//! value (cache over store) matches at the same LSN cut.
+
+mod replica;
+
+pub use replica::{Replica, ReplicaConfig, ReplicaCounters};
+
+use std::collections::BTreeSet;
+
+use llog_core::Engine;
+use llog_types::ObjectId;
+
+/// Every object an engine knows about: stable-store residents plus
+/// dirty (cached, uninstalled) objects.
+pub fn known_objects(e: &Engine) -> BTreeSet<ObjectId> {
+    let mut objs: BTreeSet<ObjectId> = e.store().snapshot().into_keys().collect();
+    objs.extend(e.dirty_table().keys().copied());
+    objs
+}
+
+/// The primary↔replica divergence oracle: compare the *visible* state
+/// (cache over store) of two engines over the union of objects either
+/// knows. Returns `None` when they agree, or a description of the first
+/// divergent object. Install/flush timing legitimately differs between a
+/// primary and a replica, so raw store images are not compared — visible
+/// values at the same LSN cut must match exactly.
+pub fn visible_divergence(a: &Engine, b: &Engine) -> Option<String> {
+    let mut objs = known_objects(a);
+    objs.extend(known_objects(b));
+    for x in objs {
+        let va = a.peek_value(x);
+        let vb = b.peek_value(x);
+        if va != vb {
+            return Some(format!(
+                "object {x:?} diverges: {} byte(s) vs {} byte(s)",
+                va.as_bytes().len(),
+                vb.as_bytes().len()
+            ));
+        }
+    }
+    None
+}

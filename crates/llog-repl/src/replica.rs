@@ -1,0 +1,853 @@
+//! The warm-standby replica: attach, continuous redo, read-at-watermark
+//! service, and promotion (see the crate docs for the protocol rules).
+//!
+//! ## Threading model
+//!
+//! - One **poller** thread owns the client connection to the primary. It
+//!   round-robins the shards: `Subscribe(shard, stable_end)` →
+//!   `SegmentChunk` → [`RedoSession::extend`], reporting each shard's
+//!   watermark back with `ReplayedLsn` whenever it advances. A
+//!   `SealManifest` answer mid-stream means the replica fell behind a
+//!   checkpoint truncation — the shard re-attaches from the fresh image.
+//!   A dead primary parks the poller in a reconnect loop; the replica
+//!   keeps serving reads at its last watermark.
+//! - One **acceptor** thread plus one lock-step handler thread per
+//!   connection serve the framed protocol: `Get`/`Stats`/`Ping` always,
+//!   `Put` only after promotion (rejected with `ErrCode::Engine` before),
+//!   `Promote` exactly once.
+//!
+//! ## Promotion
+//!
+//! `Promote{source_dir}` seals every shard at its watermark and rebuilds
+//! a writable [`ShardedEngine`] from the session engines. With a
+//! non-empty `source_dir` — the crashed primary's data directory — each
+//! shard first catches up from the primary's on-disk log device: the
+//! primary persists forced bytes to the device *before* acknowledging
+//! (`persist_on_force`), so feeding the device log's tail through the
+//! session guarantees every acknowledged write is replayed even if the
+//! primary was SIGKILLed mid-shipment. A shard whose device log was
+//! truncated past the session's stable end (the replica lagged a whole
+//! checkpoint) falls back to recovering the device pair wholesale.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use llog_core::{recover_with, Engine, EngineConfig, RecoveryOptions, RedoPolicy, RedoSession};
+use llog_engine::{ShardRouter, ShardedConfig, ShardedEngine};
+use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog_server::proto::{
+    decode_request, encode_response, read_frame, write_frame, ErrCode, Request, Response, StatsBody,
+};
+use llog_server::Client;
+use llog_storage::device::DeviceConfig;
+use llog_storage::{Metrics, StableStore};
+use llog_types::{LlogError, Lsn, Result, Value};
+use llog_wal::{DurabilityBackend, Wal};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning for a [`Replica`].
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Address to bind the replica's own service socket
+    /// (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// How long the poller sleeps when fully caught up (and the unit of
+    /// its reconnect backoff).
+    pub poll_interval: Duration,
+    /// Redo policy for attach-time recovery and session replay.
+    pub policy: RedoPolicy,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> ReplicaConfig {
+        ReplicaConfig {
+            addr: "127.0.0.1:0".to_string(),
+            poll_interval: Duration::from_millis(2),
+            policy: RedoPolicy::RsiExposed,
+        }
+    }
+}
+
+/// Monotonic shipping counters (the receive side of the primary's
+/// `repl_*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaCounters {
+    /// Non-empty segment chunks received and applied.
+    pub chunks_received: u64,
+    /// Stable log bytes received.
+    pub bytes_received: u64,
+    /// Times the replica fell behind a truncation and re-attached.
+    pub reattaches: u64,
+}
+
+/// The replica's role: a standby replaying shipped log, or a promoted
+/// primary serving writes.
+enum Role {
+    /// One redo session per primary shard, index-aligned.
+    Standby(Vec<RedoSession>),
+    /// Promotion finished; the engine serves reads and writes.
+    Promoted(ShardedEngine),
+    /// Transient placeholder while promotion or shutdown moves the state.
+    Draining,
+}
+
+struct State {
+    role: Mutex<Role>,
+    router: ShardRouter,
+    registry: TransformRegistry,
+    config: ReplicaConfig,
+    primary: String,
+    stop: AtomicBool,
+    shutdown_requested: AtomicBool,
+    chunks_received: AtomicU64,
+    bytes_received: AtomicU64,
+    reattaches: AtomicU64,
+}
+
+/// A warm-standby replica of one primary server (see the module docs).
+pub struct Replica {
+    state: Arc<State>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Attach to the primary at `primary_addr` (every shard's manifest +
+    /// log prefix is pulled and recovered synchronously — when this
+    /// returns, the replica serves consistent reads), then start the
+    /// poller and the service socket.
+    pub fn start(
+        primary_addr: &str,
+        registry: TransformRegistry,
+        config: ReplicaConfig,
+    ) -> Result<Replica> {
+        let mut client = Client::connect(primary_addr)?;
+        // Shard 0's manifest tells us the fleet size.
+        let first = attach_shard(&mut client, 0, &registry, &config)?;
+        let shards = first.1;
+        let mut sessions = vec![first.0];
+        for i in 1..shards {
+            sessions.push(attach_shard(&mut client, i as u32, &registry, &config)?.0);
+        }
+
+        let listener = TcpListener::bind(&config.addr).map_err(|e| LlogError::Io {
+            point: "replica bind".into(),
+            reason: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| LlogError::Io {
+            point: "replica local_addr".into(),
+            reason: e.to_string(),
+        })?;
+
+        let state = Arc::new(State {
+            role: Mutex::new(Role::Standby(sessions)),
+            router: ShardRouter::new(shards),
+            registry,
+            config,
+            primary: primary_addr.to_string(),
+            stop: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            chunks_received: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            reattaches: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let state = state.clone();
+            threads.push(std::thread::spawn(move || poller_loop(&state, client)));
+        }
+        {
+            let state = state.clone();
+            threads.push(std::thread::spawn(move || acceptor_loop(&state, listener)));
+        }
+        Ok(Replica {
+            state,
+            addr,
+            threads,
+        })
+    }
+
+    /// The address the replica's service socket is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has a client asked this replica to shut down (`Request::Shutdown`)?
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Shipping counters.
+    pub fn counters(&self) -> ReplicaCounters {
+        ReplicaCounters {
+            chunks_received: self.state.chunks_received.load(Ordering::Relaxed),
+            bytes_received: self.state.bytes_received.load(Ordering::Relaxed),
+            reattaches: self.state.reattaches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard replayed-LSN watermarks (promoted replicas report their
+    /// durable watermarks instead).
+    pub fn watermarks(&self) -> Vec<Lsn> {
+        match &*lock(&self.state.role) {
+            Role::Standby(sessions) => sessions.iter().map(|s| s.watermark()).collect(),
+            Role::Promoted(engine) => (0..engine.shards())
+                .map(|i| engine.durable_lsn(i))
+                .collect(),
+            Role::Draining => Vec::new(),
+        }
+    }
+
+    /// Stop the replica: poller and acceptor exit, every connection
+    /// handler winds down, and a promoted engine is shut down cleanly.
+    pub fn stop(mut self) -> Result<()> {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+        let role = std::mem::replace(&mut *lock(&self.state.role), Role::Draining);
+        if let Role::Promoted(engine) = role {
+            engine.shutdown()?;
+        }
+        Ok(())
+    }
+}
+
+/// Pull one shard's attach image and log prefix, and start its redo
+/// session. Returns the session and the primary's shard count.
+fn attach_shard(
+    client: &mut Client,
+    shard: u32,
+    registry: &TransformRegistry,
+    config: &ReplicaConfig,
+) -> Result<(RedoSession, usize)> {
+    // A truncation can race the prefix fetch; each retry starts from a
+    // fresh manifest, and the log can only be truncated finitely often
+    // while we fetch a finite prefix, so a small budget suffices.
+    for _ in 0..8 {
+        let (shards, base, durable, master, store_image) =
+            match client.subscribe(shard, Lsn::ZERO)? {
+                Response::SealManifest {
+                    shards,
+                    base,
+                    durable,
+                    master,
+                    store,
+                    ..
+                } => (shards, base, durable, master, store),
+                other => {
+                    return Err(LlogError::CacheProtocol(format!(
+                        "expected seal manifest for attach, got {other:?}"
+                    )))
+                }
+            };
+        let metrics = Metrics::new();
+        let store = StableStore::deserialize(&store_image, metrics.clone())?;
+        let mut wal = Wal::from_shipped(metrics, base.0, (master != Lsn::ZERO).then_some(master));
+        let mut at = base;
+        let mut truncated = false;
+        while at < durable {
+            match client.subscribe(shard, at)? {
+                Response::SegmentChunk { at: got, bytes, .. } => {
+                    if bytes.is_empty() {
+                        break; // durable regressed (can't happen) — be safe
+                    }
+                    at = wal.extend_stable(got, &bytes)?;
+                }
+                Response::SealManifest { .. } => {
+                    truncated = true; // fell behind a truncation: re-attach
+                    break;
+                }
+                other => {
+                    return Err(LlogError::CacheProtocol(format!(
+                        "expected segment chunk, got {other:?}"
+                    )))
+                }
+            }
+        }
+        if truncated {
+            continue;
+        }
+        let (session, _outcome) = RedoSession::begin(
+            store,
+            wal,
+            registry.clone(),
+            EngineConfig::default(),
+            config.policy,
+        )?;
+        return Ok((session, shards as usize));
+    }
+    Err(LlogError::Unexplainable(format!(
+        "shard {shard}: attach kept racing log truncation"
+    )))
+}
+
+/// The shipping loop: poll every shard, extend its session, report
+/// watermarks, re-attach shards that fell behind truncation, and survive
+/// primary restarts with a reconnect loop.
+fn poller_loop(state: &Arc<State>, mut client: Client) {
+    let mut reported: Vec<Lsn> = Vec::new();
+    'outer: while !state.stop.load(Ordering::SeqCst) {
+        let shards = {
+            match &*lock(&state.role) {
+                Role::Standby(sessions) => sessions.len(),
+                _ => return, // promoted (or stopping): shipping is over
+            }
+        };
+        if reported.len() != shards {
+            reported = vec![Lsn::ZERO; shards];
+        }
+        let mut progressed = false;
+        for i in 0..shards {
+            let from = {
+                match &*lock(&state.role) {
+                    Role::Standby(sessions) => sessions[i].stable_end(),
+                    _ => return,
+                }
+            };
+            let resp = match client.subscribe(i as u32, from) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    // Primary unreachable: keep serving reads, retry.
+                    match reconnect(state) {
+                        Some(c) => {
+                            client = c;
+                            continue 'outer;
+                        }
+                        None => return,
+                    }
+                }
+            };
+            match resp {
+                Response::SegmentChunk { at, bytes, .. } if !bytes.is_empty() => {
+                    state.chunks_received.fetch_add(1, Ordering::Relaxed);
+                    state
+                        .bytes_received
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    let mut g = lock(&state.role);
+                    let Role::Standby(sessions) = &mut *g else {
+                        return;
+                    };
+                    // A gap here means this shard re-attached between
+                    // our poll and now — impossible single-threaded,
+                    // but a refetch next round heals it regardless.
+                    if sessions[i].extend(at, &bytes).is_ok() {
+                        progressed = true;
+                    }
+                }
+                Response::SealManifest { .. } => {
+                    // Fell behind a checkpoint truncation: rebuild this
+                    // shard's session from a fresh manifest.
+                    state.reattaches.fetch_add(1, Ordering::Relaxed);
+                    match attach_shard(&mut client, i as u32, &state.registry, &state.config) {
+                        Ok((session, _)) => {
+                            let mut g = lock(&state.role);
+                            let Role::Standby(sessions) = &mut *g else {
+                                return;
+                            };
+                            sessions[i] = session;
+                            progressed = true;
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                _ => {}
+            }
+            let wm = {
+                match &*lock(&state.role) {
+                    Role::Standby(sessions) => sessions[i].watermark(),
+                    _ => return,
+                }
+            };
+            if wm > reported[i] && client.report_replayed(i as u32, wm).is_ok() {
+                reported[i] = wm;
+            }
+        }
+        if !progressed {
+            std::thread::sleep(state.config.poll_interval);
+        }
+    }
+}
+
+/// Reconnect to the primary with backoff until it answers, the replica
+/// stops, or promotion ends shipping. `None` means stop polling.
+fn reconnect(state: &Arc<State>) -> Option<Client> {
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        if !matches!(&*lock(&state.role), Role::Standby(_)) {
+            return None;
+        }
+        if let Ok(c) = Client::connect(&state.primary) {
+            return Some(c);
+        }
+        std::thread::sleep(state.config.poll_interval.max(Duration::from_millis(20)));
+    }
+}
+
+fn acceptor_loop(state: &Arc<State>, listener: TcpListener) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => break,
+        };
+        if state.stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(NetShutdown::Both);
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        // Handlers poll this timeout so a stop can reclaim idle
+        // connections.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let state = state.clone();
+        conns.push(std::thread::spawn(move || handle_conn(&state, stream)));
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// `Read` adapter that retries timeouts while the replica is live and
+/// reports a clean EOF once it stops — so `read_frame` blocks patiently
+/// on idle connections yet winds down promptly at shutdown.
+struct PatientStream<'a> {
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for PatientStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match (&mut &*self.stream).read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Lock-step connection handler: one request, one response, until EOF,
+/// a protocol violation, or replica stop.
+fn handle_conn(state: &Arc<State>, stream: TcpStream) {
+    let mut reader = PatientStream {
+        stream: &stream,
+        stop: &state.stop,
+    };
+    let mut writer = &stream;
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(_) => break, // unsynchronized stream: close it
+        };
+        let resp = respond(state, req);
+        if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+            break;
+        }
+        if writer.flush().is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(NetShutdown::Both);
+}
+
+fn respond(state: &Arc<State>, req: Request) -> Response {
+    match req {
+        Request::Ping { req_id } => Response::Ok { req_id },
+        Request::Shutdown { req_id } => {
+            state.shutdown_requested.store(true, Ordering::SeqCst);
+            Response::Ok { req_id }
+        }
+        Request::Get { req_id, object } => match &mut *lock(&state.role) {
+            Role::Standby(sessions) => Response::Value {
+                req_id,
+                value: sessions[state.router.shard_of(object)]
+                    .read(object)
+                    .as_bytes()
+                    .to_vec(),
+            },
+            Role::Promoted(engine) => match engine.read_value(object) {
+                Ok(v) => Response::Value {
+                    req_id,
+                    value: v.as_bytes().to_vec(),
+                },
+                Err(e) => err(req_id, ErrCode::Engine, e.to_string()),
+            },
+            Role::Draining => err(req_id, ErrCode::Stopping, "replica is stopping".into()),
+        },
+        Request::Put {
+            req_id,
+            object,
+            value,
+        } => match &mut *lock(&state.role) {
+            Role::Standby(_) => err(
+                req_id,
+                ErrCode::Engine,
+                "replica is read-only until promoted".into(),
+            ),
+            Role::Promoted(engine) => {
+                let transform = Transform::new(
+                    builtin::CONST,
+                    builtin::encode_values(&[Value::from(value.as_slice())]),
+                );
+                match engine.execute(OpKind::Physical, vec![], vec![object], transform) {
+                    Ok(ticket) => loop {
+                        // Poll-wait so a stop can reclaim this handler.
+                        match ticket.wait_timeout(Duration::from_millis(50)) {
+                            Some(true) => {
+                                break Response::Ack {
+                                    req_id,
+                                    lsn: ticket.lsn(),
+                                }
+                            }
+                            Some(false) => {
+                                break err(
+                                    req_id,
+                                    ErrCode::ShardDead,
+                                    "shard died before durability".into(),
+                                )
+                            }
+                            None => {
+                                if state.stop.load(Ordering::SeqCst) {
+                                    break err(
+                                        req_id,
+                                        ErrCode::Stopping,
+                                        "replica is stopping".into(),
+                                    );
+                                }
+                            }
+                        }
+                    },
+                    Err(e) => err(req_id, ErrCode::Engine, e.to_string()),
+                }
+            }
+            Role::Draining => err(req_id, ErrCode::Stopping, "replica is stopping".into()),
+        },
+        Request::Flush { req_id } => match &mut *lock(&state.role) {
+            // Nothing of the standby's is volatile: replayed state is
+            // backed by shipped stable bytes.
+            Role::Standby(_) => Response::Ok { req_id },
+            Role::Promoted(engine) => match engine.force_all() {
+                Ok(()) => Response::Ok { req_id },
+                Err(e) => err(req_id, ErrCode::ShardDead, e.to_string()),
+            },
+            Role::Draining => err(req_id, ErrCode::Stopping, "replica is stopping".into()),
+        },
+        Request::Stats { req_id } => Response::Stats {
+            req_id,
+            body: stats_body(state),
+        },
+        Request::Promote { req_id, source_dir } => match promote(state, &source_dir) {
+            Ok(()) => Response::Ok { req_id },
+            Err(e) => err(req_id, ErrCode::Engine, e.to_string()),
+        },
+        Request::Subscribe { req_id, .. } | Request::ReplayedLsn { req_id, .. } => err(
+            req_id,
+            ErrCode::Engine,
+            "replicas do not ship their log (no cascading replication)".into(),
+        ),
+    }
+}
+
+fn err(req_id: u64, code: ErrCode, message: String) -> Response {
+    Response::Err {
+        req_id,
+        code,
+        message,
+    }
+}
+
+fn stats_body(state: &Arc<State>) -> StatsBody {
+    let chunks = state.chunks_received.load(Ordering::Relaxed);
+    let bytes = state.bytes_received.load(Ordering::Relaxed);
+    match &*lock(&state.role) {
+        Role::Standby(sessions) => StatsBody {
+            shards: sessions.len() as u32,
+            batches: 0,
+            batched_ops: 0,
+            backpressure_waits: 0,
+            repl_segments_shipped: chunks,
+            repl_bytes_shipped: bytes,
+            // Frames held above the watermark (a partial tail frame
+            // awaiting completion counts zero).
+            repl_replay_lag_frames: sessions
+                .iter()
+                .map(|s| s.engine().wal().frames_from(s.watermark()))
+                .sum(),
+            repl_watermark_lsn: sessions.iter().map(|s| s.watermark().0).max().unwrap_or(0),
+        },
+        Role::Promoted(engine) => {
+            let snap = engine.metrics_snapshot();
+            StatsBody {
+                shards: snap.shards as u32,
+                batches: snap.group_commit.batches,
+                batched_ops: snap.group_commit.batched_ops,
+                backpressure_waits: snap.group_commit.backpressure_waits,
+                repl_segments_shipped: chunks,
+                repl_bytes_shipped: bytes,
+                repl_replay_lag_frames: 0,
+                repl_watermark_lsn: (0..engine.shards())
+                    .map(|i| engine.durable_lsn(i).0)
+                    .max()
+                    .unwrap_or(0),
+            }
+        }
+        Role::Draining => StatsBody::default(),
+    }
+}
+
+/// Promote this replica to primary (module docs: catch-up rules).
+fn promote(state: &Arc<State>, source_dir: &str) -> Result<()> {
+    let mut g = lock(&state.role);
+    let Role::Standby(_) = &*g else {
+        return Err(LlogError::CacheProtocol(
+            "replica is not a standby (already promoted or stopping)".into(),
+        ));
+    };
+    let Role::Standby(sessions) = std::mem::replace(&mut *g, Role::Draining) else {
+        unreachable!("matched Standby above");
+    };
+    match promote_sessions(sessions, source_dir, &state.registry, state.config.policy) {
+        Ok(engine) => {
+            *g = Role::Promoted(engine);
+            Ok(())
+        }
+        Err(e) => Err(e), // role stays Draining: state is torn, refuse work
+    }
+}
+
+fn promote_sessions(
+    sessions: Vec<RedoSession>,
+    source_dir: &str,
+    registry: &TransformRegistry,
+    policy: RedoPolicy,
+) -> Result<ShardedEngine> {
+    let shards = sessions.len();
+    let mut engines = Vec::with_capacity(shards);
+    for (i, mut session) in sessions.into_iter().enumerate() {
+        if !source_dir.is_empty() {
+            match device_catch_up(&mut session, Path::new(source_dir), i, registry, policy)? {
+                CatchUp::Fed => {}
+                CatchUp::Replaced(engine) => {
+                    engines.push(*engine);
+                    continue;
+                }
+            }
+        }
+        engines.push(session.promote()?);
+    }
+    let config = ShardedConfig {
+        shards,
+        ..ShardedConfig::default()
+    };
+    Ok(ShardedEngine::from_engines(config, engines))
+}
+
+enum CatchUp {
+    /// The session absorbed the device log's tail (or there was nothing
+    /// to absorb); promote it normally.
+    Fed,
+    /// The device log was truncated past the session — the shard was
+    /// recovered wholesale from the device pair instead.
+    Replaced(Box<Engine>),
+}
+
+/// Feed the crashed primary's on-disk log tail for shard `i` through the
+/// session. The primary persists forced bytes before acknowledging, so
+/// after this every acknowledged write is replayed.
+fn device_catch_up(
+    session: &mut RedoSession,
+    source_dir: &Path,
+    shard: usize,
+    registry: &TransformRegistry,
+    policy: RedoPolicy,
+) -> Result<CatchUp> {
+    let dir = source_dir.join(format!("shard-{shard}"));
+    if !dir.is_dir() {
+        return Ok(CatchUp::Fed); // no device state for this shard
+    }
+    let backend = DurabilityBackend::file(&dir, Metrics::new(), &DeviceConfig::default())?;
+    let Some((dstore, dwal)) = backend.load(Metrics::new())? else {
+        return Ok(CatchUp::Fed); // never persisted
+    };
+    let end = session.stable_end();
+    if dwal.start_lsn() > end {
+        // The device log no longer reaches back to the session: recover
+        // the device pair wholesale (it is self-sufficient by the
+        // checkpoint-before-truncate discipline).
+        let (engine, _) = recover_with(
+            dstore,
+            dwal,
+            registry.clone(),
+            EngineConfig::default(),
+            policy,
+            RecoveryOptions::default(),
+        )?;
+        return Ok(CatchUp::Replaced(Box::new(engine)));
+    }
+    if dwal.forced_lsn() > end {
+        let bytes = dwal.ship_tail(end, usize::MAX)?.to_vec();
+        session.extend(end, &bytes)?;
+    }
+    Ok(CatchUp::Fed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llog_server::{boot, Server, ServerConfig};
+    use llog_types::ObjectId;
+
+    fn start_primary(shards: usize) -> Server {
+        let registry = TransformRegistry::with_builtins();
+        let engine = ShardedEngine::new(boot::server_engine_config(shards), &registry);
+        Server::start(engine, ServerConfig::default()).unwrap()
+    }
+
+    fn wait_watermarks(replica: &Replica, want: &[Lsn]) {
+        for _ in 0..2000 {
+            let got = replica.watermarks();
+            if got.len() == want.len() && got.iter().zip(want).all(|(g, w)| g >= w) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!(
+            "replica never caught up: at {:?}, want {:?}",
+            replica.watermarks(),
+            want
+        );
+    }
+
+    #[test]
+    fn replica_tracks_live_load_and_serves_reads() {
+        let server = start_primary(2);
+        let addr = server.local_addr().to_string();
+        let mut c = Client::connect(&addr).unwrap();
+        for i in 0..16u64 {
+            c.put(ObjectId(i), format!("pre-{i}").as_bytes()).unwrap();
+        }
+
+        let replica = Replica::start(
+            &addr,
+            TransformRegistry::with_builtins(),
+            ReplicaConfig::default(),
+        )
+        .unwrap();
+        for i in 16..32u64 {
+            c.put(ObjectId(i), format!("live-{i}").as_bytes()).unwrap();
+        }
+        // Every put above is durable (acked); the replica must reach every
+        // shard's durable watermark.
+        let mut want = Vec::new();
+        {
+            let mut s = Client::connect(&addr).unwrap();
+            let stats = s.stats().unwrap();
+            assert_eq!(stats.shards, 2);
+        }
+        // Durable watermarks aren't visible through the protocol; poll the
+        // replica until all 32 values read back instead.
+        want.resize(2, Lsn::ZERO);
+        wait_watermarks(&replica, &want);
+        let raddr = replica.local_addr().to_string();
+        let mut rc = Client::connect(&raddr).unwrap();
+        for _ in 0..2000 {
+            if rc.get(ObjectId(31)).unwrap() == b"live-31".to_vec() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for i in 0..32u64 {
+            let want = if i < 16 {
+                format!("pre-{i}")
+            } else {
+                format!("live-{i}")
+            };
+            assert_eq!(
+                rc.get(ObjectId(i)).unwrap(),
+                want.as_bytes().to_vec(),
+                "object {i}"
+            );
+        }
+        // Replica rejects writes pre-promotion.
+        assert!(rc.put(ObjectId(99), b"nope").is_err());
+        // Primary's shipping metrics moved.
+        let stats = c.stats().unwrap();
+        assert!(stats.repl_segments_shipped > 0);
+        assert!(stats.repl_bytes_shipped > 0);
+        // Replica's stats expose its watermark.
+        let rstats = rc.stats().unwrap();
+        assert!(rstats.repl_watermark_lsn > 0);
+
+        replica.stop().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn promotion_after_primary_death_serves_acked_writes_and_accepts_new_ones() {
+        let server = start_primary(2);
+        let addr = server.local_addr().to_string();
+        let replica = Replica::start(
+            &addr,
+            TransformRegistry::with_builtins(),
+            ReplicaConfig::default(),
+        )
+        .unwrap();
+
+        let mut c = Client::connect(&addr).unwrap();
+        let mut acked = Vec::new();
+        for i in 0..24u64 {
+            c.put(ObjectId(i), format!("v-{i}").as_bytes()).unwrap();
+            acked.push(i);
+        }
+        // Let the replica drain everything acked, then kill the primary
+        // abruptly (abort: no graceful drain, connections die).
+        let raddr = replica.local_addr().to_string();
+        let mut rc = Client::connect(&raddr).unwrap();
+        for _ in 0..2000 {
+            if rc.get(ObjectId(23)).unwrap() == b"v-23".to_vec() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        server.abort();
+
+        rc.promote("").unwrap();
+        // Every acked write survives on the promoted replica.
+        for &i in &acked {
+            assert_eq!(
+                rc.get(ObjectId(i)).unwrap(),
+                format!("v-{i}").into_bytes(),
+                "acked object {i} lost by failover"
+            );
+        }
+        // And it now accepts writes.
+        let lsn = rc.put(ObjectId(1000), b"post-failover").unwrap();
+        assert!(lsn > Lsn::ZERO);
+        assert_eq!(rc.get(ObjectId(1000)).unwrap(), b"post-failover".to_vec());
+        // A second promote is refused.
+        assert!(rc.promote("").is_err());
+        replica.stop().unwrap();
+    }
+}

@@ -141,6 +141,45 @@ impl Client {
         }
     }
 
+    /// Poll shard `shard`'s log-shipping feed from `from`. Returns the
+    /// raw [`Response`] — [`Response::SealManifest`] when attaching (or
+    /// after falling behind a truncation), [`Response::SegmentChunk`]
+    /// otherwise; callers match on the shape.
+    pub fn subscribe(&mut self, shard: u32, from: Lsn) -> Result<Response> {
+        let req_id = self.fresh_req_id();
+        match self.call(&Request::Subscribe {
+            req_id,
+            shard,
+            from,
+        })? {
+            resp @ (Response::SegmentChunk { .. } | Response::SealManifest { .. }) => Ok(resp),
+            other => Err(unexpected("segment chunk or seal manifest", other)),
+        }
+    }
+
+    /// Report a replica's replayed-LSN watermark for `shard`.
+    pub fn report_replayed(&mut self, shard: u32, lsn: Lsn) -> Result<()> {
+        let req_id = self.fresh_req_id();
+        match self.call(&Request::ReplayedLsn { req_id, shard, lsn })? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(unexpected("ok", other)),
+        }
+    }
+
+    /// Promote the replica server at the other end to primary.
+    /// `source_dir` optionally names the crashed primary's data directory
+    /// for a device catch-up (empty = none).
+    pub fn promote(&mut self, source_dir: &str) -> Result<()> {
+        let req_id = self.fresh_req_id();
+        match self.call(&Request::Promote {
+            req_id,
+            source_dir: source_dir.to_string(),
+        })? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(unexpected("ok", other)),
+        }
+    }
+
     /// Ask the server to drain and exit (acked before the drain starts).
     pub fn shutdown_server(&mut self) -> Result<()> {
         let req_id = self.fresh_req_id();

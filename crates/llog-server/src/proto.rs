@@ -82,6 +82,42 @@ pub enum Request {
         /// Client-chosen correlation id.
         req_id: u64,
     },
+    /// Poll one shard's log-shipping feed. `from` at or below
+    /// [`Lsn::ZERO`]'s successor semantics — concretely, any address below
+    /// the shard's log base — means *attach*: the server answers with a
+    /// [`Response::SealManifest`] (store image + log addresses). Otherwise
+    /// the server answers with one [`Response::SegmentChunk`] of stable
+    /// bytes starting at `from`, clamped to the shard's durable cut.
+    Subscribe {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Shard index to ship from.
+        shard: u32,
+        /// Where the replica's stable log ends ([`Lsn::ZERO`] to attach).
+        from: Lsn,
+    },
+    /// Report a replica's replayed-LSN watermark for one shard, feeding
+    /// the primary's `repl_watermark_lsn` / `repl_replay_lag_frames`
+    /// observability. Answered with [`Response::Ok`].
+    ReplayedLsn {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Shard index the watermark belongs to.
+        shard: u32,
+        /// The replica's replayed-LSN watermark.
+        lsn: Lsn,
+    },
+    /// Promote a warm standby to primary: seal each shard's log at its
+    /// replayed watermark and reopen for writes. Only a replica server
+    /// honours this; a primary answers [`Response::Err`]. `source_dir`
+    /// optionally names the crashed primary's data directory for a
+    /// device catch-up before the seal (empty = no catch-up).
+    Promote {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Crashed primary's data directory for catch-up ("" = none).
+        source_dir: String,
+    },
 }
 
 /// Error class carried by [`Response::Err`].
@@ -118,6 +154,16 @@ pub struct StatsBody {
     pub batched_ops: u64,
     /// Times `execute` parked on a full uninstalled window.
     pub backpressure_waits: u64,
+    /// Log-shipping chunks served to replicas.
+    pub repl_segments_shipped: u64,
+    /// Stable log bytes shipped to replicas.
+    pub repl_bytes_shipped: u64,
+    /// Complete frames between the reported replica watermark and the
+    /// stable end (max across shards).
+    pub repl_replay_lag_frames: u64,
+    /// Last replayed-LSN watermark reported by a replica (max across
+    /// shards; on a replica server, its own watermark).
+    pub repl_watermark_lsn: u64,
 }
 
 /// What the server answers. `req_id` always echoes the request's.
@@ -158,6 +204,43 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// One chunk of a shard's stable log, answering a
+    /// [`Request::Subscribe`] poll. Empty `bytes` means the replica is
+    /// caught up to `durable`.
+    SegmentChunk {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Shard the bytes belong to.
+        shard: u32,
+        /// Log address of the first shipped byte.
+        at: Lsn,
+        /// Stable log bytes (whole or partial frames; the replica's
+        /// replay stops at the last complete one).
+        bytes: Vec<u8>,
+        /// The shard's durable cut at serve time.
+        durable: Lsn,
+    },
+    /// The attach image answering a [`Request::Subscribe`] with `from`
+    /// below the shard's log base: a consistent `(store image, log
+    /// addresses)` pair the replica recovers from before streaming.
+    SealManifest {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Shard the manifest describes.
+        shard: u32,
+        /// Total shard count on the primary (a replica subscribes to
+        /// every one).
+        shards: u32,
+        /// The shard log's base address.
+        base: Lsn,
+        /// The durable cut at capture time; every effect the store image
+        /// may reflect lies below it.
+        durable: Lsn,
+        /// Master checkpoint pointer (0 = none).
+        master: Lsn,
+        /// Serialized stable store (`StableStore::serialize`).
+        store: Vec<u8>,
+    },
 }
 
 const T_PUT: u8 = 1;
@@ -166,12 +249,17 @@ const T_FLUSH: u8 = 3;
 const T_STATS: u8 = 4;
 const T_PING: u8 = 5;
 const T_SHUTDOWN: u8 = 6;
+const T_SUBSCRIBE: u8 = 7;
+const T_REPLAYED_LSN: u8 = 8;
+const T_PROMOTE: u8 = 9;
 
 const T_ACK: u8 = 1;
 const T_VALUE: u8 = 2;
 const T_OK: u8 = 3;
 const T_STATS_R: u8 = 4;
 const T_ERR: u8 = 5;
+const T_SEGMENT_CHUNK: u8 = 6;
+const T_SEAL_MANIFEST: u8 = 7;
 
 fn codec_err(reason: &str) -> LlogError {
     LlogError::Codec {
@@ -243,6 +331,27 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.put_u8(T_SHUTDOWN);
             out.put_u64_le(*req_id);
         }
+        Request::Subscribe {
+            req_id,
+            shard,
+            from,
+        } => {
+            out.put_u8(T_SUBSCRIBE);
+            out.put_u64_le(*req_id);
+            out.put_u32_le(*shard);
+            out.put_u64_le(from.0);
+        }
+        Request::ReplayedLsn { req_id, shard, lsn } => {
+            out.put_u8(T_REPLAYED_LSN);
+            out.put_u64_le(*req_id);
+            out.put_u32_le(*shard);
+            out.put_u64_le(lsn.0);
+        }
+        Request::Promote { req_id, source_dir } => {
+            out.put_u8(T_PROMOTE);
+            out.put_u64_le(*req_id);
+            put_bytes(&mut out, source_dir.as_bytes());
+        }
     }
     out
 }
@@ -276,6 +385,29 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
         T_STATS => Request::Stats { req_id },
         T_PING => Request::Ping { req_id },
         T_SHUTDOWN => Request::Shutdown { req_id },
+        T_SUBSCRIBE => {
+            need(&buf, 4 + 8, "subscribe shard + from")?;
+            Request::Subscribe {
+                req_id,
+                shard: buf.get_u32_le(),
+                from: Lsn(buf.get_u64_le()),
+            }
+        }
+        T_REPLAYED_LSN => {
+            need(&buf, 4 + 8, "replayed-lsn shard + lsn")?;
+            Request::ReplayedLsn {
+                req_id,
+                shard: buf.get_u32_le(),
+                lsn: Lsn(buf.get_u64_le()),
+            }
+        }
+        T_PROMOTE => {
+            let dir = get_bytes(&mut buf, "promote source dir")?;
+            Request::Promote {
+                req_id,
+                source_dir: String::from_utf8_lossy(&dir).into_owned(),
+            }
+        }
         t => return Err(codec_err(&format!("unknown request tag {t}"))),
     };
     if buf.remaining() != 0 {
@@ -312,6 +444,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(body.batches);
             out.put_u64_le(body.batched_ops);
             out.put_u64_le(body.backpressure_waits);
+            out.put_u64_le(body.repl_segments_shipped);
+            out.put_u64_le(body.repl_bytes_shipped);
+            out.put_u64_le(body.repl_replay_lag_frames);
+            out.put_u64_le(body.repl_watermark_lsn);
         }
         Response::Err {
             req_id,
@@ -322,6 +458,38 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(*req_id);
             out.put_u8(*code as u8);
             put_bytes(&mut out, message.as_bytes());
+        }
+        Response::SegmentChunk {
+            req_id,
+            shard,
+            at,
+            bytes,
+            durable,
+        } => {
+            out.put_u8(T_SEGMENT_CHUNK);
+            out.put_u64_le(*req_id);
+            out.put_u32_le(*shard);
+            out.put_u64_le(at.0);
+            out.put_u64_le(durable.0);
+            put_bytes(&mut out, bytes);
+        }
+        Response::SealManifest {
+            req_id,
+            shard,
+            shards,
+            base,
+            durable,
+            master,
+            store,
+        } => {
+            out.put_u8(T_SEAL_MANIFEST);
+            out.put_u64_le(*req_id);
+            out.put_u32_le(*shard);
+            out.put_u32_le(*shards);
+            out.put_u64_le(base.0);
+            out.put_u64_le(durable.0);
+            out.put_u64_le(master.0);
+            put_bytes(&mut out, store);
         }
     }
     out
@@ -348,7 +516,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         },
         T_OK => Response::Ok { req_id },
         T_STATS_R => {
-            need(&buf, 4 + 8 + 8 + 8, "stats body")?;
+            need(&buf, 4 + 8 * 7, "stats body")?;
             Response::Stats {
                 req_id,
                 body: StatsBody {
@@ -356,6 +524,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                     batches: buf.get_u64_le(),
                     batched_ops: buf.get_u64_le(),
                     backpressure_waits: buf.get_u64_le(),
+                    repl_segments_shipped: buf.get_u64_le(),
+                    repl_bytes_shipped: buf.get_u64_le(),
+                    repl_replay_lag_frames: buf.get_u64_le(),
+                    repl_watermark_lsn: buf.get_u64_le(),
                 },
             }
         }
@@ -368,6 +540,36 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                 req_id,
                 code,
                 message: String::from_utf8_lossy(&message).into_owned(),
+            }
+        }
+        T_SEGMENT_CHUNK => {
+            need(&buf, 4 + 8 + 8, "segment chunk header")?;
+            let shard = buf.get_u32_le();
+            let at = Lsn(buf.get_u64_le());
+            let durable = Lsn(buf.get_u64_le());
+            Response::SegmentChunk {
+                req_id,
+                shard,
+                at,
+                bytes: get_bytes(&mut buf, "segment chunk bytes")?,
+                durable,
+            }
+        }
+        T_SEAL_MANIFEST => {
+            need(&buf, 4 + 4 + 8 + 8 + 8, "seal manifest header")?;
+            let shard = buf.get_u32_le();
+            let shards = buf.get_u32_le();
+            let base = Lsn(buf.get_u64_le());
+            let durable = Lsn(buf.get_u64_le());
+            let master = Lsn(buf.get_u64_le());
+            Response::SealManifest {
+                req_id,
+                shard,
+                shards,
+                base,
+                durable,
+                master,
+                store: get_bytes(&mut buf, "seal manifest store image")?,
             }
         }
         t => return Err(codec_err(&format!("unknown response tag {t}"))),
@@ -502,6 +704,29 @@ mod tests {
             Request::Stats { req_id: 3 },
             Request::Ping { req_id: 4 },
             Request::Shutdown { req_id: 5 },
+            Request::Subscribe {
+                req_id: 6,
+                shard: 3,
+                from: Lsn(4096),
+            },
+            Request::Subscribe {
+                req_id: 7,
+                shard: 0,
+                from: Lsn::ZERO,
+            },
+            Request::ReplayedLsn {
+                req_id: 8,
+                shard: 1,
+                lsn: Lsn(777),
+            },
+            Request::Promote {
+                req_id: 9,
+                source_dir: "/tmp/primary-data".into(),
+            },
+            Request::Promote {
+                req_id: 10,
+                source_dir: String::new(),
+            },
         ]
     }
 
@@ -527,12 +752,39 @@ mod tests {
                     batches: 100,
                     batched_ops: 1000,
                     backpressure_waits: 3,
+                    repl_segments_shipped: 12,
+                    repl_bytes_shipped: 4096,
+                    repl_replay_lag_frames: 2,
+                    repl_watermark_lsn: 888,
                 },
             },
             Response::Err {
                 req_id: 12,
                 code: ErrCode::ShardDead,
                 message: "shard 2 has crashed".into(),
+            },
+            Response::SegmentChunk {
+                req_id: 13,
+                shard: 2,
+                at: Lsn(512),
+                bytes: vec![0xAB; 40],
+                durable: Lsn(552),
+            },
+            Response::SegmentChunk {
+                req_id: 14,
+                shard: 0,
+                at: Lsn(1),
+                bytes: vec![],
+                durable: Lsn(1),
+            },
+            Response::SealManifest {
+                req_id: 15,
+                shard: 1,
+                shards: 4,
+                base: Lsn(128),
+                durable: Lsn(640),
+                master: Lsn(0),
+                store: b"LLOGSTR1-image".to_vec(),
             },
         ]
     }
@@ -670,7 +922,7 @@ mod tests {
             &(0u64..u64::MAX),
             |material| {
                 let mut rng = TestRng::seed_from_u64(material);
-                let req = match rng.random_range(0usize..6) {
+                let req = match rng.random_range(0usize..9) {
                     0 => Request::Put {
                         req_id: rng.next_u64(),
                         object: ObjectId(rng.next_u64()),
@@ -691,8 +943,24 @@ mod tests {
                     4 => Request::Ping {
                         req_id: rng.next_u64(),
                     },
-                    _ => Request::Shutdown {
+                    5 => Request::Shutdown {
                         req_id: rng.next_u64(),
+                    },
+                    6 => Request::Subscribe {
+                        req_id: rng.next_u64(),
+                        shard: rng.next_u32(),
+                        from: Lsn(rng.next_u64()),
+                    },
+                    7 => Request::ReplayedLsn {
+                        req_id: rng.next_u64(),
+                        shard: rng.next_u32(),
+                        lsn: Lsn(rng.next_u64()),
+                    },
+                    _ => Request::Promote {
+                        req_id: rng.next_u64(),
+                        source_dir: (0..rng.random_range(0usize..32))
+                            .map(|_| (b'a' + (rng.next_u32() % 26) as u8) as char)
+                            .collect(),
                     },
                 };
                 let payload = read_frame(&mut frame(&encode_request(&req)).as_slice())

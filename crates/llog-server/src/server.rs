@@ -46,11 +46,17 @@ use std::time::Duration;
 
 use llog_engine::{CommitTicket, ShardedEngine};
 use llog_ops::{builtin, OpKind, Transform};
-use llog_types::{LlogError, Result, Value};
+use llog_types::{LlogError, Lsn, Result, Value};
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, ErrCode, Request, Response, StatsBody,
+    decode_request, encode_response, read_frame, write_frame, ErrCode, Request, Response,
+    StatsBody, MAX_FRAME,
 };
+
+/// Largest log-shipping chunk served per [`Request::Subscribe`] poll.
+/// Comfortably under [`MAX_FRAME`] so the response (header + chunk) always
+/// fits one frame.
+pub(crate) const SHIP_CHUNK_MAX: usize = 256 << 10;
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -421,7 +427,10 @@ fn req_id_of(req: &Request) -> u64 {
         | Request::Flush { req_id }
         | Request::Stats { req_id }
         | Request::Ping { req_id }
-        | Request::Shutdown { req_id } => *req_id,
+        | Request::Shutdown { req_id }
+        | Request::Subscribe { req_id, .. }
+        | Request::ReplayedLsn { req_id, .. }
+        | Request::Promote { req_id, .. } => *req_id,
     }
 }
 
@@ -480,6 +489,10 @@ fn execute_request(inner: &Arc<Inner>, req: Request) -> Pending {
                     batches: snap.group_commit.batches,
                     batched_ops: snap.group_commit.batched_ops,
                     backpressure_waits: snap.group_commit.backpressure_waits,
+                    repl_segments_shipped: snap.aggregate.repl_segments_shipped,
+                    repl_bytes_shipped: snap.aggregate.repl_bytes_shipped,
+                    repl_replay_lag_frames: snap.aggregate.repl_replay_lag_frames,
+                    repl_watermark_lsn: snap.aggregate.repl_watermark_lsn,
                 },
             })
         }
@@ -488,6 +501,89 @@ fn execute_request(inner: &Arc<Inner>, req: Request) -> Pending {
             inner.shutdown_requested.store(true, Ordering::SeqCst);
             Pending::Ready(Response::Ok { req_id })
         }
+        Request::Subscribe {
+            req_id,
+            shard,
+            from,
+        } => Pending::Ready(serve_subscribe(&inner.engine, req_id, shard, from)),
+        Request::ReplayedLsn { req_id, shard, lsn } => {
+            let i = shard as usize;
+            if i >= inner.engine.shards() {
+                return Pending::Ready(Response::Err {
+                    req_id,
+                    code: ErrCode::Engine,
+                    message: format!("no such shard {shard}"),
+                });
+            }
+            match inner.engine.note_replica_watermark(i, lsn) {
+                Ok(()) => Pending::Ready(Response::Ok { req_id }),
+                Err(e) => Pending::Ready(Response::Err {
+                    req_id,
+                    code: ErrCode::ShardDead,
+                    message: e.to_string(),
+                }),
+            }
+        }
+        Request::Promote { req_id, .. } => Pending::Ready(Response::Err {
+            req_id,
+            code: ErrCode::Engine,
+            message: "this server is a primary; only a replica can be promoted".into(),
+        }),
+    }
+}
+
+/// Answer one log-shipping poll: an attach manifest when `from` is below
+/// the shard's log base, otherwise a chunk of stable bytes clamped to the
+/// durable cut.
+fn serve_subscribe(engine: &ShardedEngine, req_id: u64, shard: u32, from: Lsn) -> Response {
+    let i = shard as usize;
+    if i >= engine.shards() {
+        return Response::Err {
+            req_id,
+            code: ErrCode::Engine,
+            message: format!("no such shard {shard}"),
+        };
+    }
+    let err = |code: ErrCode, message: String| Response::Err {
+        req_id,
+        code,
+        message,
+    };
+    let manifest = match engine.ship_manifest(i) {
+        Ok(m) => m,
+        Err(e) => return err(ErrCode::ShardDead, e.to_string()),
+    };
+    if from < manifest.base {
+        // Attach (or the replica fell behind a checkpoint truncation):
+        // hand over the consistent (store image, log addresses) pair.
+        if manifest.store.len() + 64 > MAX_FRAME {
+            return err(
+                ErrCode::Engine,
+                format!(
+                    "attach image of {} bytes exceeds the frame limit",
+                    manifest.store.len()
+                ),
+            );
+        }
+        return Response::SealManifest {
+            req_id,
+            shard,
+            shards: engine.shards() as u32,
+            base: manifest.base,
+            durable: manifest.durable,
+            master: manifest.master.unwrap_or(Lsn::ZERO),
+            store: manifest.store,
+        };
+    }
+    match engine.ship_chunk(i, from, SHIP_CHUNK_MAX) {
+        Ok((bytes, durable)) => Response::SegmentChunk {
+            req_id,
+            shard,
+            at: from,
+            bytes,
+            durable,
+        },
+        Err(e) => err(ErrCode::Engine, e.to_string()),
     }
 }
 

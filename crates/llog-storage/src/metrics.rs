@@ -71,6 +71,15 @@ pub struct Metrics {
     pub ckpt_objects_written: AtomicU64,
     /// Objects skipped by incremental checkpoints (clean since last ckpt).
     pub ckpt_objects_skipped: AtomicU64,
+    /// Log chunks shipped to replication subscribers.
+    pub repl_segments_shipped: AtomicU64,
+    /// Log bytes shipped to replication subscribers.
+    pub repl_bytes_shipped: AtomicU64,
+    /// Gauge: frames between the durable end and the most recently
+    /// reported replica watermark (replay lag).
+    pub repl_replay_lag_frames: AtomicU64,
+    /// Gauge: the most recently observed replayed-LSN watermark.
+    pub repl_watermark_lsn: AtomicU64,
 }
 
 impl Metrics {
@@ -118,7 +127,17 @@ impl Metrics {
             segments_reclaimed: g(&self.segments_reclaimed),
             ckpt_objects_written: g(&self.ckpt_objects_written),
             ckpt_objects_skipped: g(&self.ckpt_objects_skipped),
+            repl_segments_shipped: g(&self.repl_segments_shipped),
+            repl_bytes_shipped: g(&self.repl_bytes_shipped),
+            repl_replay_lag_frames: g(&self.repl_replay_lag_frames),
+            repl_watermark_lsn: g(&self.repl_watermark_lsn),
         }
+    }
+
+    /// Overwrite a gauge-style counter (replication watermark/lag) with the
+    /// latest observed value rather than accumulating.
+    pub fn set_gauge(counter: &AtomicU64, value: u64) {
+        counter.store(value, Ordering::Relaxed);
     }
 
     /// Reset every counter to zero (between experiment phases).
@@ -154,6 +173,10 @@ impl Metrics {
             &self.segments_reclaimed,
             &self.ckpt_objects_written,
             &self.ckpt_objects_skipped,
+            &self.repl_segments_shipped,
+            &self.repl_bytes_shipped,
+            &self.repl_replay_lag_frames,
+            &self.repl_watermark_lsn,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -223,6 +246,14 @@ pub struct MetricsSnapshot {
     pub ckpt_objects_written: u64,
     /// Objects skipped by incremental checkpoints.
     pub ckpt_objects_skipped: u64,
+    /// Log chunks shipped to replication subscribers.
+    pub repl_segments_shipped: u64,
+    /// Log bytes shipped to replication subscribers.
+    pub repl_bytes_shipped: u64,
+    /// Replication replay lag, in frames (gauge).
+    pub repl_replay_lag_frames: u64,
+    /// Most recently observed replayed-LSN watermark (gauge).
+    pub repl_watermark_lsn: u64,
 }
 
 impl MetricsSnapshot {
@@ -235,7 +266,7 @@ impl MetricsSnapshot {
     ///
     /// The single source of truth for serialization and aggregation, so a
     /// counter added to the struct cannot silently go missing from either.
-    pub fn fields(&self) -> [(&'static str, u64); 30] {
+    pub fn fields(&self) -> [(&'static str, u64); 34] {
         [
             ("obj_reads", self.obj_reads),
             ("obj_read_bytes", self.obj_read_bytes),
@@ -267,6 +298,10 @@ impl MetricsSnapshot {
             ("segments_reclaimed", self.segments_reclaimed),
             ("ckpt_objects_written", self.ckpt_objects_written),
             ("ckpt_objects_skipped", self.ckpt_objects_skipped),
+            ("repl_segments_shipped", self.repl_segments_shipped),
+            ("repl_bytes_shipped", self.repl_bytes_shipped),
+            ("repl_replay_lag_frames", self.repl_replay_lag_frames),
+            ("repl_watermark_lsn", self.repl_watermark_lsn),
         ]
     }
 
@@ -341,6 +376,18 @@ impl MetricsSnapshot {
             ckpt_objects_skipped: self
                 .ckpt_objects_skipped
                 .saturating_add(other.ckpt_objects_skipped),
+            repl_segments_shipped: self
+                .repl_segments_shipped
+                .saturating_add(other.repl_segments_shipped),
+            repl_bytes_shipped: self
+                .repl_bytes_shipped
+                .saturating_add(other.repl_bytes_shipped),
+            repl_replay_lag_frames: self
+                .repl_replay_lag_frames
+                .saturating_add(other.repl_replay_lag_frames),
+            // Watermarks are per-shard LSNs: summing them is meaningless, so
+            // the aggregate reports the furthest-advanced one.
+            repl_watermark_lsn: self.repl_watermark_lsn.max(other.repl_watermark_lsn),
         }
     }
 
@@ -401,6 +448,18 @@ impl MetricsSnapshot {
             ckpt_objects_skipped: self
                 .ckpt_objects_skipped
                 .saturating_sub(earlier.ckpt_objects_skipped),
+            repl_segments_shipped: self
+                .repl_segments_shipped
+                .saturating_sub(earlier.repl_segments_shipped),
+            repl_bytes_shipped: self
+                .repl_bytes_shipped
+                .saturating_sub(earlier.repl_bytes_shipped),
+            repl_replay_lag_frames: self
+                .repl_replay_lag_frames
+                .saturating_sub(earlier.repl_replay_lag_frames),
+            repl_watermark_lsn: self
+                .repl_watermark_lsn
+                .saturating_sub(earlier.repl_watermark_lsn),
         }
     }
 }
@@ -509,6 +568,36 @@ mod tests {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
         }
         assert_eq!(s.merged(&s).io_fsyncs, 6);
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn replication_counters_round_trip() {
+        let m = Metrics::new();
+        Metrics::bump(&m.repl_segments_shipped, 5);
+        Metrics::bump(&m.repl_bytes_shipped, 4096);
+        Metrics::set_gauge(&m.repl_replay_lag_frames, 3);
+        Metrics::set_gauge(&m.repl_watermark_lsn, 700);
+        Metrics::set_gauge(&m.repl_watermark_lsn, 900); // gauges overwrite
+        let s = m.snapshot();
+        assert_eq!(s.repl_segments_shipped, 5);
+        assert_eq!(s.repl_watermark_lsn, 900);
+        let json = s.to_json();
+        for key in [
+            "repl_segments_shipped",
+            "repl_bytes_shipped",
+            "repl_replay_lag_frames",
+            "repl_watermark_lsn",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        let merged = s.merged(&s);
+        assert_eq!(merged.repl_bytes_shipped, 8192);
+        // Watermarks merge by max, not sum: per-shard LSN spaces are
+        // independent.
+        assert_eq!(merged.repl_watermark_lsn, 900);
         assert_eq!(s.since(&s), MetricsSnapshot::default());
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());

@@ -527,6 +527,117 @@ impl Wal {
         })
     }
 
+    /// An empty WAL positioned at `base`, ready to ingest shipped stable
+    /// bytes ([`Wal::extend_stable`]) — the receiving end of log shipping.
+    /// The tail guard starts at `base`: shipped bytes carry no force
+    /// history, so any corruption in them classifies as a torn tail and is
+    /// sealed away at promotion.
+    pub fn from_shipped(metrics: Arc<Metrics>, base: u64, master: Option<Lsn>) -> Wal {
+        Wal::from_durable_parts_guarded(metrics, base, Vec::new(), master, Lsn(base))
+    }
+
+    /// Stable bytes from `from` (a frame boundary at or below the forced
+    /// end), at most `max` of them — the shipping side of log replication.
+    /// The caller bounds `max` by its durability watermark so bytes past a
+    /// torn force are never shipped.
+    pub fn ship_tail(&self, from: Lsn, max: usize) -> Result<&[u8]> {
+        if from < self.start_lsn() || from > self.forced_lsn() {
+            return Err(LlogError::LsnOutOfRange {
+                lsn: from,
+                start: self.start_lsn(),
+                end: self.forced_lsn(),
+            });
+        }
+        let off = (from.0 - self.base) as usize;
+        let end = self.stable.len().min(off.saturating_add(max));
+        Ok(&self.stable[off..end])
+    }
+
+    /// Ingest shipped stable bytes starting at log address `at`.
+    ///
+    /// Tolerates duplicate and overlapping delivery (the already-held
+    /// prefix is skipped; only the novel suffix is appended) but rejects
+    /// gaps: `at` past the current stable end would leave a hole no scan
+    /// could cross. Returns the new stable end. Overlap bytes are not
+    /// re-verified here — frame CRCs catch divergent redelivery at replay.
+    pub fn extend_stable(&mut self, at: Lsn, bytes: &[u8]) -> Result<Lsn> {
+        let end = self.forced_lsn();
+        if at < self.start_lsn() || at > end {
+            return Err(LlogError::LsnOutOfRange {
+                lsn: at,
+                start: self.start_lsn(),
+                end,
+            });
+        }
+        let skip = (end.0 - at.0) as usize;
+        if skip < bytes.len() {
+            self.stable.extend_from_slice(&bytes[skip..]);
+        }
+        Ok(self.forced_lsn())
+    }
+
+    /// Seal the stable log at `lsn` (a frame boundary): everything at or
+    /// past it — a torn final frame, unreplayed shipped bytes — is
+    /// discarded, along with any volatile buffer. Promotion uses this to
+    /// cut a replica's log at the last contiguously-replayed frame
+    /// boundary before reopening the engine for writes.
+    pub fn seal_to(&mut self, lsn: Lsn) -> Result<()> {
+        if lsn < self.start_lsn() || lsn > self.forced_lsn() {
+            return Err(LlogError::LsnOutOfRange {
+                lsn,
+                start: self.start_lsn(),
+                end: self.forced_lsn(),
+            });
+        }
+        self.stable.truncate((lsn.0 - self.base) as usize);
+        self.buffer.clear();
+        self.pending_checkpoint = None;
+        if self.master_checkpoint.is_some_and(|cp| cp >= lsn) {
+            self.master_checkpoint = None;
+        }
+        self.tail_guard = self.tail_guard.min(lsn);
+        Ok(())
+    }
+
+    /// Count complete frames from `from` (a frame boundary) to the stable
+    /// end, walking length fields only (no CRC, no decode) — cheap enough
+    /// to compute replication lag on every watermark report. A trailing
+    /// partial frame is not counted.
+    pub fn frames_from(&self, from: Lsn) -> u64 {
+        let Some(off) = from.0.checked_sub(self.base) else {
+            return 0;
+        };
+        let mut off = off as usize;
+        let mut frames = 0;
+        while off + FRAME_HEADER <= self.stable.len() {
+            let len = u32::from_le_bytes(self.stable[off..off + 4].try_into().unwrap()) as usize;
+            if off + FRAME_HEADER + len > self.stable.len() {
+                break;
+            }
+            off += FRAME_HEADER + len;
+            frames += 1;
+        }
+        frames
+    }
+
+    /// The furthest boundary a contiguous replay can reach from `from`:
+    /// the end of the last complete, CRC-valid frame before the stable
+    /// end. A torn or corrupt frame stops the walk. `from` below the base
+    /// is clamped to the base.
+    pub fn contiguous_end(&self, from: Lsn) -> Lsn {
+        let mut off = ((from.0.max(self.base) - self.base) as usize).min(self.stable.len());
+        while off + FRAME_HEADER <= self.stable.len() {
+            let len = u32::from_le_bytes(self.stable[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(self.stable[off + 4..off + 8].try_into().unwrap());
+            let end = off + FRAME_HEADER + len;
+            if end > self.stable.len() || crc32c(&self.stable[off + FRAME_HEADER..end]) != crc {
+                break;
+            }
+            off = end;
+        }
+        Lsn(self.base + off as u64)
+    }
+
     /// Read the single record at `lsn`.
     pub fn read_at(&self, lsn: Lsn) -> Result<LogRecord> {
         let mut scan = self.scan(lsn);
@@ -1120,6 +1231,122 @@ mod tests {
         let restored = Wal::deserialize(&w.serialize(), Metrics::new()).unwrap();
         // The image carries no force history: everything classifies torn.
         assert!(restored.corruption_is_torn_tail(1));
+    }
+
+    #[test]
+    fn ship_and_extend_rebuild_an_identical_log() {
+        let mut src = wal();
+        for i in 0..12 {
+            src.append(&op_record(i));
+        }
+        src.force();
+        let mut dst = Wal::from_shipped(Metrics::new(), src.start_lsn().0, None);
+        // Ship in small uneven chunks that do not align to frame bounds.
+        let mut at = src.start_lsn();
+        for chunk in [5usize, 17, 3, usize::MAX] {
+            let bytes = src.ship_tail(at, chunk).unwrap().to_vec();
+            let end = dst.extend_stable(at, &bytes).unwrap();
+            at = end;
+        }
+        assert_eq!(dst.forced_lsn(), src.forced_lsn());
+        let a: Vec<_> = src
+            .scan(src.start_lsn())
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        let b: Vec<_> = dst
+            .scan(dst.start_lsn())
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extend_stable_tolerates_duplicates_and_rejects_gaps() {
+        let mut src = wal();
+        for i in 0..4 {
+            src.append(&op_record(i));
+        }
+        src.force();
+        let image = src.ship_tail(src.start_lsn(), usize::MAX).unwrap().to_vec();
+        let mut dst = Wal::from_shipped(Metrics::new(), 1, None);
+        let half = image.len() / 2;
+        dst.extend_stable(Lsn(1), &image[..half]).unwrap();
+        // Redelivery of an overlapping chunk: the held prefix is skipped.
+        let end = dst.extend_stable(Lsn(1), &image).unwrap();
+        assert_eq!(end, src.forced_lsn());
+        // Exact duplicate of everything: no growth.
+        assert_eq!(dst.extend_stable(Lsn(1), &image).unwrap(), end);
+        assert_eq!(dst.scan(Lsn(1)).count(), 4);
+        // A gap (delivery starting past the stable end) is rejected.
+        let err = dst.extend_stable(end.advance(8), &image).unwrap_err();
+        assert!(matches!(err, LlogError::LsnOutOfRange { .. }));
+    }
+
+    #[test]
+    fn seal_to_drops_torn_tail_and_validates_bounds() {
+        let mut w = wal();
+        let _a = w.append(&op_record(0));
+        let b = w.append(&op_record(1));
+        w.force();
+        w.append(&op_record(2));
+        w.crash_torn(5); // torn final frame in the stable image
+        assert!(w.scan(w.start_lsn()).any(|r| r.is_err()));
+        let sealed_end = b.advance((FRAME_HEADER + op_record(1).encode().len()) as u64);
+        w.seal_to(sealed_end).unwrap();
+        // Clean scan: the torn bytes are gone, both whole records remain.
+        let recs: Vec<_> = w.scan(w.start_lsn()).collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(w.forced_lsn(), sealed_end);
+        assert!(w.seal_to(sealed_end.advance(1)).is_err());
+        assert!(w.seal_to(Lsn::ZERO).is_err());
+    }
+
+    #[test]
+    fn seal_to_clears_master_at_or_past_the_cut() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        let cp = w.append(&LogRecord::Checkpoint(CheckpointRecord::default()));
+        w.force();
+        assert_eq!(w.master_checkpoint(), Some(cp));
+        w.seal_to(cp).unwrap();
+        assert_eq!(w.master_checkpoint(), None);
+    }
+
+    #[test]
+    fn frames_from_counts_complete_frames_only() {
+        let mut w = wal();
+        assert_eq!(w.frames_from(w.start_lsn()), 0);
+        let lsns: Vec<Lsn> = (0..5).map(|i| w.append(&op_record(i))).collect();
+        w.force();
+        assert_eq!(w.frames_from(w.start_lsn()), 5);
+        assert_eq!(w.frames_from(lsns[3]), 2);
+        assert_eq!(w.frames_from(w.forced_lsn()), 0);
+        // A torn trailing frame is not counted.
+        w.append(&op_record(9));
+        w.crash_torn(FRAME_HEADER + 2);
+        assert_eq!(w.frames_from(w.start_lsn()), 5);
+        // Before base: nothing to count.
+        assert_eq!(w.frames_from(Lsn::ZERO), 0);
+    }
+
+    #[test]
+    fn contiguous_end_stops_at_torn_or_corrupt_frames() {
+        let mut w = wal();
+        w.append(&op_record(0));
+        w.force();
+        let clean = w.forced_lsn();
+        assert_eq!(w.contiguous_end(w.start_lsn()), clean);
+        assert_eq!(w.contiguous_end(Lsn::ZERO), clean); // clamped to base
+                                                        // Torn trailing frame: the walk stops at the last good boundary.
+        w.append(&op_record(1));
+        w.crash_torn(FRAME_HEADER + 3);
+        assert_eq!(w.contiguous_end(w.start_lsn()), clean);
+        // Corrupt payload byte: the CRC check stops the walk too.
+        let mut w2 = wal();
+        w2.append(&op_record(0));
+        w2.force();
+        w2.corrupt_stable_bit(w2.start_lsn(), (FRAME_HEADER as u64 + 1) * 8);
+        assert_eq!(w2.contiguous_end(w2.start_lsn()), w2.start_lsn());
     }
 
     #[test]

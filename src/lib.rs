@@ -16,6 +16,8 @@
 //!   REDO tests and recovery
 //! - [`engine`]: N hash-sharded engines behind one handle, with a
 //!   group-commit durability pipeline, backpressure and parallel recovery
+//! - [`repl`]: log shipping — warm-standby replicas running continuous
+//!   redo, consistent reads at a replayed-LSN watermark, failover
 //! - [`domains`]: application recovery, file systems, B-trees
 //! - [`sim`]: workload generation, crash injection and the recovery oracle
 //! - [`testkit`]: deterministic PRNG, seeded property-test harness and
@@ -53,6 +55,7 @@ pub use llog_core as core;
 pub use llog_domains as domains;
 pub use llog_engine as engine;
 pub use llog_ops as ops;
+pub use llog_repl as repl;
 pub use llog_sim as sim;
 pub use llog_storage as storage;
 pub use llog_testkit as testkit;

@@ -665,6 +665,122 @@ fn post_truncation_recovery_equivalence_sweep() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Failover matrix (DESIGN §13): kill the primary at every crash cut × torn
+// tail offset, ship its stable log to per-shard redo sessions in uneven
+// chunks, promote, and check the promoted replica against both the acked
+// snapshot (nothing acknowledged is lost) and a real recovery of the same
+// crash image (nothing unacknowledged appears).
+// ---------------------------------------------------------------------------
+
+/// Ship one crashed shard to a fresh redo session (manifest + chunked log
+/// tail, exactly the `Subscribe` protocol's shapes) and promote it.
+fn ship_and_promote(
+    pstore: &llog::storage::StableStore,
+    pwal: &llog::wal::Wal,
+    reg: &TransformRegistry,
+    chunk: usize,
+) -> llog::core::Engine {
+    use llog::core::RedoSession;
+    use llog::storage::{Metrics, StableStore};
+    use llog::wal::Wal;
+
+    // Attach image: the store bytes plus the log base, as ship_manifest
+    // would serve them.
+    let rstore = StableStore::deserialize(&pstore.serialize(), Metrics::new()).unwrap();
+    let rwal = Wal::from_shipped(Metrics::new(), pwal.start_lsn().0, pwal.master_checkpoint());
+    let (mut session, _) = RedoSession::begin(
+        rstore,
+        rwal,
+        reg.clone(),
+        EngineConfig::default(),
+        RedoPolicy::RsiExposed,
+    )
+    .expect("replica attach");
+
+    // The server never ships past the durable (contiguous, CRC-valid)
+    // cut; everything below it arrives in uneven chunks.
+    let durable = pwal.contiguous_end(pwal.start_lsn());
+    loop {
+        let from = session.stable_end();
+        if from >= durable {
+            break;
+        }
+        let max = chunk.min((durable.0 - from.0) as usize);
+        let bytes = pwal.ship_tail(from, max).expect("ship_tail").to_vec();
+        assert!(!bytes.is_empty(), "shipping stalled below the durable cut");
+        session.extend(from, &bytes).expect("replica extend");
+    }
+    session.promote().expect("promotion")
+}
+
+#[test]
+fn failover_matrix_promoted_replica_keeps_acked_drops_unacked() {
+    use llog::core::{recover_with, RecoveryOptions};
+    use llog::repl::visible_divergence;
+
+    let reg = registry();
+    let config = ShardedConfig {
+        shards: 2,
+        commit: manual_group(),
+        ..ShardedConfig::default()
+    };
+    let chunk_sizes = [7usize, 23, 64, 257, usize::MAX];
+
+    for cut in (0..=30).step_by(3) {
+        for (t, torn) in [0usize, 1, 5, 9, 17].into_iter().enumerate() {
+            let engine = ShardedEngine::new(config, &reg);
+            let objs = shard_objects(&engine, 4);
+
+            // Phase A: `cut` acked ops (forced, acknowledged).
+            let acked = run_sharded_ops(&engine, &objs, cut, "acked");
+            engine.force_all().unwrap();
+            for ticket in &acked {
+                assert!(ticket.wait(), "forced commit must acknowledge");
+            }
+            let expected = snapshot_values(&engine, &objs);
+
+            // Phase B: ops the primary never acknowledged, then the kill —
+            // each shard's log keeps `torn` garbage bytes of the buffer.
+            let _unacked = run_sharded_ops(&engine, &objs, 12, "unacked");
+            let parts = engine.crash_torn(&[torn, torn + 2]);
+
+            let chunk = chunk_sizes[(cut / 3 + t) % chunk_sizes.len()];
+            let mut promoted = Vec::new();
+            for (shard, (pstore, pwal)) in parts.iter().enumerate() {
+                let replica = ship_and_promote(pstore, pwal, &reg, chunk);
+                // The generalized differential oracle: the promoted
+                // replica is indistinguishable from real recovery of the
+                // same crash image.
+                let (oracle, _) = recover_with(
+                    pstore.clone(),
+                    pwal.clone(),
+                    reg.clone(),
+                    EngineConfig::default(),
+                    RedoPolicy::RsiExposed,
+                    RecoveryOptions::default(),
+                )
+                .unwrap();
+                if let Some(diff) = visible_divergence(&oracle, &replica) {
+                    panic!("cut {cut} torn {torn} shard {shard}: {diff}");
+                }
+                promoted.push(replica);
+            }
+
+            // Acked pairs survive; unacked writes never appear (they would
+            // have moved these same objects off their acked values).
+            let failed_over = ShardedEngine::from_engines(config, promoted);
+            for (x, want) in &expected {
+                assert_eq!(
+                    &failed_over.read_value(*x).unwrap(),
+                    want,
+                    "cut {cut} torn {torn}: object {x} diverged after failover"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn delete_heavy_workload_matrix() {
     let mix = WorkloadKind {
