@@ -115,14 +115,30 @@ impl RedoSession {
                 Err(e) => return Err(e),
             }
         }
+        let tail = stop.unwrap_or(end);
         let mut applied = 0;
-        for (lsn, rec) in recs {
+        for (k, (lsn, rec)) in recs.iter().enumerate() {
             if let LogRecord::Op(op) = rec {
-                self.engine.apply_logged(&op, lsn)?;
+                if let Err(e) = self.engine.apply_logged(op, *lsn) {
+                    // Records before this frame are applied. Pin the
+                    // watermark at the failed frame's start so the
+                    // session's visible cut still matches its state as
+                    // the error propagates — a stale watermark would
+                    // make the next extend re-scan and re-apply those
+                    // non-idempotent records, silently diverging the
+                    // replica. (The record that failed may itself have
+                    // mutated state; callers that intend to keep the
+                    // session alive must rebuild it instead.)
+                    self.watermark = *lsn;
+                    return Err(e);
+                }
                 applied += 1;
             }
+            // This frame is replayed (or skippable): the cut moves to
+            // its end, which is the next frame's start.
+            self.watermark = recs.get(k + 1).map_or(tail, |&(next, _)| next);
         }
-        self.watermark = stop.unwrap_or(end);
+        self.watermark = tail;
         Ok(applied)
     }
 
@@ -301,5 +317,73 @@ mod tests {
         // Correct delivery still lands.
         session.extend(session.stable_end(), &bytes).unwrap();
         assert_eq!(session.read(ObjectId(1)), Value::from_slice(b"a"));
+    }
+
+    /// A record the replica cannot replay must surface the error *and*
+    /// advance the watermark over the frames that did apply — a stale
+    /// watermark would make the next extend re-scan and re-apply those
+    /// non-idempotent records, silently diverging the replica.
+    #[test]
+    fn extend_failure_pins_watermark_at_failed_frame() {
+        use llog_types::FnId;
+        use std::sync::Arc;
+
+        struct Fixed;
+        impl llog_ops::TransformFn for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn apply(
+                &self,
+                _params: &[u8],
+                _inputs: &[Value],
+                n_outputs: usize,
+            ) -> llog_types::Result<Vec<Value>> {
+                Ok(vec![Value::from("fixed"); n_outputs])
+            }
+        }
+
+        // The primary knows a transform the replica does not.
+        let custom = FnId(200);
+        let mut reg = TransformRegistry::with_builtins();
+        reg.register(custom, Arc::new(Fixed));
+        let mut primary = Engine::new(config(), reg);
+        put(&mut primary, 1, b"known");
+        primary.wal_mut().force();
+        let failed_frame = primary.wal().forced_lsn();
+        primary
+            .execute(
+                OpKind::Logical,
+                vec![],
+                vec![ObjectId(2)],
+                Transform::new(custom, Value::empty()),
+            )
+            .unwrap();
+        put(&mut primary, 3, b"after");
+        primary.wal_mut().force();
+
+        let metrics = Metrics::new();
+        let wal = Wal::from_shipped(metrics.clone(), primary.wal().start_lsn().0, None);
+        let (mut session, _) = RedoSession::begin(
+            StableStore::new(metrics),
+            wal,
+            TransformRegistry::with_builtins(),
+            config(),
+            RedoPolicy::Vsi,
+        )
+        .unwrap();
+        let bytes = primary
+            .wal()
+            .ship_tail(primary.wal().start_lsn(), usize::MAX)
+            .unwrap()
+            .to_vec();
+        let err = session.extend(session.stable_end(), &bytes).unwrap_err();
+        assert!(matches!(err, LlogError::UnknownTransform(id) if id == custom));
+        // The first record replayed and is visible; the watermark covers
+        // exactly that prefix — not Lsn::ZERO (stale) and not the full
+        // extension (records 2 and 3 never applied).
+        assert_eq!(session.watermark(), failed_frame);
+        assert_eq!(session.read(ObjectId(1)), Value::from_slice(b"known"));
+        assert!(session.read(ObjectId(3)).is_empty());
     }
 }

@@ -468,11 +468,10 @@ impl ShardedEngine {
         let Some(e) = g.as_ref() else {
             return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
         };
-        let base = e.wal().start_lsn();
         Ok(ShipManifest {
             store: e.store().serialize(),
-            base,
-            durable: e.wal().contiguous_end(base),
+            base: e.wal().start_lsn(),
+            durable: e.wal().durable_end(),
             master: e.wal().master_checkpoint(),
         })
     }
@@ -480,16 +479,20 @@ impl ShardedEngine {
     /// Ship up to `max` stable log bytes of shard `i` starting at `from`,
     /// clamped to the durable cut (the end of the last complete, valid
     /// frame — bytes past a torn force are never shipped). Returns the
-    /// chunk and the durable cut. `from` below the log base (the replica
-    /// fell behind a checkpoint truncation) is an `LsnOutOfRange` error:
-    /// the replica must re-attach from a fresh manifest.
+    /// chunk and the durable cut. `from` is a raw byte cursor, not a
+    /// frame boundary — after a chunk clamped at `max` it lands
+    /// mid-frame, so the cut comes from the WAL's own frame walk
+    /// ([`llog_wal::Wal::durable_end`]), never from `from`. `from` below
+    /// the log base (the replica fell behind a checkpoint truncation) is
+    /// an `LsnOutOfRange` error: the replica must re-attach from a fresh
+    /// manifest.
     pub fn ship_chunk(&self, i: usize, from: Lsn, max: usize) -> Result<(Vec<u8>, Lsn)> {
         let s = &self.shards[i];
         let g = lock(&s.engine);
         let Some(e) = g.as_ref() else {
             return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
         };
-        let durable = e.wal().contiguous_end(from.max(e.wal().start_lsn()));
+        let durable = e.wal().durable_end();
         let allowed = (durable.0.saturating_sub(from.0)) as usize;
         let bytes = e.wal().ship_tail(from, max.min(allowed))?.to_vec();
         if !bytes.is_empty() {
@@ -512,7 +515,13 @@ impl ShardedEngine {
         };
         let m = e.metrics();
         Metrics::set_gauge(&m.repl_watermark_lsn, lsn.0);
-        Metrics::set_gauge(&m.repl_replay_lag_frames, e.wal().frames_from(lsn));
+        // A watermark below the log base means the replica fell behind a
+        // checkpoint truncation — the worst lag, not the best. Clamp to
+        // the base so the gauge reports the whole retained backlog
+        // instead of reading zero exactly when the replica must
+        // re-attach.
+        let lag_from = lsn.max(e.wal().start_lsn());
+        Metrics::set_gauge(&m.repl_replay_lag_frames, e.wal().frames_from(lag_from));
         Ok(())
     }
 
@@ -1360,5 +1369,68 @@ mod tests {
         for i in 0..6u64 {
             assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("tail"));
         }
+    }
+
+    /// Walking the backlog in tiny chunks leaves the cursor mid-frame on
+    /// every call; the durable cut must come from the log's own frame
+    /// walk, so each chunk still makes progress and the reassembled bytes
+    /// match a single whole-tail ship.
+    #[test]
+    fn ship_chunk_progresses_from_mid_frame_cursors() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..8u64 {
+            put(&e, ObjectId(i), "a-payload-long-enough-to-span-chunks");
+        }
+        let manifest = e.ship_manifest(0).unwrap();
+        let durable = manifest.durable;
+        assert!(durable > manifest.base);
+        let (whole, _) = e.ship_chunk(0, manifest.base, usize::MAX).unwrap();
+        let mut at = manifest.base;
+        let mut assembled = Vec::new();
+        while at < durable {
+            let (bytes, cut) = e.ship_chunk(0, at, 7).unwrap();
+            assert_eq!(cut, durable);
+            assert!(
+                !bytes.is_empty(),
+                "shipping stalled at {at:?} < {durable:?}"
+            );
+            at = Lsn(at.0 + bytes.len() as u64);
+            assembled.extend_from_slice(&bytes);
+        }
+        assert_eq!(at, durable);
+        assert_eq!(assembled, whole);
+    }
+
+    /// A replica watermark below the log base (it fell behind a
+    /// checkpoint truncation) is the *worst* lag, and the gauge must say
+    /// so — before the clamp it read exactly zero in that state.
+    #[test]
+    fn below_base_watermark_reports_full_backlog_lag() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..4u64 {
+            put(&e, ObjectId(i), "old");
+        }
+        e.install_all().unwrap();
+        e.checkpoint_shard(0, true).unwrap();
+        for i in 0..4u64 {
+            put(&e, ObjectId(i), "new");
+        }
+        let base = e.ship_manifest(0).unwrap().base;
+        assert!(base > Lsn(1), "truncation must have advanced the base");
+        e.note_replica_watermark(0, Lsn(1)).unwrap();
+        let lag = e.metrics_snapshot().per_shard[0].repl_replay_lag_frames;
+        assert!(lag > 0, "below-base watermark must read as maximal lag");
     }
 }

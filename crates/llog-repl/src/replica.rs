@@ -235,23 +235,50 @@ fn attach_shard(
     // A truncation can race the prefix fetch; each retry starts from a
     // fresh manifest, and the log can only be truncated finitely often
     // while we fetch a finite prefix, so a small budget suffices.
-    for _ in 0..8 {
-        let (shards, base, durable, master, store_image) =
+    'attempt: for _ in 0..8 {
+        let (shards, base, durable, master, mut store_image, store_total) =
             match client.subscribe(shard, Lsn::ZERO)? {
                 Response::SealManifest {
                     shards,
                     base,
                     durable,
                     master,
+                    store_total,
                     store,
                     ..
-                } => (shards, base, durable, master, store),
+                } => (shards, base, durable, master, store, store_total),
                 other => {
                     return Err(LlogError::CacheProtocol(format!(
                         "expected seal manifest for attach, got {other:?}"
                     )))
                 }
             };
+        // A store image bigger than one frame arrives in chunks, all
+        // served from the same capture. The address check is pure
+        // defence: a mismatch means the primary's capture changed
+        // underneath us, so the assembled image would be garbage —
+        // restart the attach.
+        while (store_image.len() as u64) < store_total {
+            match client.fetch_store(shard, store_image.len() as u64)? {
+                Response::SealManifest {
+                    base: b,
+                    durable: d,
+                    store_off,
+                    store,
+                    ..
+                } => {
+                    if b != base || d != durable || store_off != store_image.len() as u64 {
+                        continue 'attempt;
+                    }
+                    store_image.extend_from_slice(&store);
+                }
+                other => {
+                    return Err(LlogError::CacheProtocol(format!(
+                        "expected seal manifest store chunk, got {other:?}"
+                    )))
+                }
+            }
+        }
         let metrics = Metrics::new();
         let store = StableStore::deserialize(&store_image, metrics.clone())?;
         let mut wal = Wal::from_shipped(metrics, base.0, (master != Lsn::ZERO).then_some(master));
@@ -335,15 +362,39 @@ fn poller_loop(state: &Arc<State>, mut client: Client) {
                     state
                         .bytes_received
                         .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                    let mut g = lock(&state.role);
-                    let Role::Standby(sessions) = &mut *g else {
-                        return;
+                    let extended = {
+                        let mut g = lock(&state.role);
+                        let Role::Standby(sessions) = &mut *g else {
+                            return;
+                        };
+                        sessions[i].extend(at, &bytes)
                     };
-                    // A gap here means this shard re-attached between
-                    // our poll and now — impossible single-threaded,
-                    // but a refetch next round heals it regardless.
-                    if sessions[i].extend(at, &bytes).is_ok() {
-                        progressed = true;
+                    match extended {
+                        Ok(_) => progressed = true,
+                        // A gap means this shard re-attached between our
+                        // poll and now — impossible single-threaded, but
+                        // a refetch next round heals it regardless.
+                        Err(LlogError::LsnOutOfRange { .. }) => {}
+                        // Replay failed mid-batch: the session's state
+                        // may no longer match its watermark (a record
+                        // can fail after mutating), so continuing would
+                        // re-apply non-idempotent records and silently
+                        // diverge. Rebuild the shard from a fresh
+                        // manifest instead.
+                        Err(_) => {
+                            state.reattaches.fetch_add(1, Ordering::Relaxed);
+                            if let Ok((session, _)) =
+                                attach_shard(&mut client, i as u32, &state.registry, &state.config)
+                            {
+                                let mut g = lock(&state.role);
+                                let Role::Standby(sessions) = &mut *g else {
+                                    return;
+                                };
+                                sessions[i] = session;
+                                reported[i] = Lsn::ZERO;
+                                progressed = true;
+                            }
+                        }
                     }
                 }
                 Response::SealManifest { .. } => {
@@ -562,7 +613,9 @@ fn respond(state: &Arc<State>, req: Request) -> Response {
             Ok(()) => Response::Ok { req_id },
             Err(e) => err(req_id, ErrCode::Engine, e.to_string()),
         },
-        Request::Subscribe { req_id, .. } | Request::ReplayedLsn { req_id, .. } => err(
+        Request::Subscribe { req_id, .. }
+        | Request::FetchStore { req_id, .. }
+        | Request::ReplayedLsn { req_id, .. } => err(
             req_id,
             ErrCode::Engine,
             "replicas do not ship their log (no cascading replication)".into(),
@@ -849,5 +902,107 @@ mod tests {
         // A second promote is refused.
         assert!(rc.promote("").is_err());
         replica.stop().unwrap();
+    }
+
+    /// Attaching against a backlog several times larger than
+    /// `SHIP_CHUNK_MAX` forces every prefix chunk to end mid-frame; the
+    /// attach must still make progress chunk by chunk (the durable cut
+    /// may never be derived from the mid-frame cursor) and converge on
+    /// every acked value.
+    #[test]
+    fn attach_ships_multi_chunk_backlog_without_stalling() {
+        let server = start_primary(1);
+        let addr = server.local_addr().to_string();
+        let mut c = Client::connect(&addr).unwrap();
+        // ~600 KiB of acked, durable backlog before the replica exists.
+        for i in 0..300u64 {
+            c.put(ObjectId(i), &vec![(i % 251) as u8; 2048]).unwrap();
+        }
+        // Replica::start attaches synchronously: when it returns, the
+        // whole durable prefix is replayed.
+        let replica = Replica::start(
+            &addr,
+            TransformRegistry::with_builtins(),
+            ReplicaConfig::default(),
+        )
+        .unwrap();
+        let mut rc = Client::connect(replica.local_addr().to_string()).unwrap();
+        for i in 0..300u64 {
+            assert_eq!(
+                rc.get(ObjectId(i)).unwrap(),
+                vec![(i % 251) as u8; 2048],
+                "object {i}"
+            );
+        }
+        replica.stop().unwrap();
+        server.shutdown();
+    }
+
+    /// A checkpointed store image bigger than one protocol frame arrives
+    /// as a chunked manifest (`FetchStore`), and the replica reassembles
+    /// it into a consistent attach.
+    #[test]
+    fn attach_assembles_multi_chunk_store_image() {
+        use llog_server::proto::MAX_FRAME;
+
+        let registry = TransformRegistry::with_builtins();
+        let engine = ShardedEngine::new(boot::server_engine_config(1), &registry);
+        // ~1.5 MiB of installed, checkpointed state: the attach image
+        // cannot fit a single frame.
+        for i in 0..24u64 {
+            engine
+                .execute(
+                    OpKind::Physical,
+                    vec![],
+                    vec![ObjectId(i)],
+                    Transform::new(
+                        builtin::CONST,
+                        builtin::encode_values(&[Value::from(vec![i as u8; 64 << 10])]),
+                    ),
+                )
+                .unwrap()
+                .wait();
+        }
+        engine.install_all().unwrap();
+        engine.checkpoint_all(true).unwrap();
+        let server = Server::start(engine, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        // Raw protocol: the first manifest chunk declares a total bigger
+        // than one frame and carries only a prefix of the image.
+        let mut c = Client::connect(&addr).unwrap();
+        match c.subscribe(0, Lsn::ZERO).unwrap() {
+            Response::SealManifest {
+                store_off,
+                store_total,
+                store,
+                ..
+            } => {
+                assert_eq!(store_off, 0);
+                assert!(
+                    store_total > MAX_FRAME as u64,
+                    "store image too small to exercise chunking: {store_total}"
+                );
+                assert!((store.len() as u64) < store_total);
+            }
+            other => panic!("expected seal manifest, got {other:?}"),
+        }
+
+        let replica = Replica::start(
+            &addr,
+            TransformRegistry::with_builtins(),
+            ReplicaConfig::default(),
+        )
+        .unwrap();
+        let mut rc = Client::connect(replica.local_addr().to_string()).unwrap();
+        for i in 0..24u64 {
+            assert_eq!(
+                rc.get(ObjectId(i)).unwrap(),
+                vec![i as u8; 64 << 10],
+                "object {i}"
+            );
+        }
+        replica.stop().unwrap();
+        server.shutdown();
     }
 }

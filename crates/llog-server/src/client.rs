@@ -157,6 +157,23 @@ impl Client {
         }
     }
 
+    /// Fetch the chunk at `offset` of the attach store image captured by
+    /// this connection's most recent `Subscribe` for `shard` (the
+    /// manifest's `store_total` exceeded its first chunk). Returns the
+    /// raw [`Response::SealManifest`]; callers check that its addresses
+    /// match the first chunk's.
+    pub fn fetch_store(&mut self, shard: u32, offset: u64) -> Result<Response> {
+        let req_id = self.fresh_req_id();
+        match self.call(&Request::FetchStore {
+            req_id,
+            shard,
+            offset,
+        })? {
+            resp @ Response::SealManifest { .. } => Ok(resp),
+            other => Err(unexpected("seal manifest store chunk", other)),
+        }
+    }
+
     /// Report a replica's replayed-LSN watermark for `shard`.
     pub fn report_replayed(&mut self, shard: u32, lsn: Lsn) -> Result<()> {
         let req_id = self.fresh_req_id();

@@ -85,9 +85,11 @@ pub enum Request {
     /// Poll one shard's log-shipping feed. `from` at or below
     /// [`Lsn::ZERO`]'s successor semantics — concretely, any address below
     /// the shard's log base — means *attach*: the server answers with a
-    /// [`Response::SealManifest`] (store image + log addresses). Otherwise
-    /// the server answers with one [`Response::SegmentChunk`] of stable
-    /// bytes starting at `from`, clamped to the shard's durable cut.
+    /// [`Response::SealManifest`] (store image + log addresses; a store
+    /// image too big for one frame arrives as the first chunk of a
+    /// [`Request::FetchStore`] sequence). Otherwise the server answers
+    /// with one [`Response::SegmentChunk`] of stable bytes starting at
+    /// `from`, clamped to the shard's durable cut.
     Subscribe {
         /// Client-chosen correlation id.
         req_id: u64,
@@ -95,6 +97,22 @@ pub enum Request {
         shard: u32,
         /// Where the replica's stable log ends ([`Lsn::ZERO`] to attach).
         from: Lsn,
+    },
+    /// Fetch the next chunk of an attach store image whose
+    /// [`Response::SealManifest`] reported `store_total` beyond its own
+    /// `store` chunk. Served from the manifest captured by this
+    /// connection's most recent `Subscribe` for the shard, so every chunk
+    /// comes from the *same* consistent image; a `FetchStore` with no
+    /// capture in flight is a protocol error. Answered with another
+    /// [`Response::SealManifest`] carrying the chunk at `offset`.
+    FetchStore {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Shard index the capture belongs to.
+        shard: u32,
+        /// Byte offset into the store image ([`Response::SealManifest`]
+        /// `store_off` of the expected answer).
+        offset: u64,
     },
     /// Report a replica's replayed-LSN watermark for one shard, feeding
     /// the primary's `repl_watermark_lsn` / `repl_replay_lag_frames`
@@ -221,8 +239,14 @@ pub enum Response {
         durable: Lsn,
     },
     /// The attach image answering a [`Request::Subscribe`] with `from`
-    /// below the shard's log base: a consistent `(store image, log
-    /// addresses)` pair the replica recovers from before streaming.
+    /// below the shard's log base (or a [`Request::FetchStore`]): a
+    /// consistent `(store image, log addresses)` pair the replica
+    /// recovers from before streaming. A store image too big for one
+    /// frame is chunked: `store` carries the bytes at `store_off`, and
+    /// the replica issues `FetchStore` calls until it holds all
+    /// `store_total` bytes. Every chunk of one attach repeats the same
+    /// `base`/`durable`/`master`, which the replica checks — a mismatch
+    /// means the capture changed underneath it and the attach restarts.
     SealManifest {
         /// Echoed correlation id.
         req_id: u64,
@@ -238,7 +262,12 @@ pub enum Response {
         durable: Lsn,
         /// Master checkpoint pointer (0 = none).
         master: Lsn,
-        /// Serialized stable store (`StableStore::serialize`).
+        /// Byte offset of `store` within the full serialized image.
+        store_off: u64,
+        /// Total length of the full serialized image.
+        store_total: u64,
+        /// One chunk of the serialized stable store
+        /// (`StableStore::serialize`), starting at `store_off`.
         store: Vec<u8>,
     },
 }
@@ -252,6 +281,7 @@ const T_SHUTDOWN: u8 = 6;
 const T_SUBSCRIBE: u8 = 7;
 const T_REPLAYED_LSN: u8 = 8;
 const T_PROMOTE: u8 = 9;
+const T_FETCH_STORE: u8 = 10;
 
 const T_ACK: u8 = 1;
 const T_VALUE: u8 = 2;
@@ -352,6 +382,16 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.put_u64_le(*req_id);
             put_bytes(&mut out, source_dir.as_bytes());
         }
+        Request::FetchStore {
+            req_id,
+            shard,
+            offset,
+        } => {
+            out.put_u8(T_FETCH_STORE);
+            out.put_u64_le(*req_id);
+            out.put_u32_le(*shard);
+            out.put_u64_le(*offset);
+        }
     }
     out
 }
@@ -406,6 +446,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             Request::Promote {
                 req_id,
                 source_dir: String::from_utf8_lossy(&dir).into_owned(),
+            }
+        }
+        T_FETCH_STORE => {
+            need(&buf, 4 + 8, "fetch-store shard + offset")?;
+            Request::FetchStore {
+                req_id,
+                shard: buf.get_u32_le(),
+                offset: buf.get_u64_le(),
             }
         }
         t => return Err(codec_err(&format!("unknown request tag {t}"))),
@@ -480,6 +528,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             base,
             durable,
             master,
+            store_off,
+            store_total,
             store,
         } => {
             out.put_u8(T_SEAL_MANIFEST);
@@ -489,6 +539,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(base.0);
             out.put_u64_le(durable.0);
             out.put_u64_le(master.0);
+            out.put_u64_le(*store_off);
+            out.put_u64_le(*store_total);
             put_bytes(&mut out, store);
         }
     }
@@ -556,12 +608,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             }
         }
         T_SEAL_MANIFEST => {
-            need(&buf, 4 + 4 + 8 + 8 + 8, "seal manifest header")?;
+            need(&buf, 4 + 4 + 8 * 5, "seal manifest header")?;
             let shard = buf.get_u32_le();
             let shards = buf.get_u32_le();
             let base = Lsn(buf.get_u64_le());
             let durable = Lsn(buf.get_u64_le());
             let master = Lsn(buf.get_u64_le());
+            let store_off = buf.get_u64_le();
+            let store_total = buf.get_u64_le();
             Response::SealManifest {
                 req_id,
                 shard,
@@ -569,6 +623,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                 base,
                 durable,
                 master,
+                store_off,
+                store_total,
                 store: get_bytes(&mut buf, "seal manifest store image")?,
             }
         }
@@ -727,6 +783,11 @@ mod tests {
                 req_id: 10,
                 source_dir: String::new(),
             },
+            Request::FetchStore {
+                req_id: 11,
+                shard: 2,
+                offset: 262144,
+            },
         ]
     }
 
@@ -784,7 +845,20 @@ mod tests {
                 base: Lsn(128),
                 durable: Lsn(640),
                 master: Lsn(0),
+                store_off: 0,
+                store_total: 14,
                 store: b"LLOGSTR1-image".to_vec(),
+            },
+            Response::SealManifest {
+                req_id: 16,
+                shard: 0,
+                shards: 1,
+                base: Lsn(128),
+                durable: Lsn(640),
+                master: Lsn(130),
+                store_off: 7,
+                store_total: 14,
+                store: b"1-image".to_vec(),
             },
         ]
     }
@@ -922,7 +996,7 @@ mod tests {
             &(0u64..u64::MAX),
             |material| {
                 let mut rng = TestRng::seed_from_u64(material);
-                let req = match rng.random_range(0usize..9) {
+                let req = match rng.random_range(0usize..10) {
                     0 => Request::Put {
                         req_id: rng.next_u64(),
                         object: ObjectId(rng.next_u64()),
@@ -956,11 +1030,16 @@ mod tests {
                         shard: rng.next_u32(),
                         lsn: Lsn(rng.next_u64()),
                     },
-                    _ => Request::Promote {
+                    8 => Request::Promote {
                         req_id: rng.next_u64(),
                         source_dir: (0..rng.random_range(0usize..32))
                             .map(|_| (b'a' + (rng.next_u32() % 26) as u8) as char)
                             .collect(),
+                    },
+                    _ => Request::FetchStore {
+                        req_id: rng.next_u64(),
+                        shard: rng.next_u32(),
+                        offset: rng.next_u64(),
                     },
                 };
                 let payload = read_frame(&mut frame(&encode_request(&req)).as_slice())

@@ -36,7 +36,7 @@
 //! still-running engine back to the caller. Every response written before
 //! the socket closed reflects a durable operation.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,19 +44,29 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use llog_engine::{CommitTicket, ShardedEngine};
+use llog_engine::{CommitTicket, ShardedEngine, ShipManifest};
 use llog_ops::{builtin, OpKind, Transform};
 use llog_types::{LlogError, Lsn, Result, Value};
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, ErrCode, Request, Response,
-    StatsBody, MAX_FRAME,
+    decode_request, encode_response, read_frame, write_frame, ErrCode, Request, Response, StatsBody,
 };
 
-/// Largest log-shipping chunk served per [`Request::Subscribe`] poll.
-/// Comfortably under [`MAX_FRAME`] so the response (header + chunk) always
+/// Largest log-shipping chunk served per [`Request::Subscribe`] poll, and
+/// largest store-image chunk per attach response. Comfortably under
+/// [`crate::proto::MAX_FRAME`] so the response (header + chunk) always
 /// fits one frame.
 pub(crate) const SHIP_CHUNK_MAX: usize = 256 << 10;
+
+/// Per-connection shipping state: the attach image captured by the most
+/// recent `Subscribe` per shard, retained while its store chunks stream
+/// out via `FetchStore` — every chunk of one attach must come from the
+/// same instant of the shard, so chunks are never served from a fresh
+/// capture. Dropped with the connection.
+#[derive(Default)]
+struct ShippingState {
+    captures: HashMap<u32, ShipManifest>,
+}
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -377,6 +387,7 @@ fn acceptor_loop(listener: &TcpListener, inner: &Arc<Inner>) {
 /// batches across the whole pipeline window.
 fn reader_loop(inner: &Arc<Inner>, queue: &ConnQueue, stream: TcpStream) {
     let mut r = BufReader::new(stream);
+    let mut shipping = ShippingState::default();
     loop {
         let payload = match read_frame(&mut r) {
             Ok(Some(p)) => p,
@@ -413,7 +424,7 @@ fn reader_loop(inner: &Arc<Inner>, queue: &ConnQueue, stream: TcpStream) {
             let _ = queue.push(Pending::Ready(resp));
             return;
         }
-        let completion = execute_request(inner, req);
+        let completion = execute_request(inner, &mut shipping, req);
         if !queue.push(completion) {
             return; // writer died; nothing can be acknowledged anymore
         }
@@ -429,12 +440,13 @@ fn req_id_of(req: &Request) -> u64 {
         | Request::Ping { req_id }
         | Request::Shutdown { req_id }
         | Request::Subscribe { req_id, .. }
+        | Request::FetchStore { req_id, .. }
         | Request::ReplayedLsn { req_id, .. }
         | Request::Promote { req_id, .. } => *req_id,
     }
 }
 
-fn execute_request(inner: &Arc<Inner>, req: Request) -> Pending {
+fn execute_request(inner: &Arc<Inner>, shipping: &mut ShippingState, req: Request) -> Pending {
     match req {
         Request::Put {
             req_id,
@@ -505,7 +517,24 @@ fn execute_request(inner: &Arc<Inner>, req: Request) -> Pending {
             req_id,
             shard,
             from,
-        } => Pending::Ready(serve_subscribe(&inner.engine, req_id, shard, from)),
+        } => Pending::Ready(serve_subscribe(
+            &inner.engine,
+            shipping,
+            req_id,
+            shard,
+            from,
+        )),
+        Request::FetchStore {
+            req_id,
+            shard,
+            offset,
+        } => Pending::Ready(serve_fetch_store(
+            &inner.engine,
+            shipping,
+            req_id,
+            shard,
+            offset,
+        )),
         Request::ReplayedLsn { req_id, shard, lsn } => {
             let i = shard as usize;
             if i >= inner.engine.shards() {
@@ -535,7 +564,13 @@ fn execute_request(inner: &Arc<Inner>, req: Request) -> Pending {
 /// Answer one log-shipping poll: an attach manifest when `from` is below
 /// the shard's log base, otherwise a chunk of stable bytes clamped to the
 /// durable cut.
-fn serve_subscribe(engine: &ShardedEngine, req_id: u64, shard: u32, from: Lsn) -> Response {
+fn serve_subscribe(
+    engine: &ShardedEngine,
+    shipping: &mut ShippingState,
+    req_id: u64,
+    shard: u32,
+    from: Lsn,
+) -> Response {
     let i = shard as usize;
     if i >= engine.shards() {
         return Response::Err {
@@ -555,26 +590,13 @@ fn serve_subscribe(engine: &ShardedEngine, req_id: u64, shard: u32, from: Lsn) -
     };
     if from < manifest.base {
         // Attach (or the replica fell behind a checkpoint truncation):
-        // hand over the consistent (store image, log addresses) pair.
-        if manifest.store.len() + 64 > MAX_FRAME {
-            return err(
-                ErrCode::Engine,
-                format!(
-                    "attach image of {} bytes exceeds the frame limit",
-                    manifest.store.len()
-                ),
-            );
-        }
-        return Response::SealManifest {
-            req_id,
-            shard,
-            shards: engine.shards() as u32,
-            base: manifest.base,
-            durable: manifest.durable,
-            master: manifest.master.unwrap_or(Lsn::ZERO),
-            store: manifest.store,
-        };
+        // hand over the consistent (store image, log addresses) pair —
+        // chunked via `FetchStore` when the image outgrows one frame.
+        return manifest_chunk(engine, shipping, req_id, shard, manifest, 0);
     }
+    // Streaming resumed: any capture left from an abandoned attach is
+    // stale.
+    shipping.captures.remove(&shard);
     match engine.ship_chunk(i, from, SHIP_CHUNK_MAX) {
         Ok((bytes, durable)) => Response::SegmentChunk {
             req_id,
@@ -585,6 +607,65 @@ fn serve_subscribe(engine: &ShardedEngine, req_id: u64, shard: u32, from: Lsn) -
         },
         Err(e) => err(ErrCode::Engine, e.to_string()),
     }
+}
+
+/// Serve the next chunk of an attach store image from this connection's
+/// capture (see [`ShippingState`]).
+fn serve_fetch_store(
+    engine: &ShardedEngine,
+    shipping: &mut ShippingState,
+    req_id: u64,
+    shard: u32,
+    offset: u64,
+) -> Response {
+    let err = |message: String| Response::Err {
+        req_id,
+        code: ErrCode::Engine,
+        message,
+    };
+    let Some(manifest) = shipping.captures.remove(&shard) else {
+        return err(format!(
+            "no attach capture in flight for shard {shard}; subscribe first"
+        ));
+    };
+    if offset >= manifest.store.len() as u64 {
+        return err(format!(
+            "store offset {offset} out of range for a {}-byte image",
+            manifest.store.len()
+        ));
+    }
+    manifest_chunk(engine, shipping, req_id, shard, manifest, offset as usize)
+}
+
+/// Build the [`Response::SealManifest`] carrying the store-image chunk at
+/// `offset`, keeping the capture alive while chunks remain.
+fn manifest_chunk(
+    engine: &ShardedEngine,
+    shipping: &mut ShippingState,
+    req_id: u64,
+    shard: u32,
+    manifest: ShipManifest,
+    offset: usize,
+) -> Response {
+    let total = manifest.store.len();
+    let end = total.min(offset + SHIP_CHUNK_MAX);
+    let resp = Response::SealManifest {
+        req_id,
+        shard,
+        shards: engine.shards() as u32,
+        base: manifest.base,
+        durable: manifest.durable,
+        master: manifest.master.unwrap_or(Lsn::ZERO),
+        store_off: offset as u64,
+        store_total: total as u64,
+        store: manifest.store[offset..end].to_vec(),
+    };
+    if end < total {
+        shipping.captures.insert(shard, manifest);
+    } else {
+        shipping.captures.remove(&shard);
+    }
+    resp
 }
 
 /// Pop completions in order, wait tickets durable, write response frames.

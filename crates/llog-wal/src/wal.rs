@@ -620,10 +620,23 @@ impl Wal {
         frames
     }
 
-    /// The furthest boundary a contiguous replay can reach from `from`:
-    /// the end of the last complete, CRC-valid frame before the stable
-    /// end. A torn or corrupt frame stops the walk. `from` below the base
-    /// is clamped to the base.
+    /// The log's durable cut: the end of the last complete, CRC-valid
+    /// stable frame — the furthest address shipping may expose. Walks
+    /// [`Wal::contiguous_end`] from the tail guard, which is always a
+    /// frame boundary (it is a pre-extension forced end), so the walk
+    /// covers only the most recent extension, never the whole log, and
+    /// is safe to call no matter where a shipping consumer's own cursor
+    /// sits (a replica's stable end may be mid-frame after a clamped
+    /// chunk — deriving the cut from such a cursor would read garbage
+    /// length/CRC fields and stall replication).
+    pub fn durable_end(&self) -> Lsn {
+        self.contiguous_end(self.tail_guard)
+    }
+
+    /// The furthest boundary a contiguous replay can reach from `from`
+    /// (which must be a frame boundary): the end of the last complete,
+    /// CRC-valid frame before the stable end. A torn or corrupt frame
+    /// stops the walk. `from` below the base is clamped to the base.
     pub fn contiguous_end(&self, from: Lsn) -> Lsn {
         let mut off = ((from.0.max(self.base) - self.base) as usize).min(self.stable.len());
         while off + FRAME_HEADER <= self.stable.len() {
