@@ -111,7 +111,30 @@ else
     echo "WARN: cargo not found; skipping lockfile sync check" >&2
 fi
 
+# 4. CI script hygiene: every ci/*.sh must be executable, carry a bash
+#    shebang, parse cleanly, and fail on unset/errored commands — a gate
+#    script that silently no-ops is worse than no gate. This keeps new
+#    scripts (like the perf-regression gate) honest by construction.
+for script in ci/*.sh; do
+    if [[ ! -x "$script" ]]; then
+        echo "ERROR: $script is not executable (chmod +x)" >&2
+        fail=1
+    fi
+    if ! head -n 1 "$script" | grep -qE '^#!/(usr/bin/env bash|bin/bash)$'; then
+        echo "ERROR: $script missing a bash shebang" >&2
+        fail=1
+    fi
+    if ! grep -qE '^set -euo pipefail$' "$script"; then
+        echo "ERROR: $script missing 'set -euo pipefail'" >&2
+        fail=1
+    fi
+    if ! bash -n "$script"; then
+        echo "ERROR: $script does not parse (bash -n)" >&2
+        fail=1
+    fi
+done
+
 if [[ $fail -ne 0 ]]; then
     exit 1
 fi
-echo "OK: no external registry dependencies; Cargo.lock is in sync"
+echo "OK: no external registry dependencies; Cargo.lock is in sync; ci/ scripts are sound"

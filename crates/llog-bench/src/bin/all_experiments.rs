@@ -55,6 +55,10 @@ fn main() {
     println!("== E13 — durability backends: incremental checkpoint + segment reclaim ==");
     println!("{}", llog_bench::e13_backend_cost::ckpt_table(&e13));
     println!("{}", llog_bench::e13_backend_cost::reclaim_table(&e13));
+    let p16 = llog_bench::e16_append_speed::Params::from_env();
+    let e16 = llog_bench::e16_append_speed::run(&p16);
+    println!("== E16 — hot-path log device: recycling + double buffer + coalescing ==");
+    println!("{}", llog_bench::e16_append_speed::table(&e16));
     let ok = (1..=5u64).all(llog_bench::e6_checkpointing::idempotency_check);
     println!(
         "Theorem 2 idempotency: {}",

@@ -1,0 +1,40 @@
+//! E16: hot-path log device — recycling + double buffer + fsync coalescing.
+//!
+//! Writes `BENCH_e16.json` (override the path with `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI smoke runs.
+
+use llog_bench::e16_append_speed::{run, table, Params};
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "E16 — hot-path log device: {} shards x {} committers x {} sync commits, \
+         {:?} device latency, {:?} coalesce window",
+        p.shards, p.committers_per_shard, p.ops_per_committer, p.force_latency, p.coalesce_window
+    );
+    let report = run(&p);
+
+    println!("\nAcked sync-commit throughput, fast path on vs off:");
+    println!("{}", table(&report));
+    println!(
+        "mem  on/off speedup: {:.1}x (reference)",
+        report.speedup("mem")
+    );
+    println!(
+        "file on/off speedup: {:.1}x (target >= 1.5x, coalesced > 0, recycled > 0): {}",
+        report.speedup("file"),
+        if report.ok() { "OK" } else { "FAIL" }
+    );
+
+    let json = report.to_json();
+    println!("\n{json}");
+    let path = std::env::var("LLOG_BENCH_JSON").unwrap_or_else(|_| "BENCH_e16.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

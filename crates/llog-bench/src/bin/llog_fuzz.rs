@@ -463,6 +463,14 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
             max_delay: Duration::from_micros(200),
         })
     };
+    // Half the runs route forces through the coalescing barrier; only those
+    // runs may arm the barrier-sync failpoint (a run without a scheduler
+    // could never reach it).
+    let coalesce_window = if rng.ratio(0.5) {
+        Some(Duration::from_micros(rng.random_range(50u64..500)))
+    } else {
+        None
+    };
     let config = ShardedConfig {
         shards,
         engine: EngineConfig::default(),
@@ -471,27 +479,30 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
         max_uninstalled: 64,
         install_high_water: rng.random_range(2usize..8),
         persist_on_force: false,
+        coalesce_window,
     };
     let registry = TransformRegistry::with_builtins();
     let policy = pick_policy(&mut rng);
     let host = Arc::new(FaultHost::new());
     let engine = ShardedEngine::new_with_faults(config, &registry, Some(host.clone()));
 
-    let plan = FaultPlan::draw(
-        material ^ 0x10_57,
-        n_ops,
-        &[
-            failpoint::FLUSHER_FORCE,
-            failpoint::WAL_FORCE,
-            failpoint::INSTALL,
-        ],
-    );
+    let mut points = vec![
+        failpoint::FLUSHER_FORCE,
+        failpoint::WAL_FORCE,
+        failpoint::INSTALL,
+    ];
+    if coalesce_window.is_some() {
+        points.push(failpoint::SCHED_SYNC);
+    }
+    let plan = FaultPlan::draw(material ^ 0x10_57, n_ops, &points);
     let planned = &plan.faults[0];
 
     // Single-object writes only (cross-shard sets are rejected by design).
     // writes[x] is the ordered history of values written to x, paired with
-    // its commit ticket.
-    let mut history: BTreeMap<ObjectId, Vec<(Value, CommitTicket)>> = BTreeMap::new();
+    // its commit ticket (`None` = execute errored: the commit outcome is
+    // unknown — a failed sync force leaves the op in the WAL unacked, so it
+    // may legitimately surface after recovery).
+    let mut history: BTreeMap<ObjectId, Vec<(Value, Option<CommitTicket>)>> = BTreeMap::new();
     for i in 0..n_ops {
         if i == planned.step {
             host.arm(&planned.point, planned.kind);
@@ -504,10 +515,12 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
             vec![x],
             Transform::new(builtin::CONST, builtin::encode_values(&[v.clone()])),
         ) {
-            Ok(t) => history.entry(x).or_default().push((v, t)),
-            // A shard killed by an injected fault rejects later work —
-            // that is correct behaviour, not a violation.
-            Err(_) => continue,
+            Ok(t) => history.entry(x).or_default().push((v, Some(t))),
+            // A shard killed by an injected fault rejects later work, and a
+            // failed coalesced barrier fails its sync commits — correct
+            // behaviour, not a violation; the write stays in the history as
+            // never-acknowledged.
+            Err(_) => history.entry(x).or_default().push((v, None)),
         }
     }
 
@@ -520,7 +533,7 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
                 *x,
                 writes
                     .iter()
-                    .map(|(v, t)| (v.clone(), t.wait()))
+                    .map(|(v, t)| (v.clone(), t.as_ref().is_some_and(CommitTicket::wait)))
                     .collect::<Vec<_>>(),
             )
         })
@@ -536,7 +549,7 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
     let ctx = || {
         format!(
             "sharded: shards={shards} n_ops={n_ops} policy={policy:?} \
-             plan=[{planned}] fired={:?}",
+             coalesce={coalesce_window:?} plan=[{planned}] fired={:?}",
             host.fired()
         )
     };
@@ -765,6 +778,11 @@ fn fuzz_backend_diff(n_ops: usize, material: u64) -> Result<(), String> {
     let cfg = DeviceConfig {
         segment_bytes: rng.random_range(32usize..160),
         compact_chain: rng.random_range(2usize..5),
+        // Half the runs take the segment fast path (preallocated blobs,
+        // recycling pool) so recycled-ghost rejection and tail
+        // normalization face the same fault plans as the legacy layout.
+        preallocate: rng.random_range(0usize..2) == 1,
+        recycle_pool: rng.random_range(0usize..3),
     };
     let dir =
         std::env::temp_dir().join(format!("llog-fuzz-dev-{}-{material:x}", std::process::id()));

@@ -1,0 +1,452 @@
+//! E16 — hot-path log device: append speed with the fast path on vs off.
+//!
+//! DESIGN §14 adds three mechanisms to the device hot path:
+//!
+//! - **Preallocated segment recycling**: rotation adopts a parked retired
+//!   blob (rename + header re-stamp) instead of growing a fresh file.
+//! - **Double-buffered appends**: a force swaps the volatile buffer into
+//!   an in-flight slot, so new appends land while the device syncs.
+//! - **Cross-shard fsync coalescing**: near-simultaneous forces ride one
+//!   shared barrier and pay the device latency once.
+//!
+//! This experiment measures their combined effect where it matters: the
+//! throughput of *sync* commits (one append + one durable force each)
+//! from concurrent committers. With the fast path off, every commit pays
+//! the modelled device latency under its shard's engine lock; with it on,
+//! all concurrent committers ride one coalesced barrier per round. The
+//! workload checkpoints at the halfway mark so truncation parks segments
+//! into the recycle pool and the second half's rotations exercise it.
+//!
+//! The `exp_e16_append_speed` binary prints the table and writes
+//! `BENCH_e16.json` (path overridable via `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI. Acceptance gates on
+//! the **file** backend speedup (the bar is ≥1.5×; the mem rows are
+//! reported for reference), on coalescing actually happening, and on at
+//! least one segment being recycled in each fast-path run.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use llog_engine::{CommitPolicy, ShardedConfig, ShardedEngine};
+use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog_sim::Table;
+use llog_storage::device::DeviceConfig;
+use llog_storage::Metrics;
+use llog_types::{ObjectId, Value};
+use llog_wal::DurabilityBackend;
+
+/// Workload knobs.
+///
+/// `force_latency` models the stable device's write+sync time and must
+/// dominate the per-commit CPU cost (as it does for a real synchronous
+/// log write): the claim under test is that the fast path shares that
+/// latency across concurrent committers instead of serializing it.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Shards (one log device each).
+    pub shards: usize,
+    /// Committer threads per shard.
+    pub committers_per_shard: usize,
+    /// Sync commits per committer.
+    pub ops_per_committer: usize,
+    /// Modelled stable-device latency per force/barrier.
+    pub force_latency: Duration,
+    /// Gather window of the coalescing scheduler (fast path only).
+    pub coalesce_window: Duration,
+    /// Log segment size — small enough that the run rotates segments.
+    pub segment_bytes: usize,
+    /// Retired segments parked for recycling (fast path only).
+    pub recycle_pool: usize,
+}
+
+impl Params {
+    /// Full-size run (a second or two).
+    pub fn full() -> Params {
+        Params {
+            shards: 4,
+            committers_per_shard: 4,
+            ops_per_committer: 40,
+            force_latency: Duration::from_millis(2),
+            coalesce_window: Duration::from_micros(200),
+            segment_bytes: 2048,
+            recycle_pool: 2,
+        }
+    }
+
+    /// CI smoke run (hundreds of milliseconds).
+    pub fn fast() -> Params {
+        Params {
+            shards: 2,
+            committers_per_shard: 4,
+            ops_per_committer: 16,
+            force_latency: Duration::from_millis(2),
+            coalesce_window: Duration::from_micros(200),
+            segment_bytes: 1024,
+            recycle_pool: 2,
+        }
+    }
+
+    /// `fast()` when `LLOG_BENCH_FAST=1`, else `full()`.
+    pub fn from_env() -> Params {
+        let fast = std::env::var("LLOG_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if fast {
+            Params::fast()
+        } else {
+            Params::full()
+        }
+    }
+
+    fn total_ops(&self) -> u64 {
+        (self.shards * self.committers_per_shard * self.ops_per_committer) as u64
+    }
+}
+
+/// Unique scratch directory for the file-backend rows.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("llog-e16-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One measured run: a backend × fast-path mode.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Backend (`mem` or `file`).
+    pub backend: String,
+    /// `on` (recycling + double buffer + coalescing) or `off` (legacy).
+    pub fast_path: bool,
+    /// Sync commits executed (each one append + one durable force).
+    pub ops: u64,
+    /// Wall-clock for the whole run (including the midway checkpoint).
+    pub elapsed_ns: u64,
+    /// Device fsync barriers paid (device ledger + scheduler ledger).
+    pub fsyncs: u64,
+    /// Forces that rode another request's barrier.
+    pub forces_coalesced: u64,
+    /// Segments adopted from the recycle pool.
+    pub segments_recycled: u64,
+    /// Time appends overlapped an in-flight barrier.
+    pub double_buffer_overlap_ns: u64,
+}
+
+impl Row {
+    /// Acknowledged sync commits per second.
+    pub fn appends_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+}
+
+/// Run one backend × mode combination.
+pub fn run_mode(kind: &str, fast_path: bool, p: &Params) -> Row {
+    let registry = TransformRegistry::with_builtins();
+    let dev_cfg = {
+        let base = DeviceConfig {
+            segment_bytes: p.segment_bytes,
+            ..DeviceConfig::default()
+        };
+        if fast_path {
+            base.with_fast_segments(p.recycle_pool)
+        } else {
+            base
+        }
+    };
+    let cfg = ShardedConfig {
+        shards: p.shards,
+        commit: CommitPolicy::Sync,
+        force_latency: p.force_latency,
+        persist_on_force: true,
+        coalesce_window: fast_path.then_some(p.coalesce_window),
+        ..ShardedConfig::default()
+    };
+    // The scratch dir must outlive the engine (drop order is reverse
+    // declaration order): device threads still hold blobs at engine drop.
+    let scratch = (kind == "file").then(|| Scratch::new(if fast_path { "on" } else { "off" }));
+    let engine = ShardedEngine::new(cfg, &registry);
+    let dev_metrics = Metrics::new();
+    match &scratch {
+        None => engine.attach_backends(
+            (0..p.shards)
+                .map(|_| DurabilityBackend::mem(dev_metrics.clone(), &dev_cfg))
+                .collect(),
+        ),
+        Some(s) => engine.attach_backends(
+            (0..p.shards)
+                .map(|i| {
+                    DurabilityBackend::file(
+                        &s.0.join(format!("shard-{i}")),
+                        dev_metrics.clone(),
+                        &dev_cfg,
+                    )
+                    .expect("file backend")
+                })
+                .collect(),
+        ),
+    }
+
+    // Pre-compute each shard's object ids so every committer stays on its
+    // own shard (cross-shard write sets are rejected by design).
+    let router = engine.router();
+    let mut owned: Vec<Vec<ObjectId>> = vec![Vec::new(); p.shards];
+    let mut next = 0u64;
+    while owned.iter().any(|v| v.len() < p.committers_per_shard) {
+        let x = ObjectId(next);
+        next += 1;
+        owned[router.shard_of(x)].push(x);
+    }
+
+    let half = p.ops_per_committer / 2;
+    let start = Instant::now();
+    for phase in 0..2 {
+        let ops_now = if phase == 0 {
+            half
+        } else {
+            p.ops_per_committer - half
+        };
+        std::thread::scope(|s| {
+            for shard in 0..p.shards {
+                for c in 0..p.committers_per_shard {
+                    let engine = &engine;
+                    let x = owned[shard][c % owned[shard].len()];
+                    s.spawn(move || {
+                        for i in 0..ops_now {
+                            // Pad to a fixed width so every run writes the
+                            // same bytes and rotates segments predictably.
+                            let v =
+                                Value::from(format!("e16-{shard}-{c}-{phase}-{i:<56}").as_bytes());
+                            let ticket = engine
+                                .execute(
+                                    OpKind::Physical,
+                                    vec![],
+                                    vec![x],
+                                    Transform::new(builtin::CONST, builtin::encode_values(&[v])),
+                                )
+                                .expect("sync commit");
+                            assert!(ticket.is_durable(), "sync commits ack on return");
+                        }
+                    });
+                }
+            }
+        });
+        if phase == 0 {
+            // Midway checkpoint: truncation reclaims whole segments and —
+            // on the fast path — parks them in the recycle pool, so the
+            // second half's rotations measure recycled adoption.
+            engine.install_all().expect("install");
+            engine.checkpoint_all(true).expect("checkpoint");
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let snap = engine.metrics_snapshot().aggregate;
+    let dev = dev_metrics.snapshot();
+    Row {
+        backend: kind.to_string(),
+        fast_path,
+        ops: p.total_ops(),
+        elapsed_ns: elapsed.as_nanos() as u64,
+        fsyncs: dev.io_fsyncs + snap.io_fsyncs,
+        forces_coalesced: snap.forces_coalesced,
+        segments_recycled: dev.segments_recycled,
+        double_buffer_overlap_ns: snap.double_buffer_overlap_ns,
+    }
+}
+
+/// Everything the binary reports.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Rows in (mem off, mem on, file off, file on) order.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    fn pair(&self, backend: &str) -> Option<(&Row, &Row)> {
+        let off = self
+            .rows
+            .iter()
+            .find(|r| r.backend == backend && !r.fast_path)?;
+        let on = self
+            .rows
+            .iter()
+            .find(|r| r.backend == backend && r.fast_path)?;
+        Some((off, on))
+    }
+
+    /// Fast-path over legacy appends/sec on one backend.
+    pub fn speedup(&self, backend: &str) -> f64 {
+        match self.pair(backend) {
+            Some((off, on)) => on.appends_per_sec() / off.appends_per_sec(),
+            None => 0.0,
+        }
+    }
+
+    /// Acceptance: the file backend commits ≥1.5× faster with the fast
+    /// path on, coalescing actually happened, and every fast-path run
+    /// recycled at least one segment.
+    pub fn ok(&self) -> bool {
+        self.speedup("file") >= 1.5
+            && self
+                .rows
+                .iter()
+                .filter(|r| r.fast_path)
+                .all(|r| r.forces_coalesced > 0 && r.segments_recycled > 0)
+    }
+
+    /// The machine-readable document behind `BENCH_e16.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"experiment\":\"e16_append_speed\",\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"backend\":{:?},\"fast_path\":{},\"ops\":{},\
+                 \"elapsed_ns\":{},\"appends_per_sec\":{:.1},\"fsyncs\":{},\
+                 \"forces_coalesced\":{},\"segments_recycled\":{},\
+                 \"double_buffer_overlap_ns\":{}}}",
+                r.backend,
+                r.fast_path,
+                r.ops,
+                r.elapsed_ns,
+                r.appends_per_sec(),
+                r.fsyncs,
+                r.forces_coalesced,
+                r.segments_recycled,
+                r.double_buffer_overlap_ns
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"mem_speedup\":{:.2},\"file_speedup\":{:.2},\"ok\":{}}}",
+            self.speedup("mem"),
+            self.speedup("file"),
+            self.ok()
+        );
+        s
+    }
+}
+
+/// Run all four backend × mode combinations.
+pub fn run(p: &Params) -> Report {
+    let mut rows = Vec::with_capacity(4);
+    for kind in ["mem", "file"] {
+        for fast_path in [false, true] {
+            rows.push(run_mode(kind, fast_path, p));
+        }
+    }
+    Report { rows }
+}
+
+/// The report as a printable table.
+pub fn table(report: &Report) -> Table {
+    let mut t = Table::new(vec![
+        "backend",
+        "fast path",
+        "ops",
+        "appends/s",
+        "fsyncs",
+        "coalesced",
+        "recycled",
+        "overlap ms",
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.backend.clone(),
+            if r.fast_path { "on" } else { "off" }.to_string(),
+            format!("{}", r.ops),
+            format!("{:.0}", r.appends_per_sec()),
+            format!("{}", r.fsyncs),
+            format!("{}", r.forces_coalesced),
+            format!("{}", r.segments_recycled),
+            format!("{:.3}", r.double_buffer_overlap_ns as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            shards: 2,
+            committers_per_shard: 2,
+            ops_per_committer: 8,
+            force_latency: Duration::from_micros(500),
+            segment_bytes: 512,
+            ..Params::fast()
+        }
+    }
+
+    #[test]
+    fn fast_path_coalesces_and_recycles() {
+        let row = run_mode("mem", true, &tiny());
+        assert_eq!(row.ops, 32);
+        assert!(row.forces_coalesced > 0, "no coalescing: {row:?}");
+        assert!(row.segments_recycled > 0, "no recycling: {row:?}");
+        assert!(row.double_buffer_overlap_ns > 0);
+    }
+
+    #[test]
+    fn legacy_mode_never_coalesces_or_recycles() {
+        let row = run_mode("mem", false, &tiny());
+        assert_eq!(row.ops, 32);
+        assert_eq!(row.forces_coalesced, 0);
+        assert_eq!(row.segments_recycled, 0);
+        assert!(row.fsyncs > 0, "sync commits must hit the device");
+    }
+
+    #[test]
+    fn fast_path_pays_fewer_device_syncs_than_legacy() {
+        // The deterministic half of the speedup claim: same workload,
+        // strictly fewer device syncs. The wall-clock bar itself lives in
+        // the experiment binary — comparing elapsed time here would flake
+        // under parallel test load.
+        let p = tiny();
+        let off = run_mode("mem", false, &p);
+        let on = run_mode("mem", true, &p);
+        assert!(
+            on.fsyncs < off.fsyncs,
+            "fast path paid {} syncs vs legacy {}",
+            on.fsyncs,
+            off.fsyncs
+        );
+    }
+
+    #[test]
+    fn json_carries_the_acceptance_fields() {
+        let report = Report {
+            rows: vec![
+                run_mode("mem", false, &tiny()),
+                run_mode("mem", true, &tiny()),
+            ],
+        };
+        let json = report.to_json();
+        for key in [
+            "\"experiment\":\"e16_append_speed\"",
+            "\"rows\":[",
+            "\"fast_path\":true",
+            "\"mem_speedup\":",
+            "\"file_speedup\":",
+            "\"ok\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`e13_backend_cost`] | DESIGN §11: incremental checkpoints + segment reclaim vs monolithic images |
 //! | [`e14_server_load`] | DESIGN §12: open-loop load against the TCP front end |
 //! | [`e15_replication`] | DESIGN §13: replica lag under load + failover fidelity |
+//! | [`e16_append_speed`] | DESIGN §14: segment recycling + double buffer + fsync coalescing |
 
 pub mod e10_amortization;
 pub mod e11_sharding;
@@ -29,6 +30,7 @@ pub mod e12_recovery_speed;
 pub mod e13_backend_cost;
 pub mod e14_server_load;
 pub mod e15_replication;
+pub mod e16_append_speed;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;

@@ -362,12 +362,14 @@ pub fn cmd_stats(dir: &Path) -> Result<()> {
     let snap = metrics.snapshot();
     println!(
         "backend: {} (io_bytes_written={} io_fsyncs={} segments_rotated={} \
-         segments_reclaimed={} ckpt_objects_written={} ckpt_objects_skipped={})",
+         segments_reclaimed={} segments_recycled={} ckpt_objects_written={} \
+         ckpt_objects_skipped={})",
         backend.name(),
         snap.io_bytes_written,
         snap.io_fsyncs,
         snap.segments_rotated,
         snap.segments_reclaimed,
+        snap.segments_recycled,
         snap.ckpt_objects_written,
         snap.ckpt_objects_skipped
     );
@@ -743,6 +745,19 @@ pub fn cmd_lag(addr: &str) -> Result<()> {
         stats.repl_replay_lag_frames,
         stats.repl_segments_shipped,
         stats.repl_bytes_shipped
+    );
+    Ok(())
+}
+
+/// `llogtool stats <addr>`: group-commit and force-barrier counters of a
+/// live server, one `name=value` line.
+pub fn cmd_server_stats(addr: &str) -> Result<()> {
+    let mut client = llog_server::Client::connect(addr)?;
+    let s = client.stats()?;
+    println!(
+        "server: shards={} batches={} batched_ops={} backpressure_waits={} \
+         forces_coalesced={} io_fsyncs={}",
+        s.shards, s.batches, s.batched_ops, s.backpressure_waits, s.forces_coalesced, s.io_fsyncs
     );
     Ok(())
 }

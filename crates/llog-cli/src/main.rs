@@ -13,7 +13,8 @@
 //! llogtool shard-demo <dir> [shards] [ops] [seed] [--backend mem|file]
 //!                                    sharded run + group commit + parallel recovery
 //! llogtool dump <dir>                print every stable log record
-//! llogtool stats <dir>               store/log statistics + backend I/O counters
+//! llogtool stats <dir|addr>          store/log statistics + backend I/O counters
+//!                                    (an addr queries a live server's counters)
 //! llogtool recover <dir> [policy]    recover (vsi|rsi), install, save back
 //! llogtool verify <dir>              recover in memory and check the oracle
 //! llogtool serve <dir> [shards] [addr]  run the TCP front end (DESIGN §12)
@@ -30,7 +31,8 @@ use std::process::ExitCode;
 
 use llog_cli::{
     cmd_backup, cmd_demo, cmd_dump, cmd_lag, cmd_load, cmd_media_recover, cmd_promote, cmd_recover,
-    cmd_replicate, cmd_serve, cmd_shard_demo, cmd_stats, cmd_stop, cmd_verify, Backend,
+    cmd_replicate, cmd_serve, cmd_server_stats, cmd_shard_demo, cmd_stats, cmd_stop, cmd_verify,
+    Backend,
 };
 
 fn usage() -> ExitCode {
@@ -40,7 +42,8 @@ fn usage() -> ExitCode {
          demo <dir> [ops=200] [seed=42]   run a workload, crash, save the image\n\
          shard-demo <dir> [n=4] [ops] [seed] sharded run, group commit, crash, parallel recovery\n\
          dump <dir>                       print the stable log records\n\
-         stats <dir>                      store and log statistics (+ backend I/O counters)\n\
+         stats <dir|addr>                 store and log statistics (+ backend I/O counters);\n\
+                                          an addr prints a live server's commit counters\n\
          recover <dir> [vsi|rsi]          recover, install everything, save back\n\
          verify <dir>                     recover in memory, compare to the oracle\n\
          backup <dir> <file>              archive a snapshot backup\n\
@@ -103,7 +106,10 @@ fn main() -> ExitCode {
             cmd_shard_demo(&dir, shards, ops, seed, backend)
         }
         "dump" => cmd_dump(&dir),
-        "stats" => cmd_stats(&dir),
+        "stats" => match args.get(1).filter(|a| a.contains(':')) {
+            Some(addr) => cmd_server_stats(addr),
+            None => cmd_stats(&dir),
+        },
         "recover" => {
             let policy = args.get(2).map(String::as_str).unwrap_or("rsi");
             cmd_recover(&dir, policy)

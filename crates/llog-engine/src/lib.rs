@@ -59,6 +59,7 @@
 //! ```
 
 mod router;
+mod scheduler;
 mod shard;
 mod sharded;
 mod snapshot;

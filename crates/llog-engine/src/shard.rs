@@ -195,6 +195,39 @@ impl Shard {
         self.dead.load(Ordering::SeqCst)
     }
 
+    /// Latch device death without the full [`Shard::mark_dead`] wakeups —
+    /// called **under the engine lock** the instant a force observes a
+    /// torn/rotted write, so no concurrent force site can slip in before
+    /// the shard is torn down and advance the WAL's tail guard over the
+    /// rotted bytes. The caller follows up with
+    /// [`Shard::request_stop`]`(Abandon)` once the lock is released.
+    pub fn latch_dead(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Publish one settled [`ForceOutcome`] for this shard — the shared
+    /// tail of every explicit force path (`force_now`, and the coalesced
+    /// scheduler's riders): advance the watermark on success, kill the
+    /// shard on a tear (acknowledging only the pre-fault prefix), report a
+    /// retryable failure as `false`.
+    pub fn settle_force(&self, outcome: ForceOutcome) -> bool {
+        match outcome {
+            ForceOutcome::Forced(lsn) => {
+                self.advance_durable(lsn);
+                true
+            }
+            ForceOutcome::Torn(lsn) => {
+                // The device tore the write: the shard is crashed. The
+                // watermark advances at most to the pre-fault durable
+                // prefix — nothing torn is ever acknowledged.
+                self.advance_durable(lsn);
+                self.request_stop(StopMode::Abandon);
+                false
+            }
+            ForceOutcome::Failed => false,
+        }
+    }
+
     /// Current backpressure epoch (snapshot before parking).
     pub fn bp_epoch(&self) -> u64 {
         *lock(&self.bp_epoch)
@@ -283,28 +316,14 @@ impl Shard {
                 // a concurrent force site must never slip in between the
                 // torn write and the kill and advance the WAL's tail
                 // guard over the rotted bytes.
-                self.dead.store(true, Ordering::SeqCst);
+                self.latch_dead();
             }
             if matches!(outcome, ForceOutcome::Forced(_)) && !self.persist_forced(e) {
                 outcome = ForceOutcome::Failed;
             }
             outcome
         };
-        match outcome {
-            ForceOutcome::Forced(lsn) => {
-                self.advance_durable(lsn);
-                true
-            }
-            ForceOutcome::Torn(lsn) => {
-                // The device tore the write: the shard is crashed. The
-                // watermark advances at most to the pre-fault durable
-                // prefix — nothing torn is ever acknowledged.
-                self.advance_durable(lsn);
-                self.request_stop(StopMode::Abandon);
-                false
-            }
-            ForceOutcome::Failed => false,
-        }
+        self.settle_force(outcome)
     }
 }
 
@@ -345,8 +364,13 @@ pub(crate) fn force_through_faults(e: &mut Engine, faults: Option<&FaultHost>) -
 /// `force_latency` models the stable device's synchronous write time; the
 /// sleep happens *outside* every lock, so concurrent shards overlap their
 /// device waits — the physical basis of multi-shard throughput scaling.
+/// With a [`ForceScheduler`] attached the force (and the latency) instead
+/// rides a coalesced cross-shard barrier.
+///
+/// [`ForceScheduler`]: crate::scheduler::ForceScheduler
 pub(crate) fn flusher_loop(
-    shard: &Shard,
+    shard: &Arc<Shard>,
+    scheduler: Option<&Arc<crate::scheduler::ForceScheduler>>,
     batch_ops: usize,
     max_delay: Duration,
     force_latency: Duration,
@@ -389,8 +413,15 @@ pub(crate) fn flusher_loop(
 
         // Phase 2: one force covers the whole batch (and anything that
         // slipped in after the pending count was captured — the force
-        // writes the entire buffered tail, so over-coverage is safe).
-        let outcome = {
+        // writes the entire buffered tail, so over-coverage is safe). With
+        // a scheduler the batch rides a coalesced cross-shard barrier (no
+        // engine lock held here — the barrier takes it per phase).
+        let outcome = if let Some(sched) = scheduler {
+            match sched.force(shard) {
+                Some(o) => o,
+                None => return, // crashed/torn down underneath us
+            }
+        } else {
             let mut g = lock(&shard.engine);
             let Some(e) = g.as_mut() else {
                 return; // crashed underneath us
@@ -403,7 +434,7 @@ pub(crate) fn flusher_loop(
                 // Latch death under the engine lock (see `Shard::dead`):
                 // after a torn batch no other force site may touch the
                 // device.
-                shard.dead.store(true, Ordering::SeqCst);
+                shard.latch_dead();
             }
             if matches!(outcome, ForceOutcome::Forced(_)) && !shard.persist_forced(e) {
                 // The in-process force landed but the device never saw the
@@ -442,8 +473,9 @@ pub(crate) fn flusher_loop(
         };
 
         // Phase 3: the device write is in flight; new appends may buffer
-        // meanwhile (no lock held).
-        if !force_latency.is_zero() {
+        // meanwhile (no lock held). A scheduler already paid the modelled
+        // latency once for the whole barrier — the coalescing win.
+        if scheduler.is_none() && !force_latency.is_zero() {
             std::thread::sleep(force_latency);
         }
 

@@ -15,6 +15,7 @@ use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
 use llog_wal::{DurabilityBackend, Wal};
 
 use crate::router::ShardRouter;
+use crate::scheduler::ForceScheduler;
 use crate::shard::{flusher_loop, installer_loop, CommitTicket, Shard, StopMode};
 use crate::snapshot::{GroupCommitSnapshot, ShardedSnapshot};
 
@@ -77,6 +78,14 @@ pub struct ShardedConfig {
     /// loses nothing acknowledged. Only meaningful once backends are
     /// attached ([`ShardedEngine::attach_backends`]); the server sets it.
     pub persist_on_force: bool,
+    /// Cross-shard fsync coalescing: when set, every force (flusher batches
+    /// and `Sync` commits alike) rides a global scheduler that gathers
+    /// near-simultaneous forces from different shards for this bounded
+    /// window (100–500 µs is the useful range) and covers them with **one**
+    /// shared sync barrier; each shard's durable watermark then advances
+    /// from that barrier. `None` (the default) keeps the legacy
+    /// one-force-per-shard paths, byte-for-byte.
+    pub coalesce_window: Option<Duration>,
 }
 
 impl Default for ShardedConfig {
@@ -89,6 +98,7 @@ impl Default for ShardedConfig {
             max_uninstalled: 1024,
             install_high_water: 64,
             persist_on_force: false,
+            coalesce_window: None,
         }
     }
 }
@@ -130,6 +140,11 @@ pub struct ShardedEngine {
     /// Fault-injection host shared with every shard's flusher/installer
     /// (`None` outside fault-injection runs).
     faults: Option<Arc<FaultHost>>,
+    /// Cross-shard force scheduler (`Some` iff `config.coalesce_window`).
+    scheduler: Option<Arc<ForceScheduler>>,
+    /// The scheduler's barrier thread — joined *after* `threads`, because
+    /// draining flushers still route their final forces through it.
+    sched_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ShardedEngine {
@@ -174,13 +189,27 @@ impl ShardedEngine {
             .enumerate()
             .map(|(i, e)| Arc::new(Shard::new(i, e, faults.clone(), config.persist_on_force)))
             .collect();
+        let (scheduler, sched_thread) = match config.coalesce_window {
+            Some(window) => {
+                let (s, h) = ForceScheduler::spawn(window, config.force_latency);
+                (Some(s), Some(h))
+            }
+            None => (None, None),
+        };
         let mut threads = Vec::new();
         for shard in &shards {
             if let CommitPolicy::Group(policy) = config.commit {
                 let s = shard.clone();
+                let sched = scheduler.clone();
                 let latency = config.force_latency;
                 threads.push(std::thread::spawn(move || {
-                    flusher_loop(&s, policy.batch_ops, policy.max_delay, latency);
+                    flusher_loop(
+                        &s,
+                        sched.as_ref(),
+                        policy.batch_ops,
+                        policy.max_delay,
+                        latency,
+                    );
                 }));
             }
             let s = shard.clone();
@@ -197,6 +226,8 @@ impl ShardedEngine {
             rr: Arc::new(AtomicUsize::new(0)),
             ctl: Arc::new(WorkSignal::new()),
             faults,
+            scheduler,
+            sched_thread: Mutex::new(sched_thread),
         }
     }
 
@@ -274,8 +305,12 @@ impl ShardedEngine {
             let e = guard.as_mut().expect("presence checked above");
             let (op, lsn) = e.execute(kind, reads, writes, transform)?;
             let target = e.wal().end_lsn();
+            // A `Sync` commit with a coalescing scheduler defers its force
+            // until the guard is dropped: the scheduler takes the engine
+            // lock itself, per barrier phase, and near-simultaneous sync
+            // commits on different shards share one fsync.
             let sync_forced = match self.config.commit {
-                CommitPolicy::Sync => {
+                CommitPolicy::Sync if self.scheduler.is_none() => {
                     e.wal_mut().force();
                     if !shard.persist_forced(e) {
                         // The device rejected the tail: the watermark does
@@ -294,18 +329,37 @@ impl ShardedEngine {
                     }
                     Some(e.wal().forced_lsn())
                 }
-                CommitPolicy::Group(_) => None,
+                _ => None,
             };
             (op, lsn, target, sync_forced)
         };
         drop(guard);
 
-        match sync_forced {
-            Some(forced) => {
+        match (self.config.commit, sync_forced) {
+            (_, Some(forced)) => {
                 shard.advance_durable(forced);
                 shard.counters.sync_commits.fetch_add(1, Ordering::Relaxed);
             }
-            None => shard.enqueue_commit(),
+            (CommitPolicy::Sync, None) => {
+                let sched = self
+                    .scheduler
+                    .as_ref()
+                    .expect("deferred sync commit only exists with a scheduler");
+                let outcome = sched
+                    .force(shard)
+                    .ok_or_else(|| LlogError::CacheProtocol(format!("shard {idx} has crashed")))?;
+                if !shard.settle_force(outcome) {
+                    // Barrier failure or a torn device write: nothing was
+                    // acknowledged (the watermark did not advance past the
+                    // durable prefix); a tear killed the shard.
+                    return Err(LlogError::Io {
+                        point: "coalesced_force".into(),
+                        reason: "barrier failed on sync commit".into(),
+                    });
+                }
+                shard.counters.sync_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            (CommitPolicy::Group(_), None) => shard.enqueue_commit(),
         }
         shard.signal.notify(); // new uninstalled work for the installer
 
@@ -330,7 +384,15 @@ impl ShardedEngine {
 
     /// Force shard `i`'s WAL and advance its watermark.
     pub fn force_shard(&self, i: usize) -> Result<()> {
-        if self.shards[i].force_now() {
+        let shard = &self.shards[i];
+        let ok = match &self.scheduler {
+            Some(sched) if !shard.is_dead() => match sched.force(shard) {
+                Some(outcome) => shard.settle_force(outcome),
+                None => false,
+            },
+            _ => shard.force_now(),
+        };
+        if ok {
             Ok(())
         } else {
             Err(LlogError::CacheProtocol(format!("shard {i} has crashed")))
@@ -588,6 +650,14 @@ impl ShardedEngine {
         }
         let handles: Vec<JoinHandle<()>> = lock(&self.threads).drain(..).collect();
         for t in handles {
+            let _ = t.join();
+        }
+        // Scheduler last: draining flushers route their final forces
+        // through it, so it must stay alive until they have joined.
+        if let Some(sched) = &self.scheduler {
+            sched.stop();
+        }
+        if let Some(t) = lock(&self.sched_thread).take() {
             let _ = t.join();
         }
     }
@@ -1432,5 +1502,184 @@ mod tests {
         e.note_replica_watermark(0, Lsn(1)).unwrap();
         let lag = e.metrics_snapshot().per_shard[0].repl_replay_lag_frames;
         assert!(lag > 0, "below-base watermark must read as maximal lag");
+    }
+
+    #[test]
+    fn coalesced_sync_commits_survive_and_share_barriers() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 4,
+            commit: CommitPolicy::Sync,
+            coalesce_window: Some(Duration::from_millis(20)),
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        // Four committer threads: their sync commits land inside each
+        // other's gather windows, so barriers carry more than one rider.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let e = &e;
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        let x = ObjectId(t * 1000 + i);
+                        let ticket = e
+                            .execute(
+                                OpKind::Physical,
+                                vec![],
+                                vec![x],
+                                Transform::new(
+                                    builtin::CONST,
+                                    builtin::encode_values(&[Value::from("co")]),
+                                ),
+                            )
+                            .unwrap();
+                        assert!(ticket.is_durable(), "sync commits are durable on return");
+                    }
+                });
+            }
+        });
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.group_commit.sync_commits, 32);
+        assert!(
+            snap.aggregate.forces_coalesced > 0,
+            "concurrent sync commits under a 20ms window must share a barrier"
+        );
+        let parts = e.crash();
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for t in 0..4u64 {
+            for i in 0..8u64 {
+                assert_eq!(
+                    rec.read_value(ObjectId(t * 1000 + i)).unwrap(),
+                    Value::from("co")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_barrier_failure_retries_without_false_acks() {
+        use llog_testkit::faults::{failpoint, FaultKind};
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: 2,
+                max_delay: Duration::from_millis(2),
+            }),
+            coalesce_window: Some(Duration::from_millis(1)),
+            ..ShardedConfig::default()
+        };
+        let host = Arc::new(FaultHost::new());
+        let e = ShardedEngine::new_with_faults(cfg, &reg, Some(host.clone()));
+        // The shared sync barrier fails once: every rider fails, nothing is
+        // acknowledged, and the flusher's retry re-stages the whole tail.
+        host.arm(failpoint::SCHED_SYNC, FaultKind::IoError);
+        let tickets: Vec<CommitTicket> = (0..4u64).map(|i| put(&e, ObjectId(i), "bf")).collect();
+        for t in &tickets {
+            assert!(t.wait(), "single-shot barrier failure must be retried");
+        }
+        assert_eq!(host.fired().len(), 1);
+        let parts = e.crash();
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("bf"));
+        }
+    }
+
+    #[test]
+    fn torn_coalesced_force_kills_shard_without_false_acks() {
+        use llog_testkit::faults::{failpoint, FaultKind};
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: 4,
+                max_delay: Duration::from_secs(3600),
+            }),
+            coalesce_window: Some(Duration::from_millis(1)),
+            ..ShardedConfig::default()
+        };
+        let host = Arc::new(FaultHost::new());
+        let e = ShardedEngine::new_with_faults(cfg, &reg, Some(host.clone()));
+        let pre: Vec<CommitTicket> = (0..4u64).map(|i| put(&e, ObjectId(i), "pre")).collect();
+        for t in &pre {
+            assert!(t.wait());
+        }
+        // The tear fires inside the barrier's per-shard begin phase: the
+        // shard dies and no rider of the doomed batch ever acks.
+        host.arm(
+            failpoint::FLUSHER_FORCE,
+            FaultKind::TornWrite { at_byte: 3 },
+        );
+        let doomed: Vec<CommitTicket> = (4..8u64).map(|i| put(&e, ObjectId(i), "doomed")).collect();
+        for t in &doomed {
+            assert!(!t.wait(), "a ticket in a torn barrier must never ack");
+            assert!(!t.is_durable());
+        }
+        assert_eq!(host.fired().len(), 1);
+        let parts = e.crash_torn(&[]);
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(rec.read_value(ObjectId(i)).unwrap(), Value::from("pre"));
+        }
+        for i in 4..8u64 {
+            assert_eq!(
+                rec.read_value(ObjectId(i)).unwrap(),
+                Value::empty(),
+                "torn-barrier op {i} must not survive"
+            );
+        }
+    }
+
+    #[test]
+    fn coalesced_forces_share_one_device_fsync() {
+        use llog_storage::device::DeviceConfig;
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 2,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: usize::MAX, // only explicit forces flush
+                max_delay: Duration::from_secs(3600),
+            }),
+            persist_on_force: true,
+            coalesce_window: Some(Duration::from_millis(50)),
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        e.attach_backends(
+            (0..2)
+                .map(|_| DurabilityBackend::mem(Metrics::new(), &DeviceConfig::small()))
+                .collect(),
+        );
+        let r = e.router();
+        let a = ObjectId(0);
+        let b = (1..)
+            .map(ObjectId)
+            .find(|&x| r.shard_of(x) != r.shard_of(a))
+            .unwrap();
+        let ta = put(&e, a, "one");
+        let tb = put(&e, b, "two");
+        let before = e.metrics_snapshot().aggregate;
+        // Near-simultaneous forces on both shards: the 50ms gather window
+        // folds them into one barrier with one shared device fsync.
+        std::thread::scope(|s| {
+            let e = &e;
+            s.spawn(move || e.force_shard(0).unwrap());
+            s.spawn(move || e.force_shard(1).unwrap());
+        });
+        assert!(ta.is_durable() && tb.is_durable());
+        let after = e.metrics_snapshot().aggregate;
+        assert_eq!(
+            after.forces_coalesced - before.forces_coalesced,
+            1,
+            "two riders, one barrier"
+        );
+        assert_eq!(
+            after.io_fsyncs - before.io_fsyncs,
+            1,
+            "the shared barrier costs exactly one fsync"
+        );
+        assert!(after.double_buffer_overlap_ns > before.double_buffer_overlap_ns);
+        drop(e);
     }
 }

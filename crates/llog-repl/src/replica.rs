@@ -649,6 +649,8 @@ fn stats_body(state: &Arc<State>) -> StatsBody {
                 .map(|s| s.engine().wal().frames_from(s.watermark()))
                 .sum(),
             repl_watermark_lsn: sessions.iter().map(|s| s.watermark().0).max().unwrap_or(0),
+            forces_coalesced: 0,
+            io_fsyncs: 0,
         },
         Role::Promoted(engine) => {
             let snap = engine.metrics_snapshot();
@@ -664,6 +666,8 @@ fn stats_body(state: &Arc<State>) -> StatsBody {
                     .map(|i| engine.durable_lsn(i).0)
                     .max()
                     .unwrap_or(0),
+                forces_coalesced: snap.aggregate.forces_coalesced,
+                io_fsyncs: snap.aggregate.io_fsyncs,
             }
         }
         Role::Draining => StatsBody::default(),

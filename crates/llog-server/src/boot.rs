@@ -20,13 +20,16 @@ use llog_types::{LlogError, Result};
 use llog_wal::DurabilityBackend;
 
 /// Engine configuration for a served database: group commit (pipelined
-/// acks ride the flusher) and `persist_on_force` (an acked operation is
-/// on the device — a process `SIGKILL` loses nothing acknowledged).
+/// acks ride the flusher), `persist_on_force` (an acked operation is on
+/// the device — a process `SIGKILL` loses nothing acknowledged), and a
+/// coalescing window so near-simultaneous forces on different shards
+/// share one fsync barrier.
 pub fn server_engine_config(shards: usize) -> ShardedConfig {
     ShardedConfig {
         shards,
         commit: CommitPolicy::Group(GroupCommitPolicy::default()),
         persist_on_force: true,
+        coalesce_window: Some(std::time::Duration::from_micros(200)),
         ..ShardedConfig::default()
     }
 }
@@ -53,7 +56,9 @@ pub fn open_served(
     } else {
         shards.max(1)
     };
-    let cfg = DeviceConfig::default();
+    // Served logs take the hot-path device shape: segments preallocated to
+    // their cap ahead of the append cursor, truncated ones recycled.
+    let cfg = DeviceConfig::default().with_fast_segments(2);
     let mut backends = Vec::with_capacity(shards);
     for i in 0..shards {
         backends.push(DurabilityBackend::file(

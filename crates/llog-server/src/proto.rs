@@ -182,6 +182,11 @@ pub struct StatsBody {
     /// Last replayed-LSN watermark reported by a replica (max across
     /// shards; on a replica server, its own watermark).
     pub repl_watermark_lsn: u64,
+    /// Forces that rode another shard's fsync barrier instead of paying
+    /// their own (cross-shard coalescing).
+    pub forces_coalesced: u64,
+    /// Device fsync barriers actually issued.
+    pub io_fsyncs: u64,
 }
 
 /// What the server answers. `req_id` always echoes the request's.
@@ -496,6 +501,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(body.repl_bytes_shipped);
             out.put_u64_le(body.repl_replay_lag_frames);
             out.put_u64_le(body.repl_watermark_lsn);
+            out.put_u64_le(body.forces_coalesced);
+            out.put_u64_le(body.io_fsyncs);
         }
         Response::Err {
             req_id,
@@ -568,7 +575,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         },
         T_OK => Response::Ok { req_id },
         T_STATS_R => {
-            need(&buf, 4 + 8 * 7, "stats body")?;
+            need(&buf, 4 + 8 * 9, "stats body")?;
             Response::Stats {
                 req_id,
                 body: StatsBody {
@@ -580,6 +587,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                     repl_bytes_shipped: buf.get_u64_le(),
                     repl_replay_lag_frames: buf.get_u64_le(),
                     repl_watermark_lsn: buf.get_u64_le(),
+                    forces_coalesced: buf.get_u64_le(),
+                    io_fsyncs: buf.get_u64_le(),
                 },
             }
         }
@@ -817,6 +826,8 @@ mod tests {
                     repl_bytes_shipped: 4096,
                     repl_replay_lag_frames: 2,
                     repl_watermark_lsn: 888,
+                    forces_coalesced: 42,
+                    io_fsyncs: 58,
                 },
             },
             Response::Err {

@@ -505,6 +505,8 @@ fn execute_request(inner: &Arc<Inner>, shipping: &mut ShippingState, req: Reques
                     repl_bytes_shipped: snap.aggregate.repl_bytes_shipped,
                     repl_replay_lag_frames: snap.aggregate.repl_replay_lag_frames,
                     repl_watermark_lsn: snap.aggregate.repl_watermark_lsn,
+                    forces_coalesced: snap.aggregate.forces_coalesced,
+                    io_fsyncs: snap.aggregate.io_fsyncs,
                 },
             })
         }

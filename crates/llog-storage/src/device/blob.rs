@@ -24,6 +24,14 @@ pub trait BlobStore: Send + std::fmt::Debug {
     fn put(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
     /// Append `bytes` to the blob `name`, creating it if absent.
     fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Overwrite `bytes` at byte `offset` within the blob `name`, creating
+    /// the blob (zero-filled up to `offset`) or extending it as needed. The
+    /// in-place write a preallocated segment needs: the file never grows in
+    /// steady state, so no metadata update rides the hot path.
+    fn write_at(&mut self, name: &str, offset: u64, bytes: &[u8]) -> Result<()>;
+    /// Rename the blob `from` to `to`, replacing any blob already at `to`.
+    /// Errors if `from` does not exist.
+    fn rename(&mut self, from: &str, to: &str) -> Result<()>;
     /// Read the full blob, or `None` if it does not exist.
     fn get(&self, name: &str) -> Result<Option<Vec<u8>>>;
     /// Delete the blob if present (idempotent).
@@ -61,6 +69,29 @@ impl BlobStore for MemBlobs {
             .or_default()
             .extend_from_slice(bytes);
         Ok(())
+    }
+
+    fn write_at(&mut self, name: &str, offset: u64, bytes: &[u8]) -> Result<()> {
+        let blob = self.blobs.entry(name.to_string()).or_default();
+        let end = offset as usize + bytes.len();
+        if blob.len() < end {
+            blob.resize(end, 0);
+        }
+        blob[offset as usize..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        match self.blobs.remove(from) {
+            Some(bytes) => {
+                self.blobs.insert(to.to_string(), bytes);
+                Ok(())
+            }
+            None => Err(LlogError::Io {
+                point: from.to_string(),
+                reason: "rename: no such blob".to_string(),
+            }),
+        }
     }
 
     fn get(&self, name: &str) -> Result<Option<Vec<u8>>> {
@@ -143,6 +174,38 @@ impl BlobStore for FileBlobs {
         Ok(())
     }
 
+    fn write_at(&mut self, name: &str, offset: u64, bytes: &[u8]) -> Result<()> {
+        use std::io::{Seek as _, SeekFrom, Write as _};
+        let path = self.path_of(name);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false) // in-place overwrite: bytes past the write survive
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err(&path, e))?;
+        f.write_all(bytes).map_err(|e| io_err(&path, e))?;
+        if !self.pending_sync.contains(&path) {
+            self.pending_sync.push(path);
+        }
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let from_path = self.path_of(from);
+        let to_path = self.path_of(to);
+        std::fs::rename(&from_path, &to_path).map_err(|e| io_err(&from_path, e))?;
+        // A pending barrier on the old path must follow the blob to its new
+        // name, and the renamed file gets a sync so the rename is durable
+        // at the next barrier.
+        self.pending_sync.retain(|p| *p != from_path);
+        if !self.pending_sync.contains(&to_path) {
+            self.pending_sync.push(to_path);
+        }
+        Ok(())
+    }
+
     fn get(&self, name: &str) -> Result<Option<Vec<u8>>> {
         let path = self.path_of(name);
         match std::fs::read(&path) {
@@ -209,6 +272,23 @@ mod tests {
         assert_eq!(b.get("a").unwrap(), None);
         assert_eq!(b.list().unwrap(), vec!["fresh".to_string()]);
         b.sync().unwrap();
+        // In-place writes: overwrite, extend past the end, create sparse.
+        b.put("w", b"0123456789").unwrap();
+        b.write_at("w", 3, b"abc").unwrap();
+        assert_eq!(b.get("w").unwrap().unwrap(), b"012abc6789");
+        b.write_at("w", 8, b"XYZ").unwrap();
+        assert_eq!(b.get("w").unwrap().unwrap(), b"012abc67XYZ");
+        b.write_at("sparse", 2, b"z").unwrap();
+        assert_eq!(b.get("sparse").unwrap().unwrap(), &[0, 0, b'z']);
+        // Rename: replaces the target, errors on a missing source.
+        b.put("target", b"old").unwrap();
+        b.rename("w", "target").unwrap();
+        assert_eq!(b.get("w").unwrap(), None);
+        assert_eq!(b.get("target").unwrap().unwrap(), b"012abc67XYZ");
+        assert!(b.rename("w", "nowhere").is_err());
+        b.sync().unwrap();
+        b.delete("target").unwrap();
+        b.delete("sparse").unwrap();
     }
 
     #[test]

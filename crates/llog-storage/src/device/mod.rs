@@ -26,7 +26,8 @@ pub use deltastore::{
     delta_name, CkptStats, DeltaStore, FileStoreDevice, MemStoreDevice, StoreDevice, STORE_MANIFEST,
 };
 pub use seglog::{
-    segment_name, FileLogDevice, LogDevice, LogParts, MemLogDevice, SegLog, WAL_MANIFEST,
+    segment_name, FileLogDevice, LogDevice, LogParts, MemLogDevice, SegLog, SEG_HEADER,
+    WAL_MANIFEST,
 };
 
 /// Tuning knobs shared by both devices.
@@ -37,6 +38,15 @@ pub struct DeviceConfig {
     /// Fold the checkpoint-manifest chain into one full image once it holds
     /// this many deltas.
     pub compact_chain: usize,
+    /// Preallocate each open WAL segment blob to its full size (header +
+    /// zero fill, one write) when it is first materialized, so steady-state
+    /// appends overwrite in place and never grow the file.
+    pub preallocate: bool,
+    /// Retired segment blobs parked for recycling instead of deletion at
+    /// truncation reclaim; rotation adopts one (rename + header re-stamp)
+    /// instead of creating a segment cold. `0` disables the pool; has no
+    /// effect unless `preallocate` is on.
+    pub recycle_pool: usize,
 }
 
 impl Default for DeviceConfig {
@@ -44,6 +54,8 @@ impl Default for DeviceConfig {
         DeviceConfig {
             segment_bytes: 32 * 1024,
             compact_chain: 16,
+            preallocate: false,
+            recycle_pool: 0,
         }
     }
 }
@@ -55,6 +67,15 @@ impl DeviceConfig {
         DeviceConfig {
             segment_bytes: 64,
             compact_chain: 4,
+            ..DeviceConfig::default()
         }
+    }
+
+    /// Enable the segment fast path: preallocated open segments plus a
+    /// recycling pool of `pool` retired segments.
+    pub fn with_fast_segments(mut self, pool: usize) -> DeviceConfig {
+        self.preallocate = true;
+        self.recycle_pool = pool;
+        self
     }
 }

@@ -1,11 +1,24 @@
 //! Segmented log device: append-only WAL segments + a CRC'd manifest.
 //!
 //! Layout (blob names):
-//! - `seg-{start:016x}.llog` — raw WAL frame bytes whose first byte sits at
-//!   absolute LSN `start`. No per-file header; the name carries the start and
-//!   the manifest carries length + CRC for every *sealed* segment. The open
-//!   (tail) segment is unsealed: its bytes are validated by the frame-level
-//!   scan at recovery, exactly like the in-memory WAL's unforced tail.
+//! - `seg-{start:016x}.llog` — WAL frame bytes whose first byte sits at
+//!   absolute LSN `start`. Two physical layouts, distinguished by an
+//!   8-byte magic sniff:
+//!   - *legacy*: raw frame bytes, file length == logical length;
+//!   - *preallocated*: `"LLOGSEG1" | start u64 | frames | zero fill`,
+//!     physical length fixed at `16 + segment_bytes` so steady-state
+//!     appends overwrite in place and never grow the file. The zero fill
+//!     (and any stale frames left by recycling) is rejected at load by the
+//!     address-bound frame CRC: a frame checksums only at the exact LSN it
+//!     was appended at, and `frame_crc(lsn, "") != 0`.
+//!
+//!   The manifest carries length + CRC for every *sealed* segment (over the
+//!   logical frame bytes only). The open (tail) segment is unsealed: its
+//!   bytes are validated by the frame-level scan at recovery, exactly like
+//!   the in-memory WAL's unforced tail.
+//! - `pool-{start:016x}.llog` — a retired segment parked for recycling
+//!   (`start` is from its previous life). Rotation adopts one by rename +
+//!   header re-stamp instead of creating a segment cold.
 //! - `wal-manifest.llog` — `"LLOGWMF1" | base u64 | master u64 |
 //!   open_start u64 | sealed_count u64 | sealed × (start u64, len u64,
 //!   crc u32) | crc32c u32`.
@@ -23,7 +36,7 @@
 use std::sync::Arc;
 
 use llog_testkit::faults::{failpoint, FaultHost, WriteVerdict};
-use llog_types::{crc32c, LlogError, Lsn, Result};
+use llog_types::{crc32c, frame_crc, LlogError, Lsn, Result};
 
 use super::blob::{BlobStore, FileBlobs, MemBlobs};
 use super::DeviceConfig;
@@ -32,10 +45,40 @@ use crate::metrics::Metrics;
 /// Manifest blob name for the segmented log.
 pub const WAL_MANIFEST: &str = "wal-manifest.llog";
 const MANIFEST_MAGIC: &[u8; 8] = b"LLOGWMF1";
+const SEG_MAGIC: &[u8; 8] = b"LLOGSEG1";
+/// Physical header of a preallocated segment blob: magic + start LSN.
+pub const SEG_HEADER: usize = 16;
+/// WAL frame header (`len u32 | crc u32`) — mirrored here so the device can
+/// walk its own preallocated tail to find where real frames end and zero
+/// fill begins. The frame layout is owned by `llog-wal`; this is the one
+/// place below it that must understand it.
+const FRAME_HEADER: usize = 8;
 
 /// Blob name of the segment whose first byte is at absolute LSN `start`.
 pub fn segment_name(start: Lsn) -> String {
     format!("seg-{:016x}.llog", start.0)
+}
+
+/// Blob name of a retired segment parked for recycling; `start` is from its
+/// previous life and only keeps pool names unique.
+fn pool_name(start: Lsn) -> String {
+    format!("pool-{:016x}.llog", start.0)
+}
+
+/// `Some(previous start)` when `bytes` carries a preallocated-segment header.
+fn sniff_header(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() >= SEG_HEADER && &bytes[..8] == SEG_MAGIC {
+        Some(u64::from_le_bytes(bytes[8..16].try_into().unwrap()))
+    } else {
+        None
+    }
+}
+
+fn seg_header(start: Lsn) -> [u8; SEG_HEADER] {
+    let mut hdr = [0u8; SEG_HEADER];
+    hdr[..8].copy_from_slice(SEG_MAGIC);
+    hdr[8..16].copy_from_slice(&start.0.to_le_bytes());
+    hdr
 }
 
 /// The durable content of a log device, read back at recovery.
@@ -75,6 +118,15 @@ pub trait LogDevice: Send + std::fmt::Debug {
     fn append(&mut self, at: Lsn, bytes: &[u8], faults: Option<&FaultHost>) -> Result<u64>;
     /// Durability barrier: writes the manifest if stale and syncs all blobs.
     fn force(&mut self, faults: Option<&FaultHost>) -> Result<()>;
+    /// First half of a split durability barrier: write the manifest if stale
+    /// but do **not** sync the blobs — the caller owns the sync. A
+    /// cross-shard coalescing scheduler stages many devices this way and
+    /// covers them all with one shared barrier ([`LogDevice::sync_uncounted`]).
+    fn stage(&mut self, faults: Option<&FaultHost>) -> Result<()>;
+    /// Second half of a split barrier: sync all blobs *without* counting an
+    /// fsync in the metrics ledger — the caller accounts the shared barrier
+    /// exactly once, however many devices ride it.
+    fn sync_uncounted(&mut self) -> Result<()>;
     /// Reclaim whole segments strictly below `lsn` (durable space reclaim).
     /// Returns the number of segments dropped. The retained base may stay
     /// below `lsn` — reclaim is segment-granular, never byte-granular.
@@ -113,6 +165,18 @@ pub struct SegLog<B: BlobStore> {
     /// bytes beyond the corruption.
     wounded: Option<Lsn>,
     dirty_manifest: bool,
+    /// Preallocate open segments to full size (see [`DeviceConfig`]).
+    preallocate: bool,
+    /// Retired segments kept for recycling (0 disables the pool).
+    recycle_cap: usize,
+    /// Parked retired-segment blob names available for recycling.
+    pool: Vec<String>,
+    /// Whether the open segment's blob has been materialized this rotation
+    /// (recycled, preallocated, or — legacy — lazily created by append).
+    open_blob_ready: bool,
+    /// Whether the open segment's blob carries the preallocated header, so
+    /// appends know to write in place past it rather than append.
+    open_headered: bool,
 }
 
 /// In-memory log device (the fuzz-fast deterministic backend).
@@ -158,6 +222,11 @@ impl<B: BlobStore> SegLog<B> {
             open: Vec::new(),
             wounded: None,
             dirty_manifest: true,
+            preallocate: cfg.preallocate,
+            recycle_cap: cfg.recycle_pool,
+            pool: Vec::new(),
+            open_blob_ready: false,
+            open_headered: false,
         }
     }
 
@@ -171,6 +240,12 @@ impl<B: BlobStore> SegLog<B> {
         base: Lsn,
     ) -> Result<SegLog<B>> {
         let mut d = SegLog::over(blobs, metrics, cfg, kind);
+        d.pool = d
+            .blobs
+            .list()?
+            .into_iter()
+            .filter(|n| n.starts_with("pool-"))
+            .collect();
         match d.load_parts()? {
             Some(parts) => {
                 let state = parse_manifest(&d.blobs.get(WAL_MANIFEST)?.unwrap())?;
@@ -178,7 +253,28 @@ impl<B: BlobStore> SegLog<B> {
                 d.master = state.master;
                 d.sealed = state.sealed;
                 d.open_start = state.open_start;
-                d.open = parts.bytes[(state.open_start.0 - state.base.0) as usize..].to_vec();
+                // `load_parts` normalizes a preallocated tail (clips zero
+                // fill and stale recycled frames), so the in-memory mirror
+                // tracks only real frame bytes.
+                let off = (state.open_start.0 - state.base.0) as usize;
+                d.open = parts.bytes.get(off..).unwrap_or_default().to_vec();
+                match d.blobs.get(&segment_name(d.open_start))? {
+                    Some(blob) => match sniff_header(&blob) {
+                        Some(start) if start == d.open_start.0 => {
+                            d.open_headered = true;
+                            d.open_blob_ready = true;
+                        }
+                        // A stale header means a crash landed between the
+                        // recycle rename and the re-stamp: nothing from
+                        // this life was written, rebuild on next append.
+                        Some(_) => d.open_blob_ready = false,
+                        None => {
+                            d.open_headered = false;
+                            d.open_blob_ready = true;
+                        }
+                    },
+                    None => d.open_blob_ready = false,
+                }
                 d.dirty_manifest = false;
             }
             None => {
@@ -250,8 +346,54 @@ impl<B: BlobStore> SegLog<B> {
         });
         self.open_start = Lsn(self.open_start.0 + self.open.len() as u64);
         self.open.clear();
+        // Sealing is pure bookkeeping — the sealed blob keeps its name; the
+        // next append materializes the next open blob.
+        self.open_blob_ready = false;
+        self.open_headered = false;
         self.dirty_manifest = true;
         Metrics::bump(&self.metrics.segments_rotated, 1);
+    }
+
+    /// Materialize the open segment's blob if this rotation has not yet:
+    /// recycle a parked retired segment (rename + header re-stamp), or
+    /// preallocate a fresh one to full size, or — legacy mode — leave it to
+    /// `append` to create lazily.
+    fn ensure_open_blob(&mut self, name: &str) -> Result<()> {
+        if self.open_blob_ready {
+            return Ok(());
+        }
+        if self.preallocate {
+            let hdr = seg_header(self.open_start);
+            match self.pool.pop() {
+                Some(parked) => {
+                    // Adopt the retired blob, then re-stamp its header with
+                    // the new start address. Its previous life's frames stay
+                    // beyond the header; the address-bound frame CRC rejects
+                    // them at load, so they can never resurrect.
+                    self.blobs.rename(&parked, name)?;
+                    self.blobs.write_at(name, 0, &hdr)?;
+                    Metrics::bump(&self.metrics.io_bytes_written, SEG_HEADER as u64);
+                    Metrics::bump(&self.metrics.segments_recycled, 1);
+                }
+                None => {
+                    // Pay the full-size write (and its metadata update) once
+                    // here so steady-state appends never grow the file.
+                    let mut img = vec![0u8; SEG_HEADER + self.segment_bytes];
+                    img[..SEG_HEADER].copy_from_slice(&hdr);
+                    Metrics::bump(&self.metrics.io_bytes_written, img.len() as u64);
+                    self.blobs.put(name, &img)?;
+                }
+            }
+            self.open_headered = true;
+        } else {
+            // Legacy unheadered tail, created lazily by `append`. A
+            // half-recycled blob (stale header) may sit at this name after
+            // a crash; drop it so appends start clean.
+            self.blobs.delete(name)?;
+            self.open_headered = false;
+        }
+        self.open_blob_ready = true;
+        Ok(())
     }
 }
 
@@ -328,7 +470,14 @@ impl<B: BlobStore> LogDevice for SegLog<B> {
                 let room = self.segment_bytes.saturating_sub(self.open.len()).max(1);
                 let take = rest.len().min(room);
                 let (chunk, tail) = rest.split_at(take);
-                self.blobs.append(&segment_name(self.open_start), chunk)?;
+                let name = segment_name(self.open_start);
+                self.ensure_open_blob(&name)?;
+                if self.open_headered {
+                    let at = (SEG_HEADER + self.open.len()) as u64;
+                    self.blobs.write_at(&name, at, chunk)?;
+                } else {
+                    self.blobs.append(&name, chunk)?;
+                }
                 self.open.extend_from_slice(chunk);
                 rest = tail;
                 if self.open.len() >= self.segment_bytes {
@@ -346,6 +495,17 @@ impl<B: BlobStore> LogDevice for SegLog<B> {
         self.blobs.sync()?;
         Metrics::bump(&self.metrics.io_fsyncs, 1);
         Ok(())
+    }
+
+    fn stage(&mut self, faults: Option<&FaultHost>) -> Result<()> {
+        if self.dirty_manifest {
+            self.write_manifest(faults)?;
+        }
+        Ok(())
+    }
+
+    fn sync_uncounted(&mut self) -> Result<()> {
+        self.blobs.sync()
     }
 
     fn truncate_below(&mut self, lsn: Lsn, faults: Option<&FaultHost>) -> Result<u64> {
@@ -372,20 +532,62 @@ impl<B: BlobStore> LogDevice for SegLog<B> {
         self.blobs.sync()?;
         Metrics::bump(&self.metrics.io_fsyncs, 1);
         for seg in &dropped {
-            self.blobs.delete(&segment_name(seg.start))?;
+            let name = segment_name(seg.start);
+            // Park headered retirees for recycling up to the pool cap;
+            // everything else is deleted as before. Only headered blobs are
+            // recyclable — adoption re-stamps a header in place.
+            let park = self.preallocate
+                && self.pool.len() < self.recycle_cap
+                && matches!(self.blobs.get(&name)?, Some(b) if sniff_header(&b).is_some());
+            if park {
+                let parked = pool_name(seg.start);
+                self.blobs.rename(&name, &parked)?;
+                self.pool.push(parked);
+            } else {
+                self.blobs.delete(&name)?;
+            }
         }
         Metrics::bump(&self.metrics.segments_reclaimed, dropped.len() as u64);
         Ok(dropped.len() as u64)
     }
 
     fn reset(&mut self, base: Lsn, faults: Option<&FaultHost>) -> Result<()> {
+        // A reset retires segments just as a truncation reclaim does, so
+        // park headered (preallocated) blobs for recycling up to the pool
+        // cap instead of wasting them: a fully-truncating checkpoint (all
+        // work installed, the WAL base jumping past the device end) must
+        // not cost the next rotations their warm segments. Surviving
+        // parked blobs are kept first; the manifest written below never
+        // names pool blobs, so a crash mid-reset leaves only harmless
+        // orphans that `attach` re-pools.
+        let mut pool: Vec<String> = Vec::new();
         let mut dropped = 0u64;
         for name in self.blobs.list()? {
-            if name.starts_with("seg-") {
-                self.blobs.delete(&name)?;
+            if let Some(rest) = name.strip_prefix("seg-") {
+                let parked = format!("pool-{rest}");
+                let park = self.preallocate
+                    && pool.len() + self.pool.len() < self.recycle_cap
+                    && !self.pool.contains(&parked)
+                    && matches!(self.blobs.get(&name)?, Some(b) if sniff_header(&b).is_some());
+                if park {
+                    self.blobs.rename(&name, &parked)?;
+                    pool.push(parked);
+                } else {
+                    self.blobs.delete(&name)?;
+                }
                 dropped += 1;
             }
         }
+        self.pool
+            .truncate(self.recycle_cap.saturating_sub(pool.len()));
+        self.pool.append(&mut pool);
+        for name in self.blobs.list()? {
+            if name.starts_with("pool-") && !self.pool.contains(&name) {
+                self.blobs.delete(&name)?;
+            }
+        }
+        self.open_blob_ready = false;
+        self.open_headered = false;
         // A reset over live segments reclaims their space just as a
         // truncation does; count it so "durable bytes dropped" is always
         // visible in the stats.
@@ -424,21 +626,48 @@ impl<B: BlobStore> LogDevice for SegLog<B> {
                     segment_name(seg.start)
                 )));
             };
-            if content.len() as u64 != seg.len {
-                return Err(err(format!(
-                    "segment {}: length {} != manifest {}",
-                    segment_name(seg.start),
-                    content.len(),
-                    seg.len
-                )));
-            }
-            if crc32c(&content) != seg.crc {
+            // Manifest length and CRC cover the logical frame bytes only;
+            // a preallocated blob carries them behind its header.
+            let logical: &[u8] = match sniff_header(&content) {
+                Some(start) => {
+                    if start != seg.start.0 {
+                        return Err(err(format!(
+                            "segment {}: header start {} != manifest {}",
+                            segment_name(seg.start),
+                            start,
+                            seg.start.0
+                        )));
+                    }
+                    let end = SEG_HEADER + seg.len as usize;
+                    if content.len() < end {
+                        return Err(err(format!(
+                            "segment {}: length {} < manifest {}",
+                            segment_name(seg.start),
+                            content.len().saturating_sub(SEG_HEADER),
+                            seg.len
+                        )));
+                    }
+                    &content[SEG_HEADER..end]
+                }
+                None => {
+                    if content.len() as u64 != seg.len {
+                        return Err(err(format!(
+                            "segment {}: length {} != manifest {}",
+                            segment_name(seg.start),
+                            content.len(),
+                            seg.len
+                        )));
+                    }
+                    &content
+                }
+            };
+            if crc32c(logical) != seg.crc {
                 return Err(err(format!(
                     "segment {}: checksum mismatch",
                     segment_name(seg.start)
                 )));
             }
-            bytes.extend_from_slice(&content);
+            bytes.extend_from_slice(logical);
             expect = Lsn(seg.start.0 + seg.len);
         }
         if m.open_start != expect {
@@ -447,11 +676,28 @@ impl<B: BlobStore> LogDevice for SegLog<B> {
                 m.open_start.0, expect.0
             )));
         }
-        // The open (tail) segment is unsealed: read raw; the frame-level
-        // recovery scan validates it (torn tails clipped at-or-after
-        // `tail_guard`).
+        // The open (tail) segment is unsealed. A legacy tail is read raw
+        // (the frame-level recovery scan validates it, torn tails clipped
+        // at-or-after `tail_guard`); a preallocated tail is normalized here
+        // — header stripped, then zero fill and stale recycled frames
+        // clipped by walking address-bound frame CRCs.
+        let mut tail_headered = false;
         if let Some(tail) = self.blobs.get(&segment_name(m.open_start))? {
-            bytes.extend_from_slice(&tail);
+            match sniff_header(&tail) {
+                Some(start) => {
+                    tail_headered = true;
+                    // A header stamped with a different start is a
+                    // half-recycled blob (crash between the adoption rename
+                    // and the re-stamp): nothing from this life was written.
+                    if start == m.open_start.0 {
+                        bytes.extend_from_slice(&tail[SEG_HEADER..]);
+                    }
+                }
+                None => bytes.extend_from_slice(&tail),
+            }
+        }
+        if tail_headered {
+            clip_preallocated_tail(m.base, m.master, m.open_start, &mut bytes);
         }
         if m.master != Lsn::ZERO && m.master < m.base {
             return Err(err(format!(
@@ -466,6 +712,56 @@ impl<B: BlobStore> LogDevice for SegLog<B> {
             bytes,
         }))
     }
+}
+
+/// Normalize a preallocated open tail: clip `bytes` where real frames end
+/// and zero fill (or a recycled segment's stale frames) begins.
+///
+/// Walks frame length fields from the anchor to the last frame boundary at
+/// or below the open segment's start (sealed bytes are CRC-verified, so the
+/// fields are trustworthy), then validates address-bound frame CRCs forward
+/// from there; the first invalid frame marks the cut. The cut never lands
+/// below `open_start` — an incomplete frame straddling the sealed/open
+/// boundary is left for the WAL's guarded scan to classify, exactly as with
+/// a legacy tail.
+///
+/// The anchor is the master checkpoint when it sits above the base, not the
+/// base itself: segment reclaim is byte-granular, so when every sealed
+/// segment drops, the surviving base can land mid-frame (the tail of an
+/// obsolete frame that straddled the last seal boundary). Walking from such
+/// a base reads garbage length fields and would clip live frames; the
+/// master always names a real frame start at or above the WAL's logical
+/// start, and recovery's own scan never reads below it.
+fn clip_preallocated_tail(base: Lsn, master: Lsn, open_start: Lsn, bytes: &mut Vec<u8>) {
+    let target = (open_start.0 - base.0) as usize;
+    let mut at = (master.0.saturating_sub(base.0)) as usize;
+    while at < target {
+        if at + FRAME_HEADER > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let next = at.saturating_add(FRAME_HEADER).saturating_add(len);
+        if next > target {
+            break; // the frame at `at` crosses into the open segment
+        }
+        at = next;
+    }
+    while at < bytes.len() {
+        if at + FRAME_HEADER > bytes.len() {
+            break; // cut header: frames end here
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let end = at + FRAME_HEADER + len;
+        if end > bytes.len() {
+            break; // cut body
+        }
+        if frame_crc(base.0 + at as u64, &bytes[at + FRAME_HEADER..end]) != crc {
+            break; // zero fill, a stale recycled frame, or real rot
+        }
+        at = end;
+    }
+    bytes.truncate(at.max(target));
 }
 
 struct ManifestState {
@@ -692,6 +988,229 @@ mod tests {
             .unwrap()
             .iter()
             .all(|n| !n.starts_with("seg-")));
+    }
+
+    fn fast_cfg(seg: usize, pool: usize) -> DeviceConfig {
+        cfg(seg).with_fast_segments(pool)
+    }
+
+    /// One WAL frame (`len | crc | payload`) address-bound to `lsn`.
+    fn frame(lsn: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&frame_crc(lsn, payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// A contiguous frame stream whose first byte sits at LSN `base`.
+    fn frames(base: u64, payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            let lsn = base + out.len() as u64;
+            let f = frame(lsn, p);
+            out.extend_from_slice(&f);
+        }
+        out
+    }
+
+    #[test]
+    fn preallocated_tail_clips_zero_fill_on_load() {
+        let mut d = MemLogDevice::mem(Metrics::new(), &fast_cfg(64, 0), Lsn(1));
+        let stream = frames(1, &[b"alpha", b"beta"]);
+        d.append(Lsn(1), &stream, None).unwrap();
+        d.force(None).unwrap();
+        // The blob is created at full size (header + zero fill)...
+        let blob = d.blobs.get(&segment_name(Lsn(1))).unwrap().unwrap();
+        assert_eq!(blob.len(), SEG_HEADER + 64);
+        assert_eq!(sniff_header(&blob), Some(1));
+        // ...but load clips the fill and returns only the real frames.
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.bytes, stream);
+        assert_eq!(d.end(), Lsn(1 + stream.len() as u64));
+        // Appending more keeps writing in place: the blob never grows.
+        let next = frames(d.end().0, &[b"gamma"]);
+        d.append(d.end(), &next, None).unwrap();
+        d.force(None).unwrap();
+        let blob = d.blobs.get(&segment_name(Lsn(1))).unwrap().unwrap();
+        assert_eq!(blob.len(), SEG_HEADER + 64);
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.bytes.len(), stream.len() + next.len());
+    }
+
+    #[test]
+    fn truncation_parks_and_rotation_recycles() {
+        let m = Metrics::new();
+        let mut d = MemLogDevice::mem(m.clone(), &fast_cfg(16, 2), Lsn(1));
+        // Three exact-fit 16-byte frames: seals [1,17) [17,33) [33,49).
+        let stream = frames(1, &[b"aaaaaaaa", b"bbbbbbbb", b"cccccccc"]);
+        assert_eq!(stream.len(), 48);
+        d.append(Lsn(1), &stream, None).unwrap();
+        d.force(None).unwrap();
+        assert_eq!(d.truncate_below(Lsn(33), None).unwrap(), 2);
+        let names = d.blobs.list().unwrap();
+        assert!(
+            names.contains(&pool_name(Lsn(1))),
+            "retiree parked: {names:?}"
+        );
+        assert!(names.contains(&pool_name(Lsn(17))));
+        // The next rotation adopts a parked blob instead of creating cold.
+        let more = frames(49, &[b"dddddddd", b"eeeeeeee"]);
+        d.append(Lsn(49), &more, None).unwrap();
+        d.force(None).unwrap();
+        assert_eq!(m.snapshot().segments_recycled, 2);
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.base, Lsn(33));
+        assert_eq!(parts.bytes.len(), 16 + more.len());
+        assert_eq!(&parts.bytes[16..], &more[..]);
+    }
+
+    #[test]
+    fn clip_anchors_at_master_when_base_lands_mid_frame() {
+        // A frame that straddles the last seal boundary leaves its tail in
+        // the open segment. When truncation drops every sealed segment, the
+        // device base becomes the open segment's start — mid-frame. The
+        // clip must anchor its frame walk at the master checkpoint, not the
+        // base, or the garbage prefix clips the live tail.
+        let mut d = MemLogDevice::mem(Metrics::new(), &fast_cfg(16, 2), Lsn(1));
+        // Frame A: 12-byte payload = 20 bytes at [1,21): seals [1,17),
+        // 4 tail bytes land in the open segment [17,33).
+        let a = frame(1, b"aaaaaaaaaaaa");
+        assert_eq!(a.len(), 20);
+        // Frame B: 2-byte payload = 10 bytes at [21,31), fully in the open
+        // segment. B plays the master checkpoint.
+        let b = frame(21, b"bb");
+        d.append(Lsn(1), &a, None).unwrap();
+        d.append(Lsn(21), &b, None).unwrap();
+        d.set_master(Lsn(21));
+        d.force(None).unwrap();
+        // Frame A is obsolete: drop everything below it. Only the sealed
+        // segment goes; base == open_start == 17 — inside frame A.
+        assert_eq!(d.truncate_below(Lsn(21), None).unwrap(), 1);
+        assert_eq!(d.start(), Lsn(17));
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.base, Lsn(17));
+        assert_eq!(parts.master, Lsn(21));
+        // The live frame B survives behind the 4-byte garbage prefix; the
+        // zero fill after it is clipped.
+        assert_eq!(parts.bytes.len(), 4 + b.len());
+        assert_eq!(&parts.bytes[4..], &b[..]);
+    }
+
+    #[test]
+    fn reset_parks_headered_retirees_for_recycling() {
+        let m = Metrics::new();
+        let mut d = MemLogDevice::mem(m.clone(), &fast_cfg(16, 2), Lsn(1));
+        // Three sealed-or-open headered segments, then a reset far past
+        // them (the fully-truncating-checkpoint shape: every byte below
+        // the new base).
+        let stream = frames(1, &[b"aaaaaaaa", b"bbbbbbbb", b"cccccccc"]);
+        d.append(Lsn(1), &stream, None).unwrap();
+        d.force(None).unwrap();
+        d.reset(Lsn(100), None).unwrap();
+        // Two retirees parked (pool cap), the third deleted.
+        let names = d.blobs.list().unwrap();
+        assert_eq!(
+            names.iter().filter(|n| n.starts_with("pool-")).count(),
+            2,
+            "parked up to the cap: {names:?}"
+        );
+        assert!(names.iter().all(|n| !n.starts_with("seg-")));
+        // The next appends adopt parked blobs instead of creating cold.
+        let more = frames(100, &[b"dddddddd", b"eeeeeeee"]);
+        d.append(Lsn(100), &more, None).unwrap();
+        d.force(None).unwrap();
+        assert_eq!(m.snapshot().segments_recycled, 2);
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.base, Lsn(100));
+        assert_eq!(parts.bytes, more);
+    }
+
+    #[test]
+    fn recycled_segment_ghosts_are_rejected_at_load() {
+        let m = Metrics::new();
+        let mut d = MemLogDevice::mem(m.clone(), &fast_cfg(32, 2), Lsn(1));
+        // Fill one segment exactly with two frames and rotate it out.
+        let life1 = frames(1, &[b"aaaaaaaa", b"bbbbbbbb"]);
+        assert_eq!(life1.len(), 32);
+        d.append(Lsn(1), &life1, None).unwrap();
+        d.force(None).unwrap();
+        assert_eq!(d.truncate_below(Lsn(33), None).unwrap(), 1);
+        // The new life writes ONE short frame into the recycled blob: the
+        // previous life's second frame survives physically beyond it.
+        let life2 = frames(33, &[b"newfrme1"]);
+        d.append(Lsn(33), &life2, None).unwrap();
+        d.force(None).unwrap();
+        assert_eq!(m.snapshot().segments_recycled, 1);
+        let blob = d.blobs.get(&segment_name(Lsn(33))).unwrap().unwrap();
+        assert_eq!(sniff_header(&blob), Some(33), "header re-stamped");
+        assert_eq!(
+            &blob[SEG_HEADER + 16..SEG_HEADER + 32],
+            &life1[16..32],
+            "stale frame bytes really are still in the blob"
+        );
+        // The stale frame is CRC-valid at its OLD address but not here, so
+        // load clips it: ghosts never resurrect.
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.base, Lsn(33));
+        assert_eq!(parts.bytes, life2);
+        assert_eq!(d.end(), Lsn(33 + life2.len() as u64));
+    }
+
+    #[test]
+    fn preallocated_file_device_resumes_with_clipped_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "llog-seglog-fast-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let metrics = Metrics::new();
+        let stream = frames(1, &[b"one", b"two"]);
+        {
+            let mut d =
+                FileLogDevice::file(&dir, metrics.clone(), &fast_cfg(64, 2), Lsn(1)).unwrap();
+            d.append(Lsn(1), &stream, None).unwrap();
+            d.force(None).unwrap();
+        }
+        // Reopen: the attach normalizes the preallocated tail, so the end
+        // reflects real frames, not the zero fill.
+        let mut d = FileLogDevice::file(&dir, metrics, &fast_cfg(64, 2), Lsn(1)).unwrap();
+        assert_eq!(d.end(), Lsn(1 + stream.len() as u64));
+        let next = frames(d.end().0, &[b"three"]);
+        d.append(d.end(), &next, None).unwrap();
+        d.force(None).unwrap();
+        let parts = d.load_parts().unwrap().unwrap();
+        assert_eq!(parts.bytes.len(), stream.len() + next.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fast_path_mem_and_file_blob_state_is_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "llog-seglog-ident-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let cfg = fast_cfg(16, 1);
+        let mut mem = MemLogDevice::mem(Metrics::new(), &cfg, Lsn(1));
+        let mut file = FileLogDevice::file(&dir, Metrics::new(), &cfg, Lsn(1)).unwrap();
+        let stream = frames(1, &[b"aaaaaaaa", b"bbbbbbbb", b"cccc"]);
+        let more = frames(1 + stream.len() as u64, &[b"dddddddd"]);
+        for d in [&mut mem as &mut dyn LogDevice, &mut file] {
+            d.append(Lsn(1), &stream, None).unwrap();
+            d.force(None).unwrap();
+            d.truncate_below(Lsn(17), None).unwrap();
+            d.append(Lsn(1 + stream.len() as u64), &more, None).unwrap();
+            d.force(None).unwrap();
+        }
+        assert_eq!(mem.dump_blobs().unwrap(), file.dump_blobs().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -67,6 +67,15 @@ pub struct Metrics {
     pub segments_rotated: AtomicU64,
     /// Whole WAL segments reclaimed by truncate-below.
     pub segments_reclaimed: AtomicU64,
+    /// Retired segment blobs recycled into a new open segment instead of
+    /// being created cold (preallocating log devices only).
+    pub segments_recycled: AtomicU64,
+    /// Shard forces that rode another shard's fsync barrier instead of
+    /// paying their own (global force scheduler).
+    pub forces_coalesced: AtomicU64,
+    /// Nanoseconds of fsync time during which appends kept flowing into the
+    /// WAL's staging buffer (double-buffered force overlap).
+    pub double_buffer_overlap_ns: AtomicU64,
     /// Objects written by incremental checkpoints (dirty since last ckpt).
     pub ckpt_objects_written: AtomicU64,
     /// Objects skipped by incremental checkpoints (clean since last ckpt).
@@ -125,6 +134,9 @@ impl Metrics {
             io_fsyncs: g(&self.io_fsyncs),
             segments_rotated: g(&self.segments_rotated),
             segments_reclaimed: g(&self.segments_reclaimed),
+            segments_recycled: g(&self.segments_recycled),
+            forces_coalesced: g(&self.forces_coalesced),
+            double_buffer_overlap_ns: g(&self.double_buffer_overlap_ns),
             ckpt_objects_written: g(&self.ckpt_objects_written),
             ckpt_objects_skipped: g(&self.ckpt_objects_skipped),
             repl_segments_shipped: g(&self.repl_segments_shipped),
@@ -171,6 +183,9 @@ impl Metrics {
             &self.io_fsyncs,
             &self.segments_rotated,
             &self.segments_reclaimed,
+            &self.segments_recycled,
+            &self.forces_coalesced,
+            &self.double_buffer_overlap_ns,
             &self.ckpt_objects_written,
             &self.ckpt_objects_skipped,
             &self.repl_segments_shipped,
@@ -242,6 +257,12 @@ pub struct MetricsSnapshot {
     pub segments_rotated: u64,
     /// Whole WAL segments reclaimed by truncate-below.
     pub segments_reclaimed: u64,
+    /// Retired segment blobs recycled into a new open segment.
+    pub segments_recycled: u64,
+    /// Shard forces that rode a shared fsync barrier.
+    pub forces_coalesced: u64,
+    /// Nanoseconds of fsync time overlapped with WAL staging appends.
+    pub double_buffer_overlap_ns: u64,
     /// Objects written by incremental checkpoints.
     pub ckpt_objects_written: u64,
     /// Objects skipped by incremental checkpoints.
@@ -266,7 +287,7 @@ impl MetricsSnapshot {
     ///
     /// The single source of truth for serialization and aggregation, so a
     /// counter added to the struct cannot silently go missing from either.
-    pub fn fields(&self) -> [(&'static str, u64); 34] {
+    pub fn fields(&self) -> [(&'static str, u64); 37] {
         [
             ("obj_reads", self.obj_reads),
             ("obj_read_bytes", self.obj_read_bytes),
@@ -296,6 +317,9 @@ impl MetricsSnapshot {
             ("io_fsyncs", self.io_fsyncs),
             ("segments_rotated", self.segments_rotated),
             ("segments_reclaimed", self.segments_reclaimed),
+            ("segments_recycled", self.segments_recycled),
+            ("forces_coalesced", self.forces_coalesced),
+            ("double_buffer_overlap_ns", self.double_buffer_overlap_ns),
             ("ckpt_objects_written", self.ckpt_objects_written),
             ("ckpt_objects_skipped", self.ckpt_objects_skipped),
             ("repl_segments_shipped", self.repl_segments_shipped),
@@ -370,6 +394,13 @@ impl MetricsSnapshot {
             segments_reclaimed: self
                 .segments_reclaimed
                 .saturating_add(other.segments_reclaimed),
+            segments_recycled: self
+                .segments_recycled
+                .saturating_add(other.segments_recycled),
+            forces_coalesced: self.forces_coalesced.saturating_add(other.forces_coalesced),
+            double_buffer_overlap_ns: self
+                .double_buffer_overlap_ns
+                .saturating_add(other.double_buffer_overlap_ns),
             ckpt_objects_written: self
                 .ckpt_objects_written
                 .saturating_add(other.ckpt_objects_written),
@@ -442,6 +473,15 @@ impl MetricsSnapshot {
             segments_reclaimed: self
                 .segments_reclaimed
                 .saturating_sub(earlier.segments_reclaimed),
+            segments_recycled: self
+                .segments_recycled
+                .saturating_sub(earlier.segments_recycled),
+            forces_coalesced: self
+                .forces_coalesced
+                .saturating_sub(earlier.forces_coalesced),
+            double_buffer_overlap_ns: self
+                .double_buffer_overlap_ns
+                .saturating_sub(earlier.double_buffer_overlap_ns),
             ckpt_objects_written: self
                 .ckpt_objects_written
                 .saturating_sub(earlier.ckpt_objects_written),
@@ -568,6 +608,31 @@ mod tests {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
         }
         assert_eq!(s.merged(&s).io_fsyncs, 6);
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn fast_path_counters_round_trip() {
+        let m = Metrics::new();
+        Metrics::bump(&m.segments_recycled, 4);
+        Metrics::bump(&m.forces_coalesced, 7);
+        Metrics::bump(&m.double_buffer_overlap_ns, 1_500);
+        let s = m.snapshot();
+        assert_eq!(s.segments_recycled, 4);
+        assert_eq!(s.forces_coalesced, 7);
+        assert_eq!(s.double_buffer_overlap_ns, 1_500);
+        let json = s.to_json();
+        for key in [
+            "segments_recycled",
+            "forces_coalesced",
+            "double_buffer_overlap_ns",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert_eq!(s.merged(&s).forces_coalesced, 14);
+        assert_eq!(s.merged(&s).double_buffer_overlap_ns, 3_000);
         assert_eq!(s.since(&s), MetricsSnapshot::default());
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());

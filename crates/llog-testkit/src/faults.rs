@@ -44,8 +44,16 @@ pub mod failpoint {
     pub const DEV_STORE_DELTA: &str = "device.store.delta";
     /// Device layer: writing the store checkpoint-manifest chain.
     pub const DEV_STORE_MANIFEST: &str = "device.store.manifest";
+    /// The cross-shard force scheduler's shared fsync barrier (the single
+    /// device sync covering every shard coalesced into one barrier).
+    pub const SCHED_SYNC: &str = "scheduler.sync";
 
     /// All failpoints, in a stable order (used by `FaultPlan::draw`).
+    ///
+    /// [`SCHED_SYNC`] is deliberately absent: it only fires when the engine
+    /// runs with a coalescing window, so harnesses opt into it explicitly
+    /// (a plan drawn over `ALL` must never arm a point the run cannot
+    /// reach).
     pub const ALL: &[&str] = &[
         STORE_SAVE,
         STORE_LOAD,
@@ -358,6 +366,13 @@ impl FaultHost {
     pub fn on_install(&self, point: &str) -> bool {
         self.take_if(point).is_some()
     }
+
+    /// Consult a barrier-sync failpoint. Returns `true` if an injected fault
+    /// fired: the shared fsync barrier failed and nothing staged behind it
+    /// may be acknowledged (every coalesced force resolves `Failed`).
+    pub fn on_sync(&self, point: &str) -> bool {
+        self.take_if(point).is_some()
+    }
 }
 
 // --- seeded fault plans ------------------------------------------------------
@@ -432,7 +447,7 @@ impl FaultPlan {
     /// | `*.load`       | io_error, bit_flip, torn                             |
     /// | `wal.force` / `flusher.force` | torn, short_fsync, io_error, bit_flip |
     /// | `device.*`     | torn, short_fsync, io_error, bit_flip, delayed       |
-    /// | `install`      | io_error                                             |
+    /// | `install` / `scheduler.sync`  | io_error                              |
     fn kind_for(point: &str, s: &mut u64) -> FaultKind {
         let r = splitmix64(s);
         let param = splitmix64(s) % 4096;

@@ -50,7 +50,25 @@ static TABLES: [[u32; 256]; 8] = build_tables();
 
 /// Compute the CRC-32C of `data`.
 pub fn crc32c(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
+    !crc32c_update(!0u32, data)
+}
+
+/// Compute the CRC-32C of a log frame's payload bound to the frame's
+/// address: the checksum covers `lsn` (little-endian) followed by the
+/// payload bytes.
+///
+/// Binding the address into the checksum is what lets preallocated and
+/// recycled segments reject both zero padding (`crc32c("") == 0`, so an
+/// all-zero frame header would otherwise parse as a valid empty frame) and
+/// stale frames from a segment's previous life: a frame is only valid at
+/// the exact LSN it was appended at.
+pub fn frame_crc(lsn: u64, payload: &[u8]) -> u32 {
+    !crc32c_update(crc32c_update(!0u32, &lsn.to_le_bytes()), payload)
+}
+
+/// Advance a raw (non-finalized) CRC-32C state over `data`.
+fn crc32c_update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
     let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
         let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
@@ -67,7 +85,7 @@ pub fn crc32c(data: &[u8]) -> u32 {
     for &b in chunks.remainder() {
         crc = TABLES[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
-    !crc
+    crc
 }
 
 #[cfg(test)]
@@ -100,6 +118,25 @@ mod tests {
             data[i] ^= 1;
             assert_ne!(crc32c(&data), base, "flip at byte {i} undetected");
             data[i] ^= 1;
+        }
+    }
+
+    #[test]
+    fn frame_crc_is_address_bound() {
+        // Same payload at different LSNs must checksum differently, and a
+        // frame's CRC must equal the plain CRC of `lsn bytes ++ payload`.
+        let payload = b"record body";
+        for lsn in [0u64, 1, 7, 1 << 20, u64::MAX] {
+            let mut joined = lsn.to_le_bytes().to_vec();
+            joined.extend_from_slice(payload);
+            assert_eq!(frame_crc(lsn, payload), crc32c(&joined));
+        }
+        assert_ne!(frame_crc(1, payload), frame_crc(2, payload));
+        // The trap preallocation must dodge: an all-zero header region would
+        // parse as a valid empty frame under the unbound CRC (crc32c("")==0)
+        // but never under the address-bound one.
+        for lsn in 1..64u64 {
+            assert_ne!(frame_crc(lsn, b""), 0, "zero padding valid at lsn {lsn}");
         }
     }
 

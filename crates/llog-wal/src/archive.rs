@@ -7,7 +7,7 @@
 //! [`LogArchive::scan_from`] stitches archived segments and the live log
 //! back into one record stream.
 
-use llog_types::{crc32c, LlogError, Lsn, Result};
+use llog_types::{frame_crc, LlogError, Lsn, Result};
 
 use crate::record::LogRecord;
 use crate::wal::Wal;
@@ -106,7 +106,7 @@ fn scan_segment(bytes: &[u8], base: u64, from: u64, out: &mut Vec<Result<(Lsn, L
             return;
         }
         let payload = &bytes[off + FRAME_HEADER..off + FRAME_HEADER + len];
-        if crc32c(payload) != crc {
+        if frame_crc(base + off as u64, payload) != crc {
             out.push(Err(LlogError::Corrupt {
                 offset: base + off as u64,
                 reason: "archive checksum mismatch".into(),

@@ -132,6 +132,22 @@ impl DurabilityBackend {
         wal.persist_to(self.log.as_mut(), faults)
     }
 
+    /// Stage the WAL tail — stable prefix plus the in-flight double-buffered
+    /// batch — onto the log device *without* syncing ([`Wal::stage_to`]).
+    /// The caller owns the barrier: call [`DurabilityBackend::sync_log`]
+    /// once the shared fsync should run. Until that sync settles nothing
+    /// staged may be acknowledged.
+    pub fn stage_wal(&mut self, wal: &Wal, faults: Option<&FaultHost>) -> Result<Lsn> {
+        wal.stage_to(self.log.as_mut(), faults)
+    }
+
+    /// Sync the log device's blobs without counting an fsync — the second
+    /// half of a staged persist. A cross-shard scheduler syncs every staged
+    /// backend back-to-back and accounts the shared barrier once.
+    pub fn sync_log(&mut self) -> Result<()> {
+        self.log.sync_uncounted()
+    }
+
     /// Reboot: load the persisted pair, or `None` when *neither* device
     /// holds a manifest (nothing was ever persisted). A missing store
     /// manifest with a present log means the store was empty at every

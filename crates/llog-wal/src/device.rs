@@ -60,6 +60,43 @@ impl Wal {
         Ok(dev.durable_end())
     }
 
+    /// Stage the forced prefix **plus the in-flight double-buffered batch**
+    /// onto `dev` without syncing: truncation-reclaim, tail append up to the
+    /// end of the in-flight slot, master update, manifest-if-stale — but the
+    /// blobs are left unsynced for the caller's shared barrier
+    /// ([`LogDevice::sync_uncounted`]).
+    ///
+    /// This is the cross-shard coalescing half of [`Wal::persist_to`]: the
+    /// scheduler stages every participating shard under its engine lock, then
+    /// runs one sync barrier for all of them with no engine lock held, and
+    /// only after that barrier settles does each shard
+    /// [`Wal::complete_force`] and advance its watermark. The master pointer
+    /// written here is the already-*promoted* checkpoint (never the in-flight
+    /// candidate), so a manifest that becomes durable ahead of a failed
+    /// barrier can never name a checkpoint frame the device does not hold.
+    pub fn stage_to(&self, dev: &mut dyn LogDevice, faults: Option<&FaultHost>) -> Result<Lsn> {
+        let base = self.start_lsn();
+        let forced = self.forced_lsn();
+        let target = Lsn(forced.0 + self.inflight_len() as u64);
+        if dev.end() < base || dev.start() > target {
+            dev.reset(base, faults)?;
+        }
+        if base > dev.start() {
+            dev.truncate_below(base, faults)?;
+        }
+        if dev.end() < forced {
+            let offset = (dev.end().0 - base.0) as usize;
+            dev.append(dev.end(), &self.stable_bytes()[offset..], faults)?;
+        }
+        if dev.end() >= forced && dev.end() < target {
+            let offset = (dev.end().0 - forced.0) as usize;
+            dev.append(dev.end(), &self.inflight_bytes()[offset..], faults)?;
+        }
+        dev.set_master(self.master_checkpoint().unwrap_or(Lsn::ZERO));
+        dev.stage(faults)?;
+        Ok(dev.durable_end())
+    }
+
     /// Rebuild a WAL from a log device, or `None` when the device holds no
     /// manifest (never persisted). Sealed-segment CRC/contiguity violations
     /// surface as `Codec` errors from [`LogDevice::load_parts`].

@@ -24,4 +24,4 @@ mod wal;
 pub use archive::LogArchive;
 pub use backend::{DurabilityBackend, PersistOutcome, LOG_SUBDIR, STORE_SUBDIR};
 pub use record::{CheckpointRecord, InstallRecord, LogRecord};
-pub use wal::{ForceOutcome, ScanSummary, Wal, WalScan};
+pub use wal::{BeginForce, ForceOutcome, ScanSummary, Wal, WalScan};

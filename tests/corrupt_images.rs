@@ -314,6 +314,7 @@ fn seg_cfg(segment_bytes: usize) -> DeviceConfig {
     DeviceConfig {
         segment_bytes,
         compact_chain: 3,
+        ..DeviceConfig::default()
     }
 }
 
@@ -658,6 +659,129 @@ fn segmented_torn_open_tail_clips_not_fatal() {
         return;
     }
     panic!("no segment size produced a non-empty open tail segment");
+}
+
+/// Ghost bytes in a *recycled* open segment — stale frames from the blob's
+/// previous life (or zero fill) beyond the live tail — sit outside the trust
+/// boundary: rot there must be invisible to load, and rot in parked pool
+/// blobs must be too. Damage to the *live* region of the open segment stays
+/// the torn-tail case: the load-time clip shortens the log, never panics.
+#[test]
+fn segmented_recycled_ghost_region_is_outside_the_trust_boundary() {
+    use llog_storage::device::SEG_HEADER;
+
+    let d = SegDir::new("recycle");
+    let cfg = seg_cfg(SEG_BYTES).with_fast_segments(2);
+    let dm = Metrics::new();
+    let mut e = Engine::new(EngineConfig::default(), TransformRegistry::with_builtins());
+    let mut b = DurabilityBackend::file(d.path(), dm.clone(), &cfg).unwrap();
+    let put = |e: &mut Engine, i: u64| {
+        e.execute(
+            OpKind::Physical,
+            vec![],
+            vec![ObjectId(i % 3)],
+            Transform::new(
+                builtin::CONST,
+                builtin::encode_values(&[Value::from(format!("g{i}").as_bytes())]),
+            ),
+        )
+        .unwrap();
+    };
+    // Phase A rotates several segments; the fully-truncating checkpoint
+    // retires them all, parking headered blobs in the recycle pool.
+    for i in 0..8u64 {
+        put(&mut e, i);
+    }
+    e.install_all().unwrap();
+    e.wal_mut().force();
+    b.persist(e.store(), e.wal(), None).unwrap();
+    e.checkpoint(true).unwrap();
+    b.persist(e.store(), e.wal(), None).unwrap();
+    // Phase B rotates again: the new segments adopt parked blobs, leaving
+    // their previous life's frames as ghosts beyond the live tail.
+    for i in 8..16u64 {
+        put(&mut e, i);
+    }
+    e.wal_mut().force();
+    b.persist(e.store(), e.wal(), None).unwrap();
+    assert!(
+        dm.snapshot().segments_recycled > 0,
+        "fixture never recycled a segment"
+    );
+
+    let load_forced = |what: &str| -> u64 {
+        let b = DurabilityBackend::file(d.path(), Metrics::new(), &cfg).unwrap();
+        let (_, w) = b
+            .load(Metrics::new())
+            .unwrap_or_else(|err| panic!("{what}: load failed: {err}"))
+            .expect("fixture persisted");
+        w.forced_lsn().0
+    };
+    let baseline = load_forced("pristine recycle fixture");
+    let open_start = manifest_open_start(d.path());
+    let tail = d
+        .path()
+        .join(LOG_SUBDIR)
+        .join(segment_name(Lsn(open_start)));
+    let orig = std::fs::read(&tail).unwrap();
+    let live = SEG_HEADER + (baseline - open_start) as usize;
+    assert!(
+        live < orig.len(),
+        "open blob not preallocated past the live tail ({live} vs {})",
+        orig.len()
+    );
+
+    // (a) Rot anywhere in the ghost region: load ignores it completely.
+    for at in [live, (live + orig.len()) / 2, orig.len() - 1] {
+        let mut m = orig.clone();
+        m[at] ^= 0x55;
+        std::fs::write(&tail, &m).unwrap();
+        assert_eq!(
+            load_forced(&format!("ghost rot at {at}")),
+            baseline,
+            "ghost rot at {at} must not move the durable end"
+        );
+    }
+    std::fs::write(&tail, &orig).unwrap();
+
+    // (b) Parked pool blobs hold only retired bytes: rot or deletion there
+    // never touches the log.
+    let pool: Vec<PathBuf> = std::fs::read_dir(d.path().join(LOG_SUBDIR))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("pool-"))
+        })
+        .collect();
+    for p in &pool {
+        let porig = std::fs::read(p).unwrap();
+        let mut m = porig.clone();
+        m[porig.len() / 2] ^= 0xFF;
+        std::fs::write(p, &m).unwrap();
+        assert_eq!(load_forced("pool blob rot"), baseline);
+        std::fs::remove_file(p).unwrap();
+        assert_eq!(load_forced("pool blob removed"), baseline);
+        std::fs::write(p, &porig).unwrap();
+    }
+
+    // (c) Rot in the live region of the open segment is a torn tail: the
+    // clip walks frame CRCs and cuts at the damaged frame.
+    let mut m = orig.clone();
+    m[live - 1] ^= 0x55;
+    std::fs::write(&tail, &m).unwrap();
+    let clipped = load_forced("live-tail rot");
+    assert!(
+        clipped < baseline,
+        "live-tail rot must clip the durable end ({clipped} vs {baseline})"
+    );
+    assert!(
+        clipped >= open_start,
+        "the clip never cuts below the open segment"
+    );
+    std::fs::write(&tail, &orig).unwrap();
+    assert_eq!(load_forced("restored layout"), baseline);
 }
 
 #[test]

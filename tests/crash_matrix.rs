@@ -803,3 +803,226 @@ fn delete_heavy_workload_matrix() {
         .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Hot-path device crash matrix (DESIGN §14): coalesced force barriers,
+// double-buffered appends and recycled segments must all uphold the same
+// contract — nothing acknowledged is lost, nothing unacknowledged is
+// acknowledged, and recovery never mistakes a hot-path artifact (a torn
+// in-flight batch, a recycled segment's ghost frames) for corruption.
+// ---------------------------------------------------------------------------
+
+/// A shard-local blind put through the sharded engine.
+fn sput(e: &ShardedEngine, x: ObjectId, v: &str) -> Result<CommitTicket, llog::types::LlogError> {
+    e.execute(
+        OpKind::Physical,
+        vec![],
+        vec![x],
+        Transform::new(builtin::CONST, builtin::encode_values(&[Value::from(v)])),
+    )
+}
+
+/// Crash inside a coalesced barrier: two shards ride one shared fsync and
+/// the fsync dies. Neither rider may acknowledge — a shard must never ack
+/// on the strength of a barrier that did not reach stable storage — and
+/// after a crash the unacked operations are gone while the acked base
+/// state survives on both shards.
+#[test]
+fn crash_inside_coalesced_barrier_acks_nothing_past_the_shared_fsync() {
+    use llog::testkit::faults::{failpoint, FaultHost, FaultKind};
+    use llog_storage::device::DeviceConfig;
+    use llog_storage::Metrics;
+    use llog_wal::DurabilityBackend;
+    use std::sync::Arc;
+
+    let reg = registry();
+    let config = ShardedConfig {
+        shards: 2,
+        commit: manual_group(), // only explicit forces flush
+        persist_on_force: true,
+        coalesce_window: Some(Duration::from_millis(50)),
+        ..ShardedConfig::default()
+    };
+    let host = Arc::new(FaultHost::new());
+    let engine = ShardedEngine::new_with_faults(config, &reg, Some(host.clone()));
+    engine.attach_backends(
+        (0..2)
+            .map(|_| DurabilityBackend::mem(Metrics::new(), &DeviceConfig::small()))
+            .collect(),
+    );
+    let r = engine.router();
+    let a = ObjectId(0);
+    let b = (1..)
+        .map(ObjectId)
+        .find(|&x| r.shard_of(x) != r.shard_of(a))
+        .unwrap();
+
+    // Acked base state on both shards.
+    let base_a = sput(&engine, a, "base-a").unwrap();
+    let base_b = sput(&engine, b, "base-b").unwrap();
+    engine.force_all().unwrap();
+    assert!(base_a.wait() && base_b.wait());
+
+    // One batch pending per shard; the shared barrier's fsync fails.
+    let doomed_a = sput(&engine, a, "doomed-a").unwrap();
+    let doomed_b = sput(&engine, b, "doomed-b").unwrap();
+    host.arm(failpoint::SCHED_SYNC, FaultKind::IoError);
+    std::thread::scope(|s| {
+        let e = &engine;
+        let fa = s.spawn(move || e.force_shard(0));
+        let fb = s.spawn(move || e.force_shard(1));
+        assert!(fa.join().unwrap().is_err(), "rider of a dead barrier acked");
+        assert!(fb.join().unwrap().is_err(), "rider of a dead barrier acked");
+    });
+    assert_eq!(
+        host.fired().len(),
+        1,
+        "both shards must have ridden ONE shared barrier"
+    );
+    assert!(!doomed_a.is_durable() && !doomed_b.is_durable());
+
+    // Power off. A failed barrier leaves its riders in the commit-outcome-
+    // UNKNOWN state (the bytes may have reached the WAL's stable tier even
+    // though no fsync covered them), so each object must recover to its
+    // acked base value or to the never-acked retry value — never to
+    // anything else, and never with the acked base lost.
+    let parts = engine.crash();
+    let (recovered, _) = recover_sharded(parts, &reg, config, RedoPolicy::RsiExposed).unwrap();
+    for (x, base, retry) in [(a, "base-a", "doomed-a"), (b, "base-b", "doomed-b")] {
+        let got = recovered.read_value(x).unwrap();
+        assert!(
+            got == Value::from(base) || got == Value::from(retry),
+            "object {x} recovered to {got:?}, neither its acked nor its unacked write"
+        );
+    }
+}
+
+/// Crash between the double-buffer swap and the fsync: the batch was
+/// swapped into the in-flight slot and the device tore three bytes into
+/// writing it. The shard dies without acking, and recovery clips the torn
+/// tail as a tear — it must never classify the partial frame as
+/// mid-log corruption.
+#[test]
+fn crash_between_double_buffer_swap_and_fsync_clips_torn_tail() {
+    use llog::testkit::faults::{failpoint, FaultHost, FaultKind};
+    use std::sync::Arc;
+
+    let reg = registry();
+    let config = ShardedConfig {
+        shards: 1,
+        commit: manual_group(),
+        coalesce_window: Some(Duration::from_millis(1)),
+        ..ShardedConfig::default()
+    };
+    let host = Arc::new(FaultHost::new());
+    let engine = ShardedEngine::new_with_faults(config, &reg, Some(host.clone()));
+
+    let base = sput(&engine, ObjectId(0), "base").unwrap();
+    engine.force_all().unwrap();
+    assert!(base.wait());
+
+    // The swap happens, then the write into stable tears mid-frame.
+    host.arm(
+        failpoint::FLUSHER_FORCE,
+        FaultKind::TornWrite { at_byte: 3 },
+    );
+    let doomed = sput(&engine, ObjectId(0), "doomed").unwrap();
+    assert!(engine.force_shard(0).is_err(), "torn barrier must not ack");
+    assert!(!doomed.wait() && !doomed.is_durable());
+
+    let parts = engine.crash_torn(&[]);
+    let (recovered, outcomes) =
+        recover_sharded(parts, &reg, config, RedoPolicy::RsiExposed).unwrap();
+    assert!(
+        outcomes[0].torn_tail,
+        "the partial frame must be clipped as a torn tail, got {outcomes:?}"
+    );
+    assert_eq!(
+        recovered.read_value(ObjectId(0)).unwrap(),
+        Value::from("base")
+    );
+}
+
+/// Recovery over a recycled segment: run a workload across a truncating
+/// checkpoint on devices with the segment fast path on, so the tail of the
+/// log lands in a *recycled* blob that physically still holds its previous
+/// life's frames beyond the live bytes. Device recovery must clip the
+/// ghosts and agree exactly with recovery from the in-memory crash image,
+/// on both backends.
+#[test]
+fn recovery_over_recycled_segment_matches_in_memory_recovery() {
+    use llog::core::{recover_with, RecoveryOptions};
+    use llog_storage::device::DeviceConfig;
+    use llog_storage::Metrics;
+    use llog_wal::DurabilityBackend;
+
+    let reg = registry();
+    let ops = Workload::new(7, 40, WorkloadKind::app_mix(), 1013).generate();
+    let cfg = DeviceConfig::small().with_fast_segments(2);
+    let dir = BackendDir::new("recycle");
+    let mem_metrics = Metrics::new();
+    let file_metrics = Metrics::new();
+    let mut engine = llog::core::Engine::new(rw_config(), reg.clone());
+    let mut mem = DurabilityBackend::mem(mem_metrics.clone(), &cfg);
+    let mut file =
+        DurabilityBackend::file(&dir.0, file_metrics.clone(), &cfg).expect("file backend");
+
+    // Phase A on the devices, then a truncating checkpoint: the devices
+    // reclaim the phase-A segments and park them for recycling.
+    llog::sim::run_workload(&mut engine, &ops[..25], 3, 0).unwrap();
+    engine.install_all().unwrap();
+    engine.wal_mut().force();
+    mem.persist(engine.store(), engine.wal(), None).unwrap();
+    file.persist(engine.store(), engine.wal(), None).unwrap();
+    engine.checkpoint(true).unwrap();
+    mem.persist(engine.store(), engine.wal(), None).unwrap();
+    file.persist(engine.store(), engine.wal(), None).unwrap();
+
+    // Phase B rotates into recycled blobs whose previous life's frames are
+    // physically still there beyond the live tail.
+    llog::sim::run_workload(&mut engine, &ops[25..], 0, 0).unwrap();
+    engine.wal_mut().force();
+    mem.persist(engine.store(), engine.wal(), None).unwrap();
+    file.persist(engine.store(), engine.wal(), None).unwrap();
+    for (name, m) in [("mem", &mem_metrics), ("file", &file_metrics)] {
+        assert!(
+            m.snapshot().segments_recycled > 0,
+            "{name}: phase B never adopted a recycled segment"
+        );
+    }
+
+    // Ground truth: recovery from the in-memory crash image.
+    let (store, wal) = engine.crash();
+    let (ge, go) = recover_with(
+        store,
+        wal,
+        reg.clone(),
+        rw_config(),
+        RedoPolicy::RsiExposed,
+        RecoveryOptions::serial(),
+    )
+    .expect("in-memory recovery");
+
+    for (name, backend) in [("mem", &mem), ("file", &file)] {
+        let (ds, dw) = backend
+            .load(Metrics::new())
+            .unwrap()
+            .unwrap_or_else(|| panic!("{name}: nothing persisted"));
+        let (de, doo) = recover_with(
+            ds,
+            dw,
+            reg.clone(),
+            rw_config(),
+            RedoPolicy::RsiExposed,
+            RecoveryOptions::serial(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: recovery over recycled segment failed: {e}"));
+        assert!(!doo.torn_tail, "{name}: ghosts misread as a torn tail");
+        assert_eq!(doo.redone, go.redone, "{name}: redo work diverged");
+        assert_eq!(
+            mode_fingerprint(&de),
+            mode_fingerprint(&ge),
+            "{name}: recovered state diverged over a recycled segment"
+        );
+    }
+}
