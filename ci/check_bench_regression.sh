@@ -29,7 +29,12 @@ BENCH_e13.json incr_ratio_1pct max
 BENCH_e14.json goodput max
 BENCH_e15.json drain_ms min
 BENCH_e16.json file_speedup max
+BENCH_e17.json snapshot_ratio max
 '
+# (E17's mutex_ratio has an absolute bar instead — report.ok() fails the
+# exp binary above 0.6 — so it is not baseline-gated here: it measures
+# the deliberately-degraded strawman path, whose tiny fast-mode value
+# would make a percentage gate pure noise.)
 
 metric() {
     sed -n "s/.*\"$2\":\(-\{0,1\}[0-9][0-9.]*\).*/\1/p" "$1" | head -n 1

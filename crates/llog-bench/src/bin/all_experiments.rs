@@ -59,6 +59,10 @@ fn main() {
     let e16 = llog_bench::e16_append_speed::run(&p16);
     println!("== E16 — hot-path log device: recycling + double buffer + coalescing ==");
     println!("{}", llog_bench::e16_append_speed::table(&e16));
+    let p17 = llog_bench::e17_snapshot_reads::Params::from_env();
+    let e17 = llog_bench::e17_snapshot_reads::run(&p17);
+    println!("== E17 — MVCC snapshot reads: lock-free readers vs the engine mutex ==");
+    println!("{}", llog_bench::e17_snapshot_reads::table(&e17));
     let ok = (1..=5u64).all(llog_bench::e6_checkpointing::idempotency_check);
     println!(
         "Theorem 2 idempotency: {}",

@@ -1,0 +1,40 @@
+//! E17: MVCC snapshot reads — lock-free readers vs the engine mutex.
+//!
+//! Writes `BENCH_e17.json` (override the path with `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI smoke runs.
+
+use llog_bench::e17_snapshot_reads::{run, table, Params};
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "E17 — MVCC snapshot reads: {} shards x {} readers over {} keys, \
+         {:?} window, {:?} device latency per sync write",
+        p.shards, p.readers, p.keys, p.window, p.force_latency
+    );
+    let report = run(&p);
+
+    println!("\nRead throughput, writers churning vs idle, per read path:");
+    println!("{}", table(&report));
+    println!(
+        "snapshot mixed/read-only ratio: {:.3} (target >= 0.9)",
+        report.ratio(true)
+    );
+    println!(
+        "mutex    mixed/read-only ratio: {:.3} (target <= 0.6): {}",
+        report.ratio(false),
+        if report.ok() { "OK" } else { "FAIL" }
+    );
+
+    let json = report.to_json();
+    println!("\n{json}");
+    let path = std::env::var("LLOG_BENCH_JSON").unwrap_or_else(|_| "BENCH_e17.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

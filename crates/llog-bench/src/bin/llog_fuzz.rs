@@ -29,7 +29,12 @@
 //!   is identical to a real recovery of the primary's log clipped at the
 //!   replica's replayed-LSN watermark — duplicates are absorbed, gaps are
 //!   rejected without corrupting the session, and the watermark never
-//!   regresses.
+//!   regresses;
+//! - MVCC snapshot oracle (mode 7): concurrent snapshot readers racing
+//!   faulted writers never observe torn values, never travel backwards in
+//!   time, never miss an acknowledged-durable write, pinned snapshots read
+//!   stable bytes across churn + retention GC, and after a crash the
+//!   snapshot read path agrees with the stable-log replay oracle.
 //!
 //! Failures are shrunk by the testkit property harness and print a repro
 //! command:
@@ -62,10 +67,10 @@ use llog_engine::{
 use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
 use llog_server::{proto, Client, Request, Server, ServerConfig};
 use llog_sim::{replay_stable_log, verify_against_log, OpSpec, Workload, WorkloadKind};
-use llog_testkit::faults::{failpoint, FaultHost, FaultPlan};
+use llog_testkit::faults::{failpoint, FaultHost, FaultKind, FaultPlan};
 use llog_testkit::prop::{run_property_result, Config};
 use llog_testkit::rng::{SplitMix64, TestRng};
-use llog_types::{Lsn, ObjectId, Value};
+use llog_types::{LlogError, Lsn, ObjectId, Value};
 use llog_wal::ForceOutcome;
 
 // ---------------------------------------------------------------------------
@@ -148,14 +153,17 @@ fn print_help() {
          \n\
          --iters N   iterations to run (env LLOG_FUZZ_ITERS, default {DEFAULT_ITERS})\n\
          --seed S    base seed (env LLOG_FUZZ_SEED, default: wall clock)\n\
-         --mode M    pin the case family 0-6 (env LLOG_FUZZ_MODE; 0 kv,\n\
+         --mode M    pin the case family 0-7 (env LLOG_FUZZ_MODE; 0 kv,\n\
         \x20            1 sharded, 2 persist, 3 domains, 4 mem-vs-file\n\
         \x20            durability-backend differential on real files,\n\
         \x20            5 TCP server codec chaos: dropped/half-written/\n\
         \x20            garbage frames against a live llog-server,\n\
         \x20            6 log-shipping replication chaos: lost/duplicated/\n\
         \x20            reordered chunks, replica crash mid-redo, promote\n\
-        \x20            at a random cut, divergence oracle)\n\
+        \x20            at a random cut, divergence oracle,\n\
+        \x20            7 MVCC snapshot readers racing faulted writers:\n\
+        \x20            torn/time-travel/unexposed-read oracles, GC-pin\n\
+        \x20            stability, crash + snapshot-path recovery check)\n\
          --replay    replay a single failing iteration seed and exit\n\
          \n\
          On failure the minimal shrunk counterexample is written to\n\
@@ -212,8 +220,8 @@ fn run_iteration(seed: u64, pin_mode: Option<usize>) -> Result<(), String> {
     // the Mem↔File backend differential, mode 4, on real files in a
     // tmpdir); unpinned runs draw the mode from the seed.
     let modes = match pin_mode {
-        Some(m) => m.min(6)..m.min(6) + 1,
-        None => 0usize..7,
+        Some(m) => m.min(7)..m.min(7) + 1,
+        None => 0usize..8,
     };
     let strategy = (modes, 1usize..=40, 0u64..u64::MAX);
     let r = run_property_result(
@@ -234,7 +242,8 @@ fn run_case(mode: usize, n_ops: usize, material: u64) -> Result<(), String> {
         3 => fuzz_domains(n_ops, material),
         4 => fuzz_backend_diff(n_ops, material),
         5 => fuzz_server(n_ops, material),
-        _ => fuzz_replication(n_ops, material),
+        6 => fuzz_replication(n_ops, material),
+        _ => fuzz_snapshot(n_ops, material),
     }
 }
 
@@ -480,6 +489,9 @@ fn fuzz_sharded(n_ops: usize, material: u64) -> Result<(), String> {
         install_high_water: rng.random_range(2usize..8),
         persist_on_force: false,
         coalesce_window,
+        // Half the runs maintain version chains alongside the faulted
+        // pipeline; recovery and the oracles must not notice either way.
+        snapshot_reads: rng.bool(),
     };
     let registry = TransformRegistry::with_builtins();
     let policy = pick_policy(&mut rng);
@@ -1501,5 +1513,364 @@ fn fuzz_replication(n_ops: usize, material: u64) -> Result<(), String> {
             ctx()
         ));
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 7: MVCC snapshot readers racing faulted writers
+// ---------------------------------------------------------------------------
+
+/// Concurrent snapshot readers race the faulted group-commit write pipeline,
+/// then the engine crashes and recovers. Invariants:
+///
+/// - **no torn reads**: every value a racing reader observes parses as a
+///   complete `q<object>-<seq>` write addressed to the object it read, with
+///   a sequence number some writer actually submitted;
+/// - **no time travel**: per reader, per object, the observed sequence
+///   number never decreases and never reverts to empty — momentary
+///   snapshot reads sample the durable watermark, which only advances;
+/// - **no reads of unexposed state**: once a commit ticket acknowledges
+///   write `k` durable, a snapshot read must resolve sequence `>= k`
+///   (strict visibility exposes exactly the acknowledged durable prefix);
+/// - **GC honours live snapshots**: a snapshot pinned before churn +
+///   checkpoint GC reads the same bytes after GC reclaims below the floor;
+/// - after crash + recovery, the *snapshot* read path agrees with the
+///   stable-log replay oracle and the acked-durable suffix rule, exactly
+///   like mode 1's mutex-path checks.
+fn fuzz_snapshot(n_ops: usize, material: u64) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let mut rng = TestRng::seed_from_u64(material ^ 0x54AD_0007);
+    let n_objects = rng.random_range(2u64..8);
+    let shards = rng.random_range(1usize..4);
+    let commit = if rng.ratio(0.3) {
+        CommitPolicy::Sync
+    } else {
+        CommitPolicy::Group(GroupCommitPolicy {
+            batch_ops: rng.random_range(1usize..6),
+            max_delay: Duration::from_micros(200),
+        })
+    };
+    let config = ShardedConfig {
+        shards,
+        engine: EngineConfig::default(),
+        commit,
+        force_latency: Duration::ZERO,
+        max_uninstalled: 64,
+        install_high_water: rng.random_range(2usize..8),
+        persist_on_force: false,
+        coalesce_window: None,
+        snapshot_reads: true,
+    };
+    let registry = TransformRegistry::with_builtins();
+    let policy = pick_policy(&mut rng);
+    let host = Arc::new(FaultHost::new());
+    let engine = ShardedEngine::new_with_faults(config, &registry, Some(host.clone()));
+
+    let points = [
+        failpoint::FLUSHER_FORCE,
+        failpoint::WAL_FORCE,
+        failpoint::INSTALL,
+    ];
+    let plan = FaultPlan::draw(material ^ 0x70_57, n_ops, &points);
+    let planned = &plan.faults[0];
+    let ctx = || {
+        format!(
+            "snapshot: shards={shards} n_ops={n_ops} policy={policy:?} \
+             plan=[{planned}] fired={:?}",
+            host.fired()
+        )
+    };
+
+    // submitted[x] counts writes handed to the engine for x, bumped *before*
+    // execute — any sequence a reader observes must be below it.
+    let submitted: Vec<AtomicU64> = (0..n_objects).map(|_| AtomicU64::new(0)).collect();
+    let stop = AtomicBool::new(false);
+    let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let reader_seed = rng.next_u64();
+
+    // Parse `q<object>-<seq>`; Err = torn or cross-object bytes.
+    let parse = |x: ObjectId, v: &Value| -> std::result::Result<u64, String> {
+        let s = std::str::from_utf8(v.as_bytes()).map_err(|_| "not utf8".to_string())?;
+        let rest = s
+            .strip_prefix('q')
+            .ok_or_else(|| format!("bad prefix {s:?}"))?;
+        let (obj, seq) = rest
+            .split_once('-')
+            .ok_or_else(|| format!("no separator in {s:?}"))?;
+        if obj.parse::<u64>() != Ok(x.0) {
+            return Err(format!("value {s:?} was written to a different object"));
+        }
+        seq.parse::<u64>().map_err(|_| format!("bad seq in {s:?}"))
+    };
+
+    // Per-write commit state: settled inline, rejected outright, or a
+    // ticket to wait on after the race window closes.
+    enum Ack {
+        Acked,
+        Never,
+        Pending(CommitTicket),
+    }
+    let mut history: BTreeMap<ObjectId, Vec<(Value, Ack)>> = BTreeMap::new();
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let engine = &engine;
+            let stop = &stop;
+            let submitted = &submitted;
+            let violations = &violations;
+            scope.spawn(move || {
+                let mut r = TestRng::seed_from_u64(reader_seed ^ (t << 32));
+                // last[x] = highest sequence this thread has observed for x
+                // (None until the first non-empty read).
+                let mut last: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+                let note = |msg: String| violations.lock().unwrap().push(msg);
+                while !stop.load(Ordering::Relaxed) {
+                    let x = ObjectId(r.random_range(0..n_objects));
+                    // Alternate the momentary path and a pinned handle.
+                    let read = if r.bool() {
+                        engine.read_value_snapshot(x).ok()
+                    } else {
+                        engine.open_snapshot_for(x).ok().map(|s| s.read(x))
+                    };
+                    // A dead shard rejects reads — correct, not a violation.
+                    let Some(v) = read else { continue };
+                    let seen = last.entry(x.0).or_insert(None);
+                    if v.as_bytes().is_empty() {
+                        if let Some(prev) = *seen {
+                            note(format!(
+                                "reader {t}: {x} reverted to empty after seq {prev}"
+                            ));
+                        }
+                        continue;
+                    }
+                    match parse(x, &v) {
+                        Err(e) => note(format!("reader {t}: torn read on {x}: {e}")),
+                        Ok(seq) => {
+                            if seq >= submitted[x.0 as usize].load(Ordering::SeqCst) {
+                                note(format!(
+                                    "reader {t}: {x} observed seq {seq} never submitted"
+                                ));
+                            }
+                            if let Some(prev) = *seen {
+                                if seq < prev {
+                                    note(format!(
+                                        "reader {t}: {x} went back in time: {prev} -> {seq}"
+                                    ));
+                                }
+                            }
+                            *seen = Some(seq);
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // The faulted write phase runs on this thread while readers race it.
+        for i in 0..n_ops {
+            if i == planned.step {
+                host.arm(&planned.point, planned.kind);
+            }
+            let x = ObjectId(rng.random_range(0..n_objects));
+            let seq = submitted[x.0 as usize].fetch_add(1, Ordering::SeqCst);
+            let v = Value::from(format!("q{}-{seq}", x.0).as_bytes());
+            match engine.execute(
+                OpKind::Physical,
+                vec![],
+                vec![x],
+                Transform::new(builtin::CONST, builtin::encode_values(&[v.clone()])),
+            ) {
+                Ok(t) => {
+                    // Occasionally settle inline and demand read-your-acked-
+                    // writes: once `seq` is acknowledged durable, a snapshot
+                    // read may never resolve anything older.
+                    if rng.ratio(0.2) && t.wait() {
+                        history.entry(x).or_default().push((v, Ack::Acked));
+                        if let Ok(got) = engine.read_value_snapshot(x) {
+                            match parse(x, &got) {
+                                Ok(s) if s >= seq => {}
+                                Ok(s) => violations.lock().unwrap().push(format!(
+                                    "writer: acked seq {seq} on {x} but snapshot read saw {s}"
+                                )),
+                                Err(e) => violations
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("writer: torn read-back on {x}: {e}")),
+                            }
+                        }
+                    } else {
+                        history.entry(x).or_default().push((v, Ack::Pending(t)));
+                    }
+                }
+                Err(_) => history.entry(x).or_default().push((v, Ack::Never)),
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+    {
+        let v = violations.lock().unwrap();
+        if let Some(first) = v.first() {
+            return Err(format!(
+                "{}: {} race violations, first: {first}",
+                ctx(),
+                v.len()
+            ));
+        }
+    }
+
+    // GC-pin oracle: pin one snapshot per object, churn past it (more
+    // writes + forces), run the retention GC, and demand the pinned view
+    // is byte-stable — GC must never reclaim a version a live snapshot
+    // can still resolve.
+    let pins: Vec<(ObjectId, Value, llog_core::snapshot::Snapshot)> = (0..n_objects)
+        .map(ObjectId)
+        .filter_map(|x| {
+            let s = engine.open_snapshot_for(x).ok()?;
+            let v = s.read(x);
+            Some((x, v, s))
+        })
+        .collect();
+    for _ in 0..8 {
+        let x = ObjectId(rng.random_range(0..n_objects));
+        let seq = submitted[x.0 as usize].fetch_add(1, Ordering::SeqCst);
+        let v = Value::from(format!("q{}-{seq}", x.0).as_bytes());
+        match engine.execute(
+            OpKind::Physical,
+            vec![],
+            vec![x],
+            Transform::new(builtin::CONST, builtin::encode_values(&[v.clone()])),
+        ) {
+            Ok(t) => history.entry(x).or_default().push((v, Ack::Pending(t))),
+            Err(_) => history.entry(x).or_default().push((v, Ack::Never)),
+        }
+    }
+    let _ = engine.force_all();
+    let _ = engine.install_all();
+    engine.gc_versions();
+    for (x, before, snap) in &pins {
+        let after = snap.read(*x);
+        if after != *before {
+            return Err(format!(
+                "{}: GC reclaimed a pinned version: snapshot of {x} at si {} \
+                 read {before:?} before GC, {after:?} after",
+                ctx(),
+                snap.si()
+            ));
+        }
+    }
+    drop(pins);
+    engine.gc_versions();
+
+    // Settle every ticket (true = acknowledged durable), then crash.
+    let acked: BTreeMap<ObjectId, Vec<(Value, bool)>> = history
+        .iter()
+        .map(|(x, writes)| {
+            (
+                *x,
+                writes
+                    .iter()
+                    .map(|(v, a)| {
+                        let ok = match a {
+                            Ack::Acked => true,
+                            Ack::Never => false,
+                            Ack::Pending(t) => t.wait(),
+                        };
+                        (v.clone(), ok)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+
+    let parts = if rng.bool() {
+        engine.crash()
+    } else {
+        let partials: Vec<usize> = (0..shards).map(|_| rng.random_range(0usize..512)).collect();
+        engine.crash_torn(&partials)
+    };
+
+    let oracle: Vec<BTreeMap<ObjectId, Value>> = parts
+        .iter()
+        .map(|(_, wal)| replay_stable_log(wal, &registry))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{}: oracle replay failed: {e}", ctx()))?;
+
+    // A log-damaging force fault (tear / short fsync / bit rot) can leave
+    // *mid-log* corruption here: the simulated device died at the tear, but
+    // the harness keeps executing until `crash()`, so a racing append +
+    // successful force can land bytes past the damage and raise the WAL's
+    // tail guard over it. Recovery refusing that image is the designed
+    // contract (mid-log rot must surface, only tail tears are clipped) —
+    // accept it, but only when such a fault actually fired.
+    let log_damage_fired = host.fired().iter().any(|f| {
+        f.point.ends_with(".force")
+            && matches!(
+                f.kind,
+                FaultKind::TornWrite { .. }
+                    | FaultKind::ShortFsync { .. }
+                    | FaultKind::BitFlip { .. }
+            )
+    });
+    let (rec, _) = match recover_sharded(parts, &registry, config, policy) {
+        Ok(r) => r,
+        Err(LlogError::Corrupt { .. }) if log_damage_fired => return Ok(()),
+        Err(e) => return Err(format!("{}: recovery failed: {e}", ctx())),
+    };
+
+    for x in (0..n_objects).map(ObjectId) {
+        let shard = rec.router().shard_of(x);
+        let expect = oracle[shard].get(&x).cloned().unwrap_or_else(Value::empty);
+        // The recovered engine serves the *snapshot* path; it must agree
+        // with both the oracle and the mutex path.
+        let got = rec
+            .read_value_snapshot(x)
+            .map_err(|e| format!("{}: snapshot read {x} after recovery: {e}", ctx()))?;
+        let mutex = rec
+            .read_value(x)
+            .map_err(|e| format!("{}: mutex read {x} after recovery: {e}", ctx()))?;
+        // The recovered value must never be *older* than the log-replay
+        // prefix, and must be a write actually submitted to x. (Exact
+        // equality with pure replay is mode 1's oracle; here the churn
+        // phase installs into the stable store, so recovery legitimately
+        // keeps state whose rotted log record the replay clipped away.)
+        let got_seq = if got.as_bytes().is_empty() {
+            None
+        } else {
+            Some(parse(x, &got).map_err(|e| format!("{}: recovered torn {x}: {e}", ctx()))?)
+        };
+        let expect_seq = if expect.as_bytes().is_empty() {
+            None
+        } else {
+            parse(x, &expect).ok()
+        };
+        if got != expect && got_seq < expect_seq {
+            return Err(format!(
+                "{}: recovered snapshot read {x} = {got:?} (mutex path {mutex:?}) \
+                 is older than the replay oracle {expect:?}",
+                ctx()
+            ));
+        }
+        if got != mutex {
+            return Err(format!(
+                "{}: recovered paths diverge on {x}: snapshot {got:?} vs mutex {mutex:?}",
+                ctx()
+            ));
+        }
+        if let Some(writes) = acked.get(&x) {
+            if let Some(last_acked) = writes.iter().rposition(|(_, ok)| *ok) {
+                let survivors = &writes[last_acked..];
+                if !survivors.iter().any(|(v, _)| *v == got) {
+                    return Err(format!(
+                        "{}: acked-durable violated on {x}: acknowledged write \
+                         #{last_acked} (of {}) did not survive; recovered {got:?}",
+                        ctx(),
+                        writes.len()
+                    ));
+                }
+            }
+        }
+    }
+    drop(rec);
     Ok(())
 }

@@ -23,6 +23,7 @@
 //! | [`e14_server_load`] | DESIGN §12: open-loop load against the TCP front end |
 //! | [`e15_replication`] | DESIGN §13: replica lag under load + failover fidelity |
 //! | [`e16_append_speed`] | DESIGN §14: segment recycling + double buffer + fsync coalescing |
+//! | [`e17_snapshot_reads`] | DESIGN §15: lock-free MVCC snapshot reads vs the engine mutex |
 
 pub mod e10_amortization;
 pub mod e11_sharding;
@@ -31,6 +32,7 @@ pub mod e13_backend_cost;
 pub mod e14_server_load;
 pub mod e15_replication;
 pub mod e16_append_speed;
+pub mod e17_snapshot_reads;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;

@@ -759,6 +759,11 @@ pub fn cmd_server_stats(addr: &str) -> Result<()> {
          forces_coalesced={} io_fsyncs={}",
         s.shards, s.batches, s.batched_ops, s.backpressure_waits, s.forces_coalesced, s.io_fsyncs
     );
+    println!(
+        "mvcc: reads_snapshot={} versions_retained={} versions_gced={} \
+         snapshot_oldest_si={}",
+        s.reads_snapshot, s.versions_retained, s.versions_gced, s.snapshot_oldest_si
+    );
     Ok(())
 }
 

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use llog_ops::{table1, OpKind, Operation, Transform, TransformRegistry};
-use llog_storage::{Metrics, ShadowStore, StableStore};
+use llog_storage::{Metrics, ShadowStore, StableStore, VersionStore};
 use llog_types::{LlogError, Lsn, ObjectId, OpId, Result, Value};
 use llog_wal::{CheckpointRecord, InstallRecord, LogRecord, Wal};
 
@@ -117,6 +117,9 @@ pub struct Engine {
     clock: u64,
     /// In-progress fuzzy backup, if any.
     backup: Option<BackupInProgress>,
+    /// MVCC version chains for lock-free snapshot reads, once enabled.
+    /// Every update that lands in the cache is also published here.
+    versions: Option<Arc<VersionStore>>,
     // Audit state (only populated when config.audit).
     full_history: Vec<Operation>,
     installed_ops: BTreeSet<OpId>,
@@ -159,6 +162,7 @@ impl Engine {
             enforcing: false,
             clock: 0,
             backup: None,
+            versions: None,
             full_history: Vec::new(),
             installed_ops: BTreeSet::new(),
         }
@@ -207,6 +211,32 @@ impl Engine {
     /// Next operation id to be assigned (recovery seeds this).
     pub fn set_next_op(&mut self, next: u64) {
         self.next_op = next;
+    }
+
+    /// Turn on MVCC version publication and return the shared store.
+    ///
+    /// Seeds the chains from the engine's current state — the stable image
+    /// first (each object at its installed `vSI`), then the cache overlay
+    /// (uninstalled updates at their `lSI`s) — so calling this right after
+    /// recovery reconstructs exactly the versions a pre-crash reader could
+    /// still need. From then on every executed, replayed or adopted update
+    /// publishes its outputs as immutable versions keyed by its `lSI`.
+    pub fn enable_versions(&mut self) -> Arc<VersionStore> {
+        let vs = VersionStore::new(self.metrics.clone());
+        for (&x, stored) in self.store.iter() {
+            vs.publish(x, stored.vsi, stored.value.clone(), false);
+        }
+        for (&x, e) in &self.cache {
+            vs.publish(x, e.vsi, e.value.clone(), e.deleted);
+        }
+        self.versions = Some(vs.clone());
+        vs
+    }
+
+    /// The MVCC version store, if [`enable_versions`](Self::enable_versions)
+    /// has been called.
+    pub fn versions(&self) -> Option<&Arc<VersionStore>> {
+        self.versions.as_ref()
     }
 
     /// The engine's current view of an object: cache, else stable store.
@@ -397,6 +427,9 @@ impl Engine {
         let deleted = op.kind == OpKind::Delete;
         for (&x, v) in op.writes.iter().zip(outputs) {
             self.clock += 1;
+            if let Some(vs) = &self.versions {
+                vs.publish(x, lsn, v.clone(), deleted);
+            }
             self.cache.insert(
                 x,
                 CacheEntry {

@@ -40,6 +40,7 @@ pub mod redo;
 pub mod replica;
 pub mod rwgraph;
 pub mod shared;
+pub mod snapshot;
 pub mod wgraph;
 
 pub use cache::{Engine, EngineConfig, FlushStrategy, GraphKind};
@@ -48,7 +49,8 @@ pub use media::{media_recover, media_recover_archived, Backup, BackupMode};
 pub use partition::partition_ops;
 pub use recover::{recover, recover_with, RecoveryMode, RecoveryOptions, RecoveryOutcome};
 pub use redo::RedoPolicy;
-pub use replica::RedoSession;
+pub use replica::{RedoSession, ReplicaReader};
 pub use rwgraph::{NodeId, RWGraph};
 pub use shared::{InstallerHandle, SharedEngine};
+pub use snapshot::{Snapshot, SnapshotRegistry};
 pub use wgraph::WriteGraph;

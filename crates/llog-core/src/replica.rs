@@ -29,19 +29,30 @@
 //! returns the engine, now writable and indistinguishable from a freshly
 //! recovered primary.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use llog_ops::TransformRegistry;
-use llog_storage::StableStore;
+use llog_storage::{StableStore, VersionStore};
 use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
 use llog_wal::{LogRecord, Wal};
 
 use crate::cache::{Engine, EngineConfig};
 use crate::recover::{recover_with, RecoveryOptions, RecoveryOutcome};
 use crate::redo::RedoPolicy;
+use crate::snapshot::{Snapshot, SnapshotRegistry};
 
 /// An incremental redo session over a shipped log (see the module docs).
 pub struct RedoSession {
     engine: Engine,
     watermark: Lsn,
+    /// The watermark, shared with lock-free [`ReplicaReader`]s. Published
+    /// with `Release` only after every record at or below it has been
+    /// applied (and its versions published), so a reader that `Acquire`s it
+    /// sees a complete cut.
+    watermark_cell: Arc<AtomicU64>,
+    versions: Arc<VersionStore>,
+    registry: Arc<SnapshotRegistry>,
 }
 
 impl RedoSession {
@@ -56,7 +67,7 @@ impl RedoSession {
         config: EngineConfig,
         policy: RedoPolicy,
     ) -> Result<(RedoSession, RecoveryOutcome)> {
-        let (engine, outcome) = recover_with(
+        let (mut engine, outcome) = recover_with(
             store,
             wal,
             registry,
@@ -65,7 +76,17 @@ impl RedoSession {
             RecoveryOptions::default(),
         )?;
         let watermark = engine.wal().contiguous_end(engine.wal().start_lsn());
-        Ok((RedoSession { engine, watermark }, outcome))
+        let versions = engine.enable_versions();
+        Ok((
+            RedoSession {
+                engine,
+                watermark,
+                watermark_cell: Arc::new(AtomicU64::new(watermark.0)),
+                versions,
+                registry: SnapshotRegistry::new(),
+            },
+            outcome,
+        ))
     }
 
     /// The replayed-LSN watermark: the consistent cut reads are served at,
@@ -90,6 +111,32 @@ impl RedoSession {
     /// Read `x` at the watermark cut without disturbing cache state.
     pub fn read(&self, x: ObjectId) -> Value {
         self.engine.peek_value(x)
+    }
+
+    /// A lock-free read handle over this session's version chains.
+    ///
+    /// The handle outlives borrows of the session: it reads at whatever
+    /// watermark the replay loop has published, without the caller holding
+    /// any lock that replay needs (see [`ReplicaReader`]).
+    pub fn reader(&self) -> ReplicaReader {
+        ReplicaReader {
+            versions: self.versions.clone(),
+            watermark: self.watermark_cell.clone(),
+        }
+    }
+
+    /// Open a pinned snapshot at the current watermark: a consistent cut
+    /// that GC will not reclaim under, even as replay advances.
+    pub fn open_snapshot(&self) -> Snapshot {
+        let cell = self.watermark_cell.clone();
+        self.registry.open(self.versions.clone(), move || {
+            Lsn(cell.load(Ordering::Acquire))
+        })
+    }
+
+    fn set_watermark(&mut self, w: Lsn) {
+        self.watermark = w;
+        self.watermark_cell.store(w.0, Ordering::Release);
     }
 
     /// Ingest shipped stable bytes starting at log address `at` and replay
@@ -129,16 +176,20 @@ impl RedoSession {
                     // replica. (The record that failed may itself have
                     // mutated state; callers that intend to keep the
                     // session alive must rebuild it instead.)
-                    self.watermark = *lsn;
+                    self.set_watermark(*lsn);
                     return Err(e);
                 }
                 applied += 1;
             }
             // This frame is replayed (or skippable): the cut moves to
             // its end, which is the next frame's start.
-            self.watermark = recs.get(k + 1).map_or(tail, |&(next, _)| next);
+            self.set_watermark(recs.get(k + 1).map_or(tail, |&(next, _)| next));
         }
-        self.watermark = tail;
+        self.set_watermark(tail);
+        // Bounded retention: reclaim versions no open snapshot (and no
+        // reader at the new watermark) can still resolve.
+        self.versions
+            .gc(self.registry.floor_with(|| self.watermark));
         Ok(applied)
     }
 
@@ -149,6 +200,35 @@ impl RedoSession {
     pub fn promote(mut self) -> Result<Engine> {
         self.engine.wal_mut().seal_to(self.watermark)?;
         Ok(self.engine)
+    }
+}
+
+/// A lock-free consistent-read handle over a replica's version chains.
+///
+/// Reads resolve at the session's replayed-LSN watermark via
+/// [`VersionStore::read_coherent`]: the watermark is sampled under the
+/// chains read lock, so a read never observes a half-applied frame and
+/// never races the session's retention GC. Crucially, the handle shares no
+/// lock with the replay loop — serving reads can no longer stall redo, and
+/// redo can no longer stall reads.
+#[derive(Clone)]
+pub struct ReplicaReader {
+    versions: Arc<VersionStore>,
+    watermark: Arc<AtomicU64>,
+}
+
+impl ReplicaReader {
+    /// Read `x` at the current replayed watermark.
+    pub fn read(&self, x: ObjectId) -> Value {
+        let cell = &self.watermark;
+        self.versions
+            .read_coherent(x, || Lsn(cell.load(Ordering::Acquire)))
+            .0
+    }
+
+    /// The watermark this reader would currently resolve at.
+    pub fn watermark(&self) -> Lsn {
+        Lsn(self.watermark.load(Ordering::Acquire))
     }
 }
 
@@ -317,6 +397,58 @@ mod tests {
         // Correct delivery still lands.
         session.extend(session.stable_end(), &bytes).unwrap();
         assert_eq!(session.read(ObjectId(1)), Value::from_slice(b"a"));
+    }
+
+    /// Lock-free readers and pinned snapshots track the watermark: a
+    /// reader follows replay forward, a snapshot stays at its cut, and the
+    /// session's retention GC never reclaims under the pinned snapshot.
+    #[test]
+    fn readers_and_snapshots_follow_the_watermark() {
+        let mut primary = fresh_engine();
+        put(&mut primary, 1, b"v1");
+        primary.wal_mut().force();
+        let cut1 = primary.wal().forced_lsn();
+
+        let metrics = Metrics::new();
+        let wal = Wal::from_shipped(metrics.clone(), primary.wal().start_lsn().0, None);
+        let (mut session, _) = RedoSession::begin(
+            StableStore::new(metrics),
+            wal,
+            TransformRegistry::with_builtins(),
+            config(),
+            RedoPolicy::Vsi,
+        )
+        .unwrap();
+        let reader = session.reader();
+        let first = primary
+            .wal()
+            .ship_tail(primary.wal().start_lsn(), usize::MAX)
+            .unwrap()
+            .to_vec();
+        session.extend(session.stable_end(), &first).unwrap();
+        assert_eq!(reader.watermark(), cut1);
+        assert_eq!(reader.read(ObjectId(1)), Value::from_slice(b"v1"));
+
+        // Pin a snapshot at the current cut, then replay an overwrite.
+        let snap = session.open_snapshot();
+        put(&mut primary, 1, b"v2");
+        primary.wal_mut().force();
+        let tail = primary.wal().ship_tail(cut1, usize::MAX).unwrap().to_vec();
+        session.extend(cut1, &tail).unwrap();
+
+        // The reader moved with replay; the snapshot did not — and the
+        // extend-time GC kept its version alive.
+        assert_eq!(reader.read(ObjectId(1)), Value::from_slice(b"v2"));
+        assert_eq!(snap.read(ObjectId(1)), Value::from_slice(b"v1"));
+        drop(snap);
+
+        // With the pin gone, the next extend's GC may reclaim v1.
+        put(&mut primary, 2, b"x");
+        primary.wal_mut().force();
+        let at = session.stable_end();
+        let tail = primary.wal().ship_tail(at, usize::MAX).unwrap().to_vec();
+        session.extend(at, &tail).unwrap();
+        assert_eq!(reader.read(ObjectId(1)), Value::from_slice(b"v2"));
     }
 
     /// A record the replica cannot replay must surface the error *and*

@@ -239,7 +239,7 @@ impl ForceScheduler {
             let result = match s {
                 Staged::Done(r) => r,
                 Staged::Sync { target, .. } => {
-                    let mut g = lock(&req.shard.engine);
+                    let mut g = req.shard.lock_engine();
                     match g.as_mut() {
                         None => None,
                         Some(e) => {
@@ -278,7 +278,7 @@ impl ForceScheduler {
 /// `force_through_faults` + `Shard::persist_forced` verdict-for-verdict.
 fn begin_one(req: &PendingReq) -> Staged {
     let shard = &req.shard;
-    let mut g = lock(&shard.engine);
+    let mut g = shard.lock_engine();
     let Some(e) = g.as_mut() else {
         return Staged::Done(None);
     };

@@ -12,14 +12,16 @@
 //! to survive a crash.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use llog_core::shared::lock;
 use llog_core::shared::WorkSignal;
+use llog_core::snapshot::{Snapshot, SnapshotRegistry};
 use llog_core::Engine;
+use llog_storage::VersionStore;
 use llog_testkit::faults::{failpoint, FaultHost, ForceVerdict};
-use llog_types::{Lsn, OpId};
+use llog_types::{Lsn, ObjectId, OpId, Value};
 use llog_wal::ForceOutcome;
 
 use crate::snapshot::GroupCommitSnapshot;
@@ -87,8 +89,17 @@ pub(crate) struct Shard {
     pub index: usize,
     /// The engine, or `None` once crashed/shut down. `Option` lets
     /// `ShardedEngine::crash` *take* the engine even while outstanding
-    /// [`CommitTicket`]s still hold `Arc<Shard>` clones.
+    /// [`CommitTicket`]s still hold `Arc<Shard>` clones. Take it through
+    /// [`Shard::lock_engine`], which counts acquisitions — the E17/fuzz
+    /// proof that snapshot reads never touch this mutex.
     pub engine: Mutex<Option<Engine>>,
+    /// Times the engine mutex was acquired (every call site goes through
+    /// [`Shard::lock_engine`]).
+    engine_locks: AtomicU64,
+    /// MVCC version chains, once snapshot reads are enabled for the shard.
+    versions: Mutex<Option<Arc<VersionStore>>>,
+    /// Open snapshot SIs over those chains (the GC floor source).
+    pub(crate) snapshots: Arc<SnapshotRegistry>,
     /// Group-commit state.
     pub gc: Mutex<GcState>,
     /// Wakes the flusher when pending work (or a stop request) appears.
@@ -146,6 +157,9 @@ impl Shard {
         Shard {
             index,
             engine: Mutex::new(Some(engine)),
+            engine_locks: AtomicU64::new(0),
+            versions: Mutex::new(None),
+            snapshots: SnapshotRegistry::new(),
             gc: Mutex::new(GcState::default()),
             gc_cv: Condvar::new(),
             durable: Mutex::new(forced),
@@ -158,6 +172,68 @@ impl Shard {
             faults,
             backend: Mutex::new(None),
             persist_on_force,
+        }
+    }
+
+    /// Acquire the engine mutex, counting the acquisition. Every code path
+    /// that touches the engine goes through here, so
+    /// [`engine_lock_count`](Self::engine_lock_count) is a complete census
+    /// — the assertion backing "snapshot reads never take the engine
+    /// mutex".
+    pub fn lock_engine(&self) -> MutexGuard<'_, Option<Engine>> {
+        self.engine_locks.fetch_add(1, Ordering::Relaxed);
+        lock(&self.engine)
+    }
+
+    /// How many times the engine mutex has been acquired.
+    pub fn engine_lock_count(&self) -> u64 {
+        self.engine_locks.load(Ordering::Relaxed)
+    }
+
+    /// Enable MVCC snapshot reads: seed the version chains from the
+    /// engine's current state and publish every later update into them.
+    pub fn enable_versions(&self) {
+        let mut g = self.lock_engine();
+        if let Some(e) = g.as_mut() {
+            let vs = e.enable_versions();
+            *lock(&self.versions) = Some(vs);
+        }
+    }
+
+    /// The shard's version chains, if snapshot reads are enabled.
+    pub fn versions(&self) -> Option<Arc<VersionStore>> {
+        lock(&self.versions).clone()
+    }
+
+    /// Momentary snapshot read: resolve `x` at the durable watermark via
+    /// the version chains — no engine mutex. The watermark is sampled
+    /// under the chains read lock (see `VersionStore::read_coherent`), so
+    /// the read can never race the retention GC. Returns `None` when
+    /// snapshot reads are not enabled.
+    pub fn read_snapshot(&self, x: ObjectId) -> Option<Value> {
+        let vs = self.versions()?;
+        Some(vs.read_coherent(x, || self.durable_lsn()).0)
+    }
+
+    /// Open a pinned snapshot at the current durable watermark. The SI is
+    /// sampled while the registry lock is held, so a concurrent GC either
+    /// sees the registration or computed its floor from an older (≤)
+    /// durable value — never past this snapshot.
+    pub fn open_snapshot(&self) -> Option<Snapshot> {
+        let vs = self.versions()?;
+        Some(self.snapshots.open(vs, || self.durable_lsn()))
+    }
+
+    /// Reclaim versions below `min(oldest open snapshot, durable)` and
+    /// return how many were dropped. Wired into the checkpoint coordinator
+    /// so retention stays bounded without a dedicated GC thread.
+    pub fn gc_versions(&self) -> u64 {
+        match self.versions() {
+            Some(vs) => {
+                let floor = self.snapshots.floor_with(|| self.durable_lsn());
+                vs.gc(floor)
+            }
+            None => 0,
         }
     }
 
@@ -303,7 +379,7 @@ impl Shard {
     /// injected I/O error, or an injected tear killed the shard.
     pub fn force_now(&self) -> bool {
         let outcome = {
-            let mut g = lock(&self.engine);
+            let mut g = self.lock_engine();
             let Some(e) = g.as_mut() else {
                 return false;
             };
@@ -422,7 +498,7 @@ pub(crate) fn flusher_loop(
                 None => return, // crashed/torn down underneath us
             }
         } else {
-            let mut g = lock(&shard.engine);
+            let mut g = shard.lock_engine();
             let Some(e) = g.as_mut() else {
                 return; // crashed underneath us
             };
@@ -498,7 +574,7 @@ pub(crate) fn installer_loop(shard: &Shard, high_water: usize) {
             return;
         }
         let worked = {
-            let mut g = lock(&shard.engine);
+            let mut g = shard.lock_engine();
             // A dead shard's devices accept no writes: once a force has
             // torn (death is latched under this lock), installing values
             // into the stable store would leave it ahead of the log's

@@ -7,6 +7,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use llog_core::shared::{lock, WorkSignal};
+use llog_core::snapshot::Snapshot;
 use llog_core::{recover_with, Engine, EngineConfig, RecoveryOptions, RecoveryOutcome, RedoPolicy};
 use llog_ops::{OpKind, Transform, TransformRegistry};
 use llog_storage::{Metrics, MetricsSnapshot, StableStore};
@@ -86,6 +87,11 @@ pub struct ShardedConfig {
     /// from that barrier. `None` (the default) keeps the legacy
     /// one-force-per-shard paths, byte-for-byte.
     pub coalesce_window: Option<Duration>,
+    /// MVCC snapshot reads (DESIGN §15): each shard publishes immutable
+    /// versions and [`ShardedEngine::read_value_snapshot`] resolves reads
+    /// at the durable watermark without the engine mutex. Off, that method
+    /// falls back to the mutex read path — the E17 baseline.
+    pub snapshot_reads: bool,
 }
 
 impl Default for ShardedConfig {
@@ -99,6 +105,7 @@ impl Default for ShardedConfig {
             install_high_water: 64,
             persist_on_force: false,
             coalesce_window: None,
+            snapshot_reads: true,
         }
     }
 }
@@ -189,6 +196,14 @@ impl ShardedEngine {
             .enumerate()
             .map(|(i, e)| Arc::new(Shard::new(i, e, faults.clone(), config.persist_on_force)))
             .collect();
+        if config.snapshot_reads {
+            // Seed each shard's version chains from its current state
+            // (covers both fresh engines and the recovery path — replayed
+            // effects are in the store image or the cache overlay).
+            for shard in &shards {
+                shard.enable_versions();
+            }
+        }
         let (scheduler, sched_thread) = match config.coalesce_window {
             Some(window) => {
                 let (s, h) = ForceScheduler::spawn(window, config.force_latency);
@@ -273,7 +288,7 @@ impl ShardedEngine {
         // installer bumps the shard's epoch after every install; the
         // timeout bounds the wait if an install raced the snapshot.
         let mut guard = loop {
-            let g = lock(&shard.engine);
+            let g = shard.lock_engine();
             // A shard whose device died mid-force (torn/rotted write)
             // rejects work even while its engine is still being collected:
             // in particular the Sync-commit force below must never touch a
@@ -372,14 +387,72 @@ impl ShardedEngine {
         })
     }
 
-    /// The owning shard's current view of object `x`.
+    /// The owning shard's current view of object `x`, read under the
+    /// engine mutex — sees uncommitted (not-yet-durable) state and
+    /// contends with writers, the flusher and the installer. Prefer
+    /// [`read_value_snapshot`](Self::read_value_snapshot) for read-mostly
+    /// traffic.
     pub fn read_value(&self, x: ObjectId) -> Result<Value> {
         let idx = self.router.shard_of(x);
-        let mut g = lock(&self.shards[idx].engine);
+        let mut g = self.shards[idx].lock_engine();
         match g.as_mut() {
             Some(e) => Ok(e.read_value(x)),
             None => Err(LlogError::CacheProtocol(format!("shard {idx} has crashed"))),
         }
+    }
+
+    /// Read `x` at the owning shard's durable watermark via its MVCC
+    /// version chains — **no engine mutex**, so the read runs concurrently
+    /// with writers, group-commit forces and installs. Observes only
+    /// acknowledged (durable) state; a just-executed, not-yet-forced write
+    /// is invisible until its batch forces. With
+    /// [`ShardedConfig::snapshot_reads`] off this falls back to the mutex
+    /// read path.
+    pub fn read_value_snapshot(&self, x: ObjectId) -> Result<Value> {
+        let idx = self.router.shard_of(x);
+        let shard = &self.shards[idx];
+        if shard.is_dead() {
+            return Err(LlogError::CacheProtocol(format!("shard {idx} has crashed")));
+        }
+        match shard.read_snapshot(x) {
+            Some(v) => Ok(v),
+            None => self.read_value(x),
+        }
+    }
+
+    /// Open a pinned snapshot of shard `i` at its current durable
+    /// watermark: a consistent cut that later writes and the retention GC
+    /// cannot disturb. Returns an error when snapshot reads are disabled
+    /// or the shard has crashed.
+    pub fn open_snapshot(&self, i: usize) -> Result<Snapshot> {
+        let shard = &self.shards[i];
+        if shard.is_dead() {
+            return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
+        }
+        shard.open_snapshot().ok_or_else(|| {
+            LlogError::CacheProtocol(format!("shard {i} has snapshot reads disabled"))
+        })
+    }
+
+    /// Open a pinned snapshot of the shard owning `x` (see
+    /// [`open_snapshot`](Self::open_snapshot)).
+    pub fn open_snapshot_for(&self, x: ObjectId) -> Result<Snapshot> {
+        self.open_snapshot(self.router.shard_of(x))
+    }
+
+    /// Total acquisitions of every shard's engine mutex — the census
+    /// behind "snapshot reads never take the engine lock" (E17 asserts a
+    /// read burst leaves this unchanged).
+    pub fn engine_lock_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine_lock_count()).sum()
+    }
+
+    /// Run the version-retention GC on every shard (floor = min(oldest
+    /// open snapshot, durable)); returns total versions reclaimed. The
+    /// checkpoint coordinator already does this per shard — this is for
+    /// tests and explicit maintenance.
+    pub fn gc_versions(&self) -> u64 {
+        self.shards.iter().map(|s| s.gc_versions()).sum()
     }
 
     /// Force shard `i`'s WAL and advance its watermark.
@@ -428,7 +501,7 @@ impl ShardedEngine {
         self.shards
             .iter()
             .map(|s| {
-                lock(&s.engine)
+                s.lock_engine()
                     .as_ref()
                     .map(|e| e.uninstalled_count())
                     .unwrap_or(0)
@@ -439,7 +512,7 @@ impl ShardedEngine {
     /// Drain every shard's write graph completely.
     pub fn install_all(&self) -> Result<()> {
         for s in &self.shards {
-            let mut g = lock(&s.engine);
+            let mut g = s.lock_engine();
             if let Some(e) = g.as_mut() {
                 e.install_all()?;
             }
@@ -505,7 +578,7 @@ impl ShardedEngine {
     /// backend (or already crashed) are skipped.
     pub fn persist_all(&self) -> Result<()> {
         for s in &self.shards {
-            let g = lock(&s.engine);
+            let g = s.lock_engine();
             let Some(e) = g.as_ref() else { continue };
             if s.is_dead() {
                 continue;
@@ -526,7 +599,7 @@ impl ShardedEngine {
     /// later records sound.
     pub fn ship_manifest(&self, i: usize) -> Result<ShipManifest> {
         let s = &self.shards[i];
-        let g = lock(&s.engine);
+        let g = s.lock_engine();
         let Some(e) = g.as_ref() else {
             return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
         };
@@ -550,7 +623,7 @@ impl ShardedEngine {
     /// manifest.
     pub fn ship_chunk(&self, i: usize, from: Lsn, max: usize) -> Result<(Vec<u8>, Lsn)> {
         let s = &self.shards[i];
-        let g = lock(&s.engine);
+        let g = s.lock_engine();
         let Some(e) = g.as_ref() else {
             return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
         };
@@ -571,7 +644,7 @@ impl ShardedEngine {
     /// the shard's stable end).
     pub fn note_replica_watermark(&self, i: usize, lsn: Lsn) -> Result<()> {
         let s = &self.shards[i];
-        let g = lock(&s.engine);
+        let g = s.lock_engine();
         let Some(e) = g.as_ref() else {
             return Err(LlogError::CacheProtocol(format!("shard {i} has crashed")));
         };
@@ -619,7 +692,7 @@ impl ShardedEngine {
             .shards
             .iter()
             .map(|s| {
-                lock(&s.engine)
+                s.lock_engine()
                     .as_ref()
                     .map(|e| e.metrics().snapshot())
                     .unwrap_or_default()
@@ -716,7 +789,7 @@ impl ShardedEngine {
         self.shards
             .iter()
             .map(|s| {
-                lock(&s.engine)
+                s.lock_engine()
                     .take()
                     .expect("engines are taken exactly once, by crash/shutdown")
             })
@@ -735,7 +808,7 @@ impl Drop for ShardedEngine {
 /// Checkpoint one shard and advance its watermark (the checkpoint's
 /// record is forced as part of [`Engine::checkpoint`]).
 fn checkpoint_one(shard: &Shard, truncate: bool) -> Result<Lsn> {
-    let mut g = lock(&shard.engine);
+    let mut g = shard.lock_engine();
     let Some(e) = g.as_mut() else {
         return Err(LlogError::CacheProtocol(format!(
             "shard {} has crashed",
@@ -765,6 +838,9 @@ fn checkpoint_one(shard: &Shard, truncate: bool) -> Result<Lsn> {
     let forced = e.wal().forced_lsn();
     drop(g);
     shard.advance_durable(forced);
+    // Retention GC rides the checkpoint cadence: reclaim versions below
+    // min(oldest open snapshot, the durable cut just advanced).
+    shard.gc_versions();
     Ok(lsn)
 }
 
@@ -1072,7 +1148,8 @@ mod tests {
         e.install_all().unwrap();
         let before: Vec<usize> = (0..2)
             .map(|i| {
-                lock(&e.shards[i].engine)
+                e.shards[i]
+                    .lock_engine()
                     .as_ref()
                     .unwrap()
                     .wal()
@@ -1083,7 +1160,8 @@ mod tests {
         let (s1, _) = e.checkpoint_next().unwrap();
         assert_ne!(s0, s1, "round-robin must rotate shards");
         for i in 0..2 {
-            let after = lock(&e.shards[i].engine)
+            let after = e.shards[i]
+                .lock_engine()
                 .as_ref()
                 .unwrap()
                 .wal()
@@ -1681,5 +1759,170 @@ mod tests {
         );
         assert!(after.double_buffer_overlap_ns > before.double_buffer_overlap_ns);
         drop(e);
+    }
+
+    #[test]
+    fn snapshot_reads_never_take_the_engine_mutex() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 2,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..16u64 {
+            assert!(put(&e, ObjectId(i), "mvcc").is_durable());
+        }
+        let before = e.engine_lock_count();
+        for _ in 0..8 {
+            for i in 0..16u64 {
+                assert_eq!(
+                    e.read_value_snapshot(ObjectId(i)).unwrap(),
+                    Value::from("mvcc")
+                );
+            }
+        }
+        assert_eq!(
+            e.engine_lock_count(),
+            before,
+            "the snapshot read path must not acquire any engine mutex"
+        );
+        // The mutex path, by contrast, counts one acquisition per read.
+        e.read_value(ObjectId(0)).unwrap();
+        assert_eq!(e.engine_lock_count(), before + 1);
+        drop(e);
+    }
+
+    #[test]
+    fn snapshot_reads_complete_while_a_writer_holds_the_engine_lock() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let x = ObjectId(7);
+        assert!(put(&e, x, "held").is_durable());
+        // Park a "writer" on the engine mutex; snapshot reads must not
+        // block behind it.
+        let guard = e.shards[0].lock_engine();
+        assert_eq!(e.read_value_snapshot(x).unwrap(), Value::from("held"));
+        let snap = e.open_snapshot(0).unwrap();
+        assert_eq!(snap.read(x), Value::from("held"));
+        drop(snap);
+        drop(guard);
+        drop(e);
+    }
+
+    #[test]
+    fn snapshot_reads_observe_only_durable_state() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: 1024, // never trips on its own
+                max_delay: Duration::from_secs(3600),
+            }),
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let x = ObjectId(3);
+        let t1 = put(&e, x, "v1");
+        e.force_all().unwrap();
+        assert!(t1.wait());
+        // v2 executes but its batch never forces: the mutex path sees it
+        // (uncommitted read), the snapshot path must not.
+        let t2 = put(&e, x, "v2");
+        assert!(!t2.is_durable());
+        assert_eq!(e.read_value(x).unwrap(), Value::from("v2"));
+        assert_eq!(e.read_value_snapshot(x).unwrap(), Value::from("v1"));
+        e.force_all().unwrap();
+        assert!(t2.wait());
+        assert_eq!(e.read_value_snapshot(x).unwrap(), Value::from("v2"));
+        drop(e);
+    }
+
+    #[test]
+    fn checkpoint_gc_bounds_retention_and_respects_open_snapshots() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let x = ObjectId(1);
+        for i in 0..8 {
+            assert!(put(&e, x, &format!("v{i}")).is_durable());
+        }
+        let pinned = e.open_snapshot(0).unwrap();
+        let pinned_value = pinned.read(x);
+        for i in 8..16 {
+            assert!(put(&e, x, &format!("v{i}")).is_durable());
+        }
+        // Checkpoint runs the GC, but the open snapshot pins its floor:
+        // the pinned read stays resolvable.
+        e.checkpoint_shard(0, false).unwrap();
+        assert_eq!(pinned.read(x), pinned_value);
+        drop(pinned);
+        // With the pin gone, the next GC collapses the chain to the floor
+        // survivor.
+        e.checkpoint_shard(0, false).unwrap();
+        let vs = e.shards[0].versions().unwrap();
+        assert_eq!(vs.chain_len(x), 1);
+        assert_eq!(e.read_value_snapshot(x).unwrap(), Value::from("v15"));
+        let snap = e.metrics_snapshot().aggregate;
+        assert!(snap.versions_gced > 0, "GC must have reclaimed versions");
+        assert!(snap.snapshot_oldest_si > 0, "GC floor gauge must advance");
+        drop(e);
+    }
+
+    #[test]
+    fn snapshot_reads_disabled_falls_back_to_the_mutex_path() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            snapshot_reads: false,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let x = ObjectId(5);
+        assert!(put(&e, x, "flat").is_durable());
+        let before = e.engine_lock_count();
+        assert_eq!(e.read_value_snapshot(x).unwrap(), Value::from("flat"));
+        assert!(
+            e.engine_lock_count() > before,
+            "with snapshot_reads off the read must ride the engine mutex"
+        );
+        assert!(e.open_snapshot(0).is_err());
+        drop(e);
+    }
+
+    #[test]
+    fn snapshot_reads_survive_recovery() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 2,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        for i in 0..32u64 {
+            assert!(put(&e, ObjectId(i), "pre").is_durable());
+        }
+        let parts = e.crash();
+        let (rec, _) = recover_sharded(parts, &reg, cfg, RedoPolicy::RsiExposed).unwrap();
+        let before = rec.engine_lock_count();
+        for i in 0..32u64 {
+            assert_eq!(
+                rec.read_value_snapshot(ObjectId(i)).unwrap(),
+                Value::from("pre"),
+                "recovered state must be visible to snapshot reads"
+            );
+        }
+        assert_eq!(rec.engine_lock_count(), before);
+        drop(rec);
     }
 }

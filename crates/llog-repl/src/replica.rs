@@ -14,7 +14,10 @@
 //! - One **acceptor** thread plus one lock-step handler thread per
 //!   connection serve the framed protocol: `Get`/`Stats`/`Ping` always,
 //!   `Put` only after promotion (rejected with `ErrCode::Engine` before),
-//!   `Promote` exactly once.
+//!   `Promote` exactly once. A standby `Get` is lock-free against replay:
+//!   it resolves through the shard's [`ReplicaReader`] (MVCC version
+//!   chains at the replayed watermark, DESIGN §15), so reads never queue
+//!   behind the poller applying a chunk.
 //!
 //! ## Promotion
 //!
@@ -32,12 +35,14 @@
 use std::io::{Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use llog_core::{recover_with, Engine, EngineConfig, RecoveryOptions, RedoPolicy, RedoSession};
+use llog_core::{
+    recover_with, Engine, EngineConfig, RecoveryOptions, RedoPolicy, RedoSession, ReplicaReader,
+};
 use llog_engine::{ShardRouter, ShardedConfig, ShardedEngine};
 use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
 use llog_server::proto::{
@@ -99,8 +104,26 @@ enum Role {
     Draining,
 }
 
+/// Lock-free mirrors of [`Role`]'s discriminant (see [`State::role_tag`]).
+const TAG_STANDBY: u8 = 0;
+const TAG_PROMOTED: u8 = 1;
+const TAG_DRAINING: u8 = 2;
+
 struct State {
     role: Mutex<Role>,
+    /// `role`'s discriminant, stored (under the role lock) at every
+    /// transition. `Get` handlers branch on this instead of locking
+    /// `role`, so a standby read never queues behind the poller replaying
+    /// a chunk — or behind a promotion in flight, during which reads keep
+    /// serving at the sealed watermark.
+    role_tag: AtomicU8,
+    /// One lock-free reader per shard ([`ReplicaReader`]: MVCC version
+    /// chains + the replayed-watermark cell), index-aligned with the
+    /// standby sessions and refreshed when a shard re-attaches. The lock
+    /// guards only the `Vec` — it is held for a clone, never across a
+    /// replay or a read. Lock order where both are taken: `role`, then
+    /// `readers`.
+    readers: Mutex<Vec<ReplicaReader>>,
     router: ShardRouter,
     registry: TransformRegistry,
     config: ReplicaConfig,
@@ -147,8 +170,11 @@ impl Replica {
             reason: e.to_string(),
         })?;
 
+        let readers = sessions.iter().map(RedoSession::reader).collect();
         let state = Arc::new(State {
             role: Mutex::new(Role::Standby(sessions)),
+            role_tag: AtomicU8::new(TAG_STANDBY),
+            readers: Mutex::new(readers),
             router: ShardRouter::new(shards),
             registry,
             config,
@@ -216,7 +242,11 @@ impl Replica {
         for h in self.threads.drain(..) {
             let _ = h.join();
         }
-        let role = std::mem::replace(&mut *lock(&self.state.role), Role::Draining);
+        let role = {
+            let mut g = lock(&self.state.role);
+            self.state.role_tag.store(TAG_DRAINING, Ordering::SeqCst);
+            std::mem::replace(&mut *g, Role::Draining)
+        };
         if let Role::Promoted(engine) = role {
             engine.shutdown()?;
         }
@@ -390,6 +420,7 @@ fn poller_loop(state: &Arc<State>, mut client: Client) {
                                 let Role::Standby(sessions) = &mut *g else {
                                     return;
                                 };
+                                lock(&state.readers)[i] = session.reader();
                                 sessions[i] = session;
                                 reported[i] = Lsn::ZERO;
                                 progressed = true;
@@ -407,6 +438,7 @@ fn poller_loop(state: &Arc<State>, mut client: Client) {
                             let Role::Standby(sessions) = &mut *g else {
                                 return;
                             };
+                            lock(&state.readers)[i] = session.reader();
                             sessions[i] = session;
                             progressed = true;
                         }
@@ -530,22 +562,33 @@ fn respond(state: &Arc<State>, req: Request) -> Response {
             state.shutdown_requested.store(true, Ordering::SeqCst);
             Response::Ok { req_id }
         }
-        Request::Get { req_id, object } => match &mut *lock(&state.role) {
-            Role::Standby(sessions) => Response::Value {
-                req_id,
-                value: sessions[state.router.shard_of(object)]
-                    .read(object)
-                    .as_bytes()
-                    .to_vec(),
-            },
-            Role::Promoted(engine) => match engine.read_value(object) {
-                Ok(v) => Response::Value {
+        // Reads branch on the lock-free role tag, not the role lock: a
+        // standby read clones its shard's [`ReplicaReader`] and resolves
+        // through the MVCC chains at the replayed watermark, so it never
+        // waits out the poller replaying a chunk. While a promotion is in
+        // flight (role already `Draining`, tag still standby) reads keep
+        // serving at the sealed watermark — the tag flips to promoted
+        // before any `Put` can be accepted, so no acknowledged write is
+        // ever invisible to a later read.
+        Request::Get { req_id, object } => match state.role_tag.load(Ordering::SeqCst) {
+            TAG_STANDBY => {
+                let reader = lock(&state.readers)[state.router.shard_of(object)].clone();
+                Response::Value {
                     req_id,
-                    value: v.as_bytes().to_vec(),
+                    value: reader.read(object).as_bytes().to_vec(),
+                }
+            }
+            TAG_PROMOTED => match &*lock(&state.role) {
+                Role::Promoted(engine) => match engine.read_value_snapshot(object) {
+                    Ok(v) => Response::Value {
+                        req_id,
+                        value: v.as_bytes().to_vec(),
+                    },
+                    Err(e) => err(req_id, ErrCode::Engine, e.to_string()),
                 },
-                Err(e) => err(req_id, ErrCode::Engine, e.to_string()),
+                _ => err(req_id, ErrCode::Stopping, "replica is stopping".into()),
             },
-            Role::Draining => err(req_id, ErrCode::Stopping, "replica is stopping".into()),
+            _ => err(req_id, ErrCode::Stopping, "replica is stopping".into()),
         },
         Request::Put {
             req_id,
@@ -651,6 +694,23 @@ fn stats_body(state: &Arc<State>) -> StatsBody {
             repl_watermark_lsn: sessions.iter().map(|s| s.watermark().0).max().unwrap_or(0),
             forces_coalesced: 0,
             io_fsyncs: 0,
+            reads_snapshot: sessions
+                .iter()
+                .map(|s| s.engine().metrics().snapshot().reads_snapshot)
+                .sum(),
+            versions_retained: sessions
+                .iter()
+                .map(|s| s.engine().metrics().snapshot().versions_retained)
+                .sum(),
+            versions_gced: sessions
+                .iter()
+                .map(|s| s.engine().metrics().snapshot().versions_gced)
+                .sum(),
+            snapshot_oldest_si: sessions
+                .iter()
+                .map(|s| s.engine().metrics().snapshot().snapshot_oldest_si)
+                .max()
+                .unwrap_or(0),
         },
         Role::Promoted(engine) => {
             let snap = engine.metrics_snapshot();
@@ -668,6 +728,10 @@ fn stats_body(state: &Arc<State>) -> StatsBody {
                     .unwrap_or(0),
                 forces_coalesced: snap.aggregate.forces_coalesced,
                 io_fsyncs: snap.aggregate.io_fsyncs,
+                reads_snapshot: snap.aggregate.reads_snapshot,
+                versions_retained: snap.aggregate.versions_retained,
+                versions_gced: snap.aggregate.versions_gced,
+                snapshot_oldest_si: snap.aggregate.snapshot_oldest_si,
             }
         }
         Role::Draining => StatsBody::default(),
@@ -688,9 +752,17 @@ fn promote(state: &Arc<State>, source_dir: &str) -> Result<()> {
     match promote_sessions(sessions, source_dir, &state.registry, state.config.policy) {
         Ok(engine) => {
             *g = Role::Promoted(engine);
+            // Tag stores happen under the role lock: a `Put` can only be
+            // accepted after this lock releases, so the promoted tag is
+            // visible to reads before any post-promotion write exists.
+            state.role_tag.store(TAG_PROMOTED, Ordering::SeqCst);
             Ok(())
         }
-        Err(e) => Err(e), // role stays Draining: state is torn, refuse work
+        Err(e) => {
+            // Role stays Draining: state is torn, refuse work.
+            state.role_tag.store(TAG_DRAINING, Ordering::SeqCst);
+            Err(e)
+        }
     }
 }
 

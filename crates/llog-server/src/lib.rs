@@ -115,6 +115,65 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_gets_ride_the_snapshot_path_in_request_order() {
+        let (server, _reg) = start_default(2);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // Interleave Put(x)=v_i / Get(x) without waiting for responses:
+        // the Get is served out of band (lock-free snapshot, writer
+        // thread), but must still answer after its preceding Put's ack —
+        // same req_id order, reading its own write.
+        let n = 32u64;
+        for i in 0..n {
+            let put_id = c.fresh_req_id();
+            c.send(&Request::Put {
+                req_id: put_id,
+                object: ObjectId(i % 4),
+                value: format!("v{i}").into_bytes(),
+            })
+            .unwrap();
+            let get_id = c.fresh_req_id();
+            c.send(&Request::Get {
+                req_id: get_id,
+                object: ObjectId(i % 4),
+            })
+            .unwrap();
+        }
+        let mut expected = 1u64; // fresh_req_id starts at 1
+        for i in 0..n {
+            match c.recv().unwrap().expect("ack") {
+                Response::Ack { req_id, .. } => assert_eq!(req_id, expected),
+                other => panic!("expected ack, got {other:?}"),
+            }
+            expected += 1;
+            match c.recv().unwrap().expect("value") {
+                Response::Value { req_id, value } => {
+                    assert_eq!(req_id, expected, "in-order completion");
+                    // Read-your-writes, not read-at-pipeline-position: the
+                    // get resolves when the writer pops it, so it sees its
+                    // preceding put or any *later* durable put this
+                    // connection pipelined onto the same object — never an
+                    // older value.
+                    let text = String::from_utf8(value).unwrap();
+                    let j: u64 = text.strip_prefix('v').unwrap().parse().unwrap();
+                    assert!(
+                        j >= i && j % 4 == i % 4,
+                        "get {i} observed v{j}: older than its own write"
+                    );
+                }
+                other => panic!("expected value, got {other:?}"),
+            }
+            expected += 1;
+        }
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats.reads_snapshot, n,
+            "every get must have been served via the snapshot path"
+        );
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
     fn acked_puts_survive_abort_and_recovery() {
         let (server, reg) = start_default(3);
         let mut c = Client::connect(server.local_addr()).unwrap();

@@ -187,6 +187,15 @@ pub struct StatsBody {
     pub forces_coalesced: u64,
     /// Device fsync barriers actually issued.
     pub io_fsyncs: u64,
+    /// Reads served through the lock-free MVCC snapshot path.
+    pub reads_snapshot: u64,
+    /// Versions currently retained across all shards' version chains.
+    pub versions_retained: u64,
+    /// Versions reclaimed by the retention GC.
+    pub versions_gced: u64,
+    /// The GC floor: oldest SI any snapshot can still resolve (max across
+    /// shards — per-shard LSNs, like the replica watermark).
+    pub snapshot_oldest_si: u64,
 }
 
 /// What the server answers. `req_id` always echoes the request's.
@@ -503,6 +512,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(body.repl_watermark_lsn);
             out.put_u64_le(body.forces_coalesced);
             out.put_u64_le(body.io_fsyncs);
+            out.put_u64_le(body.reads_snapshot);
+            out.put_u64_le(body.versions_retained);
+            out.put_u64_le(body.versions_gced);
+            out.put_u64_le(body.snapshot_oldest_si);
         }
         Response::Err {
             req_id,
@@ -575,7 +588,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         },
         T_OK => Response::Ok { req_id },
         T_STATS_R => {
-            need(&buf, 4 + 8 * 9, "stats body")?;
+            need(&buf, 4 + 8 * 13, "stats body")?;
             Response::Stats {
                 req_id,
                 body: StatsBody {
@@ -589,6 +602,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                     repl_watermark_lsn: buf.get_u64_le(),
                     forces_coalesced: buf.get_u64_le(),
                     io_fsyncs: buf.get_u64_le(),
+                    reads_snapshot: buf.get_u64_le(),
+                    versions_retained: buf.get_u64_le(),
+                    versions_gced: buf.get_u64_le(),
+                    snapshot_oldest_si: buf.get_u64_le(),
                 },
             }
         }
@@ -828,6 +845,10 @@ mod tests {
                     repl_watermark_lsn: 888,
                     forces_coalesced: 42,
                     io_fsyncs: 58,
+                    reads_snapshot: 71,
+                    versions_retained: 19,
+                    versions_gced: 260,
+                    snapshot_oldest_si: 888,
                 },
             },
             Response::Err {

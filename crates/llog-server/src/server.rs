@@ -9,12 +9,25 @@
 //! - a **reader** that decodes frames, executes each request against the
 //!   [`ShardedEngine`] immediately (so the shard's group-commit flusher
 //!   sees the append right away), and enqueues the *completion* — a
-//!   [`CommitTicket`] for puts, a ready [`Response`] for everything else —
-//!   on a bounded in-order queue;
+//!   [`CommitTicket`] for puts, a deferred snapshot read for gets, a ready
+//!   [`Response`] for everything else — on a bounded in-order queue;
 //! - a **writer** that pops completions in order, waits each ticket
 //!   durable, and writes the response frame. Responses therefore come back
 //!   in request order, and an `Ack` is written only after the shard's
 //!   durable watermark covers the operation.
+//!
+//! ## Reads ride out of band, answers stay in order
+//!
+//! A `Get` never takes the engine mutex: it is queued as a deferred
+//! completion and resolved on the writer thread through the engine's MVCC
+//! snapshot path ([`ShardedEngine::read_value_snapshot`], DESIGN §15), so
+//! reads from one connection never queue behind other connections' writes,
+//! forces or installs. Per-connection semantics are unchanged: the writer
+//! resolves completions strictly in `req_id` order, and because every
+//! earlier put's ticket has been waited durable *before* the read resolves,
+//! a pipelined `Put(x); Get(x)` always reads its own write — or a newer
+//! durable value this connection pipelined behind it, never an older one
+//! (the read resolves at pop time, not at its position in the pipeline).
 //!
 //! ## Admission control
 //!
@@ -46,7 +59,7 @@ use std::time::Duration;
 
 use llog_engine::{CommitTicket, ShardedEngine, ShipManifest};
 use llog_ops::{builtin, OpKind, Transform};
-use llog_types::{LlogError, Lsn, Result, Value};
+use llog_types::{LlogError, Lsn, ObjectId, Result, Value};
 
 use crate::proto::{
     decode_request, encode_response, read_frame, write_frame, ErrCode, Request, Response, StatsBody,
@@ -121,7 +134,15 @@ pub struct ServerCounters {
 enum Pending {
     /// A put waiting on durability; ack with the ticket's LSN.
     Ticket { req_id: u64, ticket: CommitTicket },
-    /// Already computed (get/flush/stats/ping/errors).
+    /// A get, resolved *at pop time* through the engine's lock-free MVCC
+    /// snapshot path. Deferring the read to the writer thread keeps
+    /// read-your-writes on a pipelined connection: every earlier ticket in
+    /// this queue has already been waited durable when the read resolves,
+    /// so the snapshot (taken at the durable watermark) covers this
+    /// connection's earlier puts — while the read itself never touches the
+    /// engine mutex and so never queues behind other connections' writes.
+    Snapshot { req_id: u64, object: ObjectId },
+    /// Already computed (flush/stats/ping/errors).
     Ready(Response),
 }
 
@@ -473,17 +494,11 @@ fn execute_request(inner: &Arc<Inner>, shipping: &mut ShippingState, req: Reques
                 }),
             }
         }
-        Request::Get { req_id, object } => match inner.engine.read_value(object) {
-            Ok(v) => Pending::Ready(Response::Value {
-                req_id,
-                value: v.as_bytes().to_vec(),
-            }),
-            Err(e) => Pending::Ready(Response::Err {
-                req_id,
-                code: ErrCode::Engine,
-                message: e.to_string(),
-            }),
-        },
+        // Gets are deferred to the writer thread (see [`Pending::Snapshot`]):
+        // the reader stays free to pump puts into the flusher's batch
+        // window, and the read runs on the lock-free snapshot path after
+        // this connection's earlier tickets have gone durable.
+        Request::Get { req_id, object } => Pending::Snapshot { req_id, object },
         Request::Flush { req_id } => match inner.engine.force_all() {
             Ok(()) => Pending::Ready(Response::Ok { req_id }),
             Err(e) => Pending::Ready(Response::Err {
@@ -507,6 +522,10 @@ fn execute_request(inner: &Arc<Inner>, shipping: &mut ShippingState, req: Reques
                     repl_watermark_lsn: snap.aggregate.repl_watermark_lsn,
                     forces_coalesced: snap.aggregate.forces_coalesced,
                     io_fsyncs: snap.aggregate.io_fsyncs,
+                    reads_snapshot: snap.aggregate.reads_snapshot,
+                    versions_retained: snap.aggregate.versions_retained,
+                    versions_gced: snap.aggregate.versions_gced,
+                    snapshot_oldest_si: snap.aggregate.snapshot_oldest_si,
                 },
             })
         }
@@ -676,6 +695,19 @@ fn writer_loop(inner: &Arc<Inner>, queue: &ConnQueue, stream: TcpStream) {
     while let Some(pending) = queue.pop() {
         let resp = match pending {
             Pending::Ready(resp) => resp,
+            Pending::Snapshot { req_id, object } => {
+                match inner.engine.read_value_snapshot(object) {
+                    Ok(v) => Response::Value {
+                        req_id,
+                        value: v.as_bytes().to_vec(),
+                    },
+                    Err(e) => Response::Err {
+                        req_id,
+                        code: ErrCode::Engine,
+                        message: e.to_string(),
+                    },
+                }
+            }
             Pending::Ticket { req_id, ticket } => loop {
                 // Poll-wait so an abort can reclaim this thread even if
                 // the shard's watermark never reaches the ticket.

@@ -13,10 +13,12 @@
 
 pub mod device;
 mod metrics;
+mod mvcc;
 mod persist;
 mod shadow;
 mod store;
 
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use mvcc::{Version, VersionStore};
 pub use shadow::ShadowStore;
 pub use store::{StableStore, StoredObject};

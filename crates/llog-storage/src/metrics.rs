@@ -89,6 +89,17 @@ pub struct Metrics {
     pub repl_replay_lag_frames: AtomicU64,
     /// Gauge: the most recently observed replayed-LSN watermark.
     pub repl_watermark_lsn: AtomicU64,
+    /// Reads served from the lock-free snapshot path (never touched the
+    /// engine mutex or the commit pipeline).
+    pub reads_snapshot: AtomicU64,
+    /// Gauge: versions currently retained in the MVCC version store.
+    pub versions_retained: AtomicU64,
+    /// Versions reclaimed by the snapshot-watermark GC.
+    pub versions_gced: AtomicU64,
+    /// Gauge: the SI floor of the last GC pass — the oldest snapshot any
+    /// retained version must stay visible to (durable LSN when no snapshot
+    /// is open).
+    pub snapshot_oldest_si: AtomicU64,
 }
 
 impl Metrics {
@@ -143,6 +154,10 @@ impl Metrics {
             repl_bytes_shipped: g(&self.repl_bytes_shipped),
             repl_replay_lag_frames: g(&self.repl_replay_lag_frames),
             repl_watermark_lsn: g(&self.repl_watermark_lsn),
+            reads_snapshot: g(&self.reads_snapshot),
+            versions_retained: g(&self.versions_retained),
+            versions_gced: g(&self.versions_gced),
+            snapshot_oldest_si: g(&self.snapshot_oldest_si),
         }
     }
 
@@ -192,6 +207,10 @@ impl Metrics {
             &self.repl_bytes_shipped,
             &self.repl_replay_lag_frames,
             &self.repl_watermark_lsn,
+            &self.reads_snapshot,
+            &self.versions_retained,
+            &self.versions_gced,
+            &self.snapshot_oldest_si,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -275,6 +294,14 @@ pub struct MetricsSnapshot {
     pub repl_replay_lag_frames: u64,
     /// Most recently observed replayed-LSN watermark (gauge).
     pub repl_watermark_lsn: u64,
+    /// Reads served from the lock-free snapshot path.
+    pub reads_snapshot: u64,
+    /// Versions currently retained in the MVCC version store (gauge).
+    pub versions_retained: u64,
+    /// Versions reclaimed by the snapshot-watermark GC.
+    pub versions_gced: u64,
+    /// SI floor of the last GC pass (gauge).
+    pub snapshot_oldest_si: u64,
 }
 
 impl MetricsSnapshot {
@@ -287,7 +314,7 @@ impl MetricsSnapshot {
     ///
     /// The single source of truth for serialization and aggregation, so a
     /// counter added to the struct cannot silently go missing from either.
-    pub fn fields(&self) -> [(&'static str, u64); 37] {
+    pub fn fields(&self) -> [(&'static str, u64); 41] {
         [
             ("obj_reads", self.obj_reads),
             ("obj_read_bytes", self.obj_read_bytes),
@@ -326,6 +353,10 @@ impl MetricsSnapshot {
             ("repl_bytes_shipped", self.repl_bytes_shipped),
             ("repl_replay_lag_frames", self.repl_replay_lag_frames),
             ("repl_watermark_lsn", self.repl_watermark_lsn),
+            ("reads_snapshot", self.reads_snapshot),
+            ("versions_retained", self.versions_retained),
+            ("versions_gced", self.versions_gced),
+            ("snapshot_oldest_si", self.snapshot_oldest_si),
         ]
     }
 
@@ -419,6 +450,14 @@ impl MetricsSnapshot {
             // Watermarks are per-shard LSNs: summing them is meaningless, so
             // the aggregate reports the furthest-advanced one.
             repl_watermark_lsn: self.repl_watermark_lsn.max(other.repl_watermark_lsn),
+            reads_snapshot: self.reads_snapshot.saturating_add(other.reads_snapshot),
+            // Retained-version counts are real populations: sum them.
+            versions_retained: self
+                .versions_retained
+                .saturating_add(other.versions_retained),
+            versions_gced: self.versions_gced.saturating_add(other.versions_gced),
+            // GC floors are per-shard LSNs, like the replica watermark.
+            snapshot_oldest_si: self.snapshot_oldest_si.max(other.snapshot_oldest_si),
         }
     }
 
@@ -500,6 +539,14 @@ impl MetricsSnapshot {
             repl_watermark_lsn: self
                 .repl_watermark_lsn
                 .saturating_sub(earlier.repl_watermark_lsn),
+            reads_snapshot: self.reads_snapshot.saturating_sub(earlier.reads_snapshot),
+            versions_retained: self
+                .versions_retained
+                .saturating_sub(earlier.versions_retained),
+            versions_gced: self.versions_gced.saturating_sub(earlier.versions_gced),
+            snapshot_oldest_si: self
+                .snapshot_oldest_si
+                .saturating_sub(earlier.snapshot_oldest_si),
         }
     }
 }
@@ -663,6 +710,39 @@ mod tests {
         // Watermarks merge by max, not sum: per-shard LSN spaces are
         // independent.
         assert_eq!(merged.repl_watermark_lsn, 900);
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_counters_round_trip() {
+        let m = Metrics::new();
+        Metrics::bump(&m.reads_snapshot, 12);
+        Metrics::bump(&m.versions_gced, 5);
+        Metrics::set_gauge(&m.versions_retained, 40);
+        Metrics::set_gauge(&m.versions_retained, 33); // gauges overwrite
+        Metrics::set_gauge(&m.snapshot_oldest_si, 210);
+        let s = m.snapshot();
+        assert_eq!(s.reads_snapshot, 12);
+        assert_eq!(s.versions_retained, 33);
+        assert_eq!(s.snapshot_oldest_si, 210);
+        let json = s.to_json();
+        for key in [
+            "reads_snapshot",
+            "versions_retained",
+            "versions_gced",
+            "snapshot_oldest_si",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        let merged = s.merged(&s);
+        assert_eq!(merged.reads_snapshot, 24);
+        assert_eq!(merged.versions_gced, 10);
+        // Retained populations sum across shards; GC floors are per-shard
+        // LSNs and merge by max.
+        assert_eq!(merged.versions_retained, 66);
+        assert_eq!(merged.snapshot_oldest_si, 210);
         assert_eq!(s.since(&s), MetricsSnapshot::default());
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());

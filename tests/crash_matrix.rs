@@ -341,6 +341,90 @@ fn sharded_crash_with_one_shard_checkpointed() {
     }
 }
 
+/// Crash right after a checkpoint + version-GC cut (DESIGN §15): the GC
+/// that rides `checkpoint_one` reclaims version chains — volatile state —
+/// so the cut must change nothing the crash can expose. A snapshot pinned
+/// across the cut keeps its pre-checkpoint view (GC may not reclaim what
+/// a live snapshot resolves), and recovery rebuilds chains that serve the
+/// same state as the mutex path.
+#[test]
+fn sharded_crash_after_checkpoint_gc_cut() {
+    let reg = registry();
+    let config = ShardedConfig {
+        shards: 3,
+        commit: manual_group(),
+        ..ShardedConfig::default()
+    };
+    let engine = ShardedEngine::new(config, &reg);
+    let objs = shard_objects(&engine, 3);
+
+    // Phase A: forced, acked, installed — then pin a snapshot per shard.
+    let phase_a = run_sharded_ops(&engine, &objs, 30, "a");
+    engine.force_all().unwrap();
+    for t in &phase_a {
+        assert!(t.wait());
+    }
+    engine.install_all().unwrap();
+    let pins: Vec<_> = (0..engine.shards())
+        .map(|i| engine.open_snapshot(i).unwrap())
+        .collect();
+    let pinned_view: Vec<(ObjectId, Value)> = objs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, os)| {
+            let pin = &pins[i];
+            os.iter().map(move |&x| (x, pin.read(x)))
+        })
+        .collect();
+
+    // Phase B overwrites everything, then the checkpoint cut runs the
+    // retention GC on every shard (floor held down by the pins).
+    let phase_b = run_sharded_ops(&engine, &objs, 30, "b");
+    engine.force_all().unwrap();
+    for t in &phase_b {
+        assert!(t.wait());
+    }
+    engine.install_all().unwrap();
+    engine.checkpoint_all(true).unwrap();
+    assert!(
+        engine.metrics_snapshot().aggregate.versions_gced > 0,
+        "the checkpoint cut must have reclaimed superseded versions"
+    );
+    for (x, want) in &pinned_view {
+        let i = engine.router().shard_of(*x);
+        assert_eq!(
+            pins[i].read(*x),
+            *want,
+            "GC behind the checkpoint cut disturbed the pinned view of {x}"
+        );
+    }
+    let expected = snapshot_values(&engine, &objs);
+
+    // Crash at the cut; the truncated logs + store images must recover,
+    // and the rebuilt version chains must agree with the mutex path.
+    drop(pins);
+    let parts = engine.crash();
+    let (recovered, _) = recover_sharded(parts, &reg, config, RedoPolicy::RsiExposed).unwrap();
+    for (x, want) in &expected {
+        assert_eq!(
+            recovered.read_value(*x).unwrap(),
+            *want,
+            "mutex-path state of {x} lost across the GC cut"
+        );
+        assert_eq!(
+            recovered.read_value_snapshot(*x).unwrap(),
+            *want,
+            "rebuilt version chain for {x} diverges from the recovered state"
+        );
+    }
+    let reopened = recovered.open_snapshot(0).unwrap();
+    for (x, want) in &expected {
+        if recovered.router().shard_of(*x) == 0 {
+            assert_eq!(reopened.read(*x), *want);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Differential recovery-mode matrix: every crash image must recover to the
 // same state and outcome under Serial, SinglePass and Parallel modes.
