@@ -30,7 +30,11 @@ BENCH_e14.json goodput max
 BENCH_e15.json drain_ms min
 BENCH_e16.json file_speedup max
 BENCH_e17.json snapshot_ratio max
+BENCH_e18.json recovery_speedup max
 '
+# (E18's volume_ratio has an absolute bar instead — report.ok() fails
+# the exp binary above 1.5 — so only the speedup headline is
+# baseline-gated here.)
 # (E17's mutex_ratio has an absolute bar instead — report.ok() fails the
 # exp binary above 0.6 — so it is not baseline-gated here: it measures
 # the deliberately-degraded strawman path, whose tiny fast-mode value

@@ -24,6 +24,7 @@ fn main() {
                     graph,
                     flush,
                     audit: false,
+                    ..Default::default()
                 },
                 TransformRegistry::with_builtins(),
             );

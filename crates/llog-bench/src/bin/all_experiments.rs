@@ -63,6 +63,10 @@ fn main() {
     let e17 = llog_bench::e17_snapshot_reads::run(&p17);
     println!("== E17 — MVCC snapshot reads: lock-free readers vs the engine mutex ==");
     println!("{}", llog_bench::e17_snapshot_reads::table(&e17));
+    let p18 = llog_bench::e18_hybrid_logging::Params::from_env();
+    let e18 = llog_bench::e18_hybrid_logging::run(&p18);
+    println!("== E18 — adaptive hybrid logging: recovery speed vs log volume ==");
+    println!("{}", llog_bench::e18_hybrid_logging::table(&e18));
     let ok = (1..=5u64).all(llog_bench::e6_checkpointing::idempotency_check);
     println!(
         "Theorem 2 idempotency: {}",

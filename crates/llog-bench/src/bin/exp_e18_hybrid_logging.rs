@@ -1,0 +1,40 @@
+//! E18: adaptive hybrid logging — recovery speed vs log volume.
+//!
+//! Writes `BENCH_e18.json` (override the path with `LLOG_BENCH_JSON`);
+//! `LLOG_BENCH_FAST=1` shrinks the workload for CI smoke runs.
+
+use llog_bench::e18_hybrid_logging::{run, table, Params};
+
+fn main() {
+    let p = Params::from_env();
+    println!(
+        "E18 — adaptive hybrid logging: {} objects, {}+{} batches \
+         (1 expensive + 4 cheap ops each), {} hash rounds per expensive op",
+        p.objects, p.warmup_batches, p.main_batches, p.rounds
+    );
+    let report = run(&p);
+
+    println!("\nPer-policy log volume and timed crash recovery (fresh registry):");
+    println!("{}", table(&report));
+    println!(
+        "recovery speedup (logical/adaptive): {:.2}x (target >= 1.5)",
+        report.recovery_speedup()
+    );
+    println!(
+        "log volume ratio (adaptive/logical): {:.3} (target <= 1.5): {}",
+        report.volume_ratio(),
+        if report.ok() { "OK" } else { "FAIL" }
+    );
+
+    let json = report.to_json();
+    println!("\n{json}");
+    let path = std::env::var("LLOG_BENCH_JSON").unwrap_or_else(|_| "BENCH_e18.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

@@ -34,7 +34,12 @@
 //!   faulted writers never observe torn values, never travel backwards in
 //!   time, never miss an acknowledged-durable write, pinned snapshots read
 //!   stable bytes across churn + retention GC, and after a crash the
-//!   snapshot read path agrees with the stable-log replay oracle.
+//!   snapshot read path agrees with the stable-log replay oracle;
+//! - hybrid-logging differential (mode 8): the same seeded workload run
+//!   under all three `LogPolicy` choices with identical fault plans and a
+//!   mid-run checkpoint (conversion records included) recovers to
+//!   byte-identical visible state at every clean crash cut, each policy
+//!   passing the serial/parallel mode oracle and idempotence on its own.
 //!
 //! Failures are shrunk by the testkit property harness and print a repro
 //! command:
@@ -64,7 +69,7 @@ use llog_domains::register_domain_transforms;
 use llog_engine::{
     recover_sharded, CommitPolicy, CommitTicket, GroupCommitPolicy, ShardedConfig, ShardedEngine,
 };
-use llog_ops::{builtin, OpKind, Transform, TransformRegistry};
+use llog_ops::{builtin, CostModel, LogPolicy, OpKind, Transform, TransformRegistry};
 use llog_server::{proto, Client, Request, Server, ServerConfig};
 use llog_sim::{replay_stable_log, verify_against_log, OpSpec, Workload, WorkloadKind};
 use llog_testkit::faults::{failpoint, FaultHost, FaultKind, FaultPlan};
@@ -153,7 +158,7 @@ fn print_help() {
          \n\
          --iters N   iterations to run (env LLOG_FUZZ_ITERS, default {DEFAULT_ITERS})\n\
          --seed S    base seed (env LLOG_FUZZ_SEED, default: wall clock)\n\
-         --mode M    pin the case family 0-7 (env LLOG_FUZZ_MODE; 0 kv,\n\
+         --mode M    pin the case family 0-8 (env LLOG_FUZZ_MODE; 0 kv,\n\
         \x20            1 sharded, 2 persist, 3 domains, 4 mem-vs-file\n\
         \x20            durability-backend differential on real files,\n\
         \x20            5 TCP server codec chaos: dropped/half-written/\n\
@@ -163,7 +168,11 @@ fn print_help() {
         \x20            at a random cut, divergence oracle,\n\
         \x20            7 MVCC snapshot readers racing faulted writers:\n\
         \x20            torn/time-travel/unexposed-read oracles, GC-pin\n\
-        \x20            stability, crash + snapshot-path recovery check)\n\
+        \x20            stability, crash + snapshot-path recovery check,\n\
+        \x20            8 hybrid-logging policy differential: one seeded\n\
+        \x20            workload under Logical/Physical/Adaptive with the\n\
+        \x20            same faults, checkpoint-time conversion, identical\n\
+        \x20            visible state at every clean crash cut)\n\
          --replay    replay a single failing iteration seed and exit\n\
          \n\
          On failure the minimal shrunk counterexample is written to\n\
@@ -220,8 +229,8 @@ fn run_iteration(seed: u64, pin_mode: Option<usize>) -> Result<(), String> {
     // the Mem↔File backend differential, mode 4, on real files in a
     // tmpdir); unpinned runs draw the mode from the seed.
     let modes = match pin_mode {
-        Some(m) => m.min(7)..m.min(7) + 1,
-        None => 0usize..8,
+        Some(m) => m.min(8)..m.min(8) + 1,
+        None => 0usize..9,
     };
     let strategy = (modes, 1usize..=40, 0u64..u64::MAX);
     let r = run_property_result(
@@ -243,7 +252,8 @@ fn run_case(mode: usize, n_ops: usize, material: u64) -> Result<(), String> {
         4 => fuzz_backend_diff(n_ops, material),
         5 => fuzz_server(n_ops, material),
         6 => fuzz_replication(n_ops, material),
-        _ => fuzz_snapshot(n_ops, material),
+        7 => fuzz_snapshot(n_ops, material),
+        _ => fuzz_hybrid(n_ops, material),
     }
 }
 
@@ -1872,5 +1882,190 @@ fn fuzz_snapshot(n_ops: usize, material: u64) -> Result<(), String> {
         }
     }
     drop(rec);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mode 8: hybrid-logging policy differential under faults
+// ---------------------------------------------------------------------------
+
+/// One seeded workload replayed under all three [`LogPolicy`] choices —
+/// pure logical, pure physical-result, and the adaptive cost model — with
+/// the *same* WAL-force fault plan, force/install cadence, optional
+/// mid-run checkpoint (exercising checkpoint-time conversion) and crash
+/// shape for each. Oracles:
+///
+/// - per policy: serial/single-pass/parallel recoveries agree
+///   ([`recover_modes`]), the recovered state matches the stable-log
+///   replay oracle, surfaces a workload prefix `k ≥ acked`, and recovery
+///   is idempotent;
+/// - across policies: when the crash cut lands on the same operation
+///   boundary for all three (no torn force, no byte-positioned tail
+///   clip), the recovered **visible state is byte-identical** — the log
+///   encodings differ, the recovered truth must not.
+fn fuzz_hybrid(n_ops: usize, material: u64) -> Result<(), String> {
+    let mut rng = TestRng::seed_from_u64(material ^ 0x4B1D_0000);
+    let n_objects = rng.random_range(2u64..8);
+    let ids: Vec<ObjectId> = (0..n_objects).map(ObjectId).collect();
+    let kind = if rng.bool() {
+        WorkloadKind::app_mix()
+    } else {
+        WorkloadKind::physiological_only()
+    };
+    let ops = Workload::new(n_objects, n_ops, kind, rng.next_u64()).generate();
+    let redo_policy = pick_policy(&mut rng);
+    let plan = FaultPlan::draw(material ^ 0x4B1D_FA17, n_ops, &[failpoint::WAL_FORCE]);
+    let planned = &plan.faults[0];
+    let force_every = rng.random_range(1usize..5);
+    let install_every = rng.random_range(0usize..4);
+    // A mid-run checkpoint makes the adaptive run emit conversion records
+    // for its cold logical ops — the crash may land between those records
+    // and the checkpoint record (they force together, but the end-of-run
+    // torn clip can split them).
+    let ckpt_at = if n_ops > 1 && rng.bool() {
+        Some(rng.random_range(1..n_ops))
+    } else {
+        None
+    };
+    // Half the runs pre-load ruinous replay costs so the adaptive policy
+    // actually flips to physical for cheap-to-encode transforms.
+    let seed_costs = rng.bool();
+    let end_choice = rng.random_range(0u32..3);
+    let torn_cut = rng.random_range(0usize..4096);
+
+    let policies = [
+        LogPolicy::Logical,
+        LogPolicy::Physical,
+        LogPolicy::Adaptive(CostModel::default()),
+    ];
+    let mut comparable_states: Vec<(LogPolicy, Vec<Value>)> = Vec::new();
+    for policy in policies {
+        let registry = TransformRegistry::with_builtins();
+        if seed_costs {
+            for _ in 0..8 {
+                registry.note_replay_cost(builtin::HASH_MIX, 50_000_000);
+            }
+        }
+        let config = EngineConfig {
+            log_policy: policy,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(config, registry.clone());
+        let host = FaultHost::new();
+
+        let mut snapshots = vec![snap(&engine, &ids)];
+        let mut targets: Vec<Lsn> = Vec::with_capacity(ops.len());
+        let mut good_forced = engine.wal().forced_lsn();
+        let mut torn = false;
+        for (i, spec) in ops.iter().enumerate() {
+            if i == planned.step {
+                host.arm(&planned.point, planned.kind);
+            }
+            engine
+                .execute(
+                    spec.kind,
+                    spec.reads.clone(),
+                    spec.writes.clone(),
+                    spec.transform.clone(),
+                )
+                .map_err(|e| format!("hybrid {policy:?}: execute step {i} failed: {e}"))?;
+            targets.push(engine.wal().end_lsn());
+            snapshots.push(snap(&engine, &ids));
+            if install_every > 0 && (i + 1) % install_every == 0 {
+                engine
+                    .install_one()
+                    .map_err(|e| format!("hybrid {policy:?}: install at step {i} failed: {e}"))?;
+            }
+            if ckpt_at == Some(i) {
+                engine.checkpoint(false).map_err(|e| {
+                    format!("hybrid {policy:?}: checkpoint at step {i} failed: {e}")
+                })?;
+                // checkpoint() forces (without the fault host): everything
+                // appended so far — conversions included — is durable.
+                good_forced = engine.wal().forced_lsn();
+            }
+            if (i + 1) % force_every == 0 {
+                match engine.wal_mut().force_with(Some(&host)) {
+                    ForceOutcome::Forced(l) => good_forced = l,
+                    ForceOutcome::Torn(durable) => {
+                        good_forced = durable;
+                        torn = true;
+                        break;
+                    }
+                    ForceOutcome::Failed => {}
+                }
+            }
+        }
+
+        let (store, wal) = if torn {
+            engine.crash()
+        } else {
+            match end_choice {
+                0 => {
+                    if let ForceOutcome::Forced(l) = engine.wal_mut().force_with(None) {
+                        good_forced = l;
+                    }
+                    engine.crash()
+                }
+                1 => engine.crash(), // power failure: unforced buffer lost
+                _ => engine.crash_torn(torn_cut),
+            }
+        };
+        let acked = targets.iter().filter(|t| **t <= good_forced).count();
+        let ctx = || {
+            format!(
+                "hybrid: policy={policy:?} n_objects={n_objects} n_ops={n_ops} \
+                 redo={redo_policy:?} ckpt_at={ckpt_at:?} seed_costs={seed_costs} \
+                 plan=[{planned}] fired={:?} acked={acked}",
+                host.fired()
+            )
+        };
+
+        let (rec, _) = recover_modes(store, wal, &registry, config, redo_policy)
+            .map_err(|e| format!("{}: {e}", ctx()))?;
+        verify_against_log(&rec, &registry).map_err(|e| format!("{}: oracle: {e}", ctx()))?;
+
+        let got = snap(&rec, &ids);
+        let k = snapshots
+            .iter()
+            .rposition(|s| *s == got)
+            .ok_or_else(|| format!("{}: recovered state matches no workload prefix", ctx()))?;
+        if k < acked {
+            return Err(format!(
+                "{}: acked-durable violated: {acked} ops acknowledged but \
+                 recovery surfaced prefix {k}",
+                ctx()
+            ));
+        }
+
+        // Idempotence per policy (the second pass also re-reads any
+        // conversion records the first recovery consumed as hints).
+        let (store2, wal2) = rec.crash();
+        let (rec2, _) = recover_modes(store2, wal2, &registry, config, redo_policy)
+            .map_err(|e| format!("{}: second recovery: {e}", ctx()))?;
+        if snap(&rec2, &ids) != got {
+            return Err(format!("{}: recovery is not idempotent", ctx()));
+        }
+
+        // A torn force or a byte-positioned tail clip cuts each policy's
+        // differently-sized log at a different operation; only clean
+        // op-boundary cuts are comparable across policies.
+        if !torn && end_choice != 2 {
+            comparable_states.push((policy, got));
+        }
+    }
+
+    if comparable_states.len() == policies.len() {
+        let (p0, s0) = &comparable_states[0];
+        for (p, s) in &comparable_states[1..] {
+            if s != s0 {
+                return Err(format!(
+                    "hybrid: policy divergence at a clean crash cut: {p0:?} \
+                     recovered {s0:?} but {p:?} recovered {s:?} \
+                     (n_ops={n_ops} ckpt_at={ckpt_at:?} seed_costs={seed_costs})"
+                ));
+            }
+        }
+    }
     Ok(())
 }

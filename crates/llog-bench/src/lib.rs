@@ -24,6 +24,7 @@
 //! | [`e15_replication`] | DESIGN §13: replica lag under load + failover fidelity |
 //! | [`e16_append_speed`] | DESIGN §14: segment recycling + double buffer + fsync coalescing |
 //! | [`e17_snapshot_reads`] | DESIGN §15: lock-free MVCC snapshot reads vs the engine mutex |
+//! | [`e18_hybrid_logging`] | DESIGN §16: adaptive logical/physical records + checkpoint conversion |
 
 pub mod e10_amortization;
 pub mod e11_sharding;
@@ -33,6 +34,7 @@ pub mod e14_server_load;
 pub mod e15_replication;
 pub mod e16_append_speed;
 pub mod e17_snapshot_reads;
+pub mod e18_hybrid_logging;
 pub mod e1_logging_cost;
 pub mod e2_domain_logging;
 pub mod e3_flushsets;
@@ -44,6 +46,7 @@ pub mod e8_media;
 pub mod e9_cache_pressure;
 
 use llog_core::{EngineConfig, FlushStrategy, GraphKind};
+use llog_ops::LogPolicy;
 
 /// The default engine configuration experiments start from.
 pub fn default_config() -> EngineConfig {
@@ -51,5 +54,6 @@ pub fn default_config() -> EngineConfig {
         graph: GraphKind::RW,
         flush: FlushStrategy::IdentityWrites,
         audit: false,
+        log_policy: LogPolicy::Logical,
     }
 }

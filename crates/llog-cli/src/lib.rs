@@ -308,6 +308,20 @@ fn describe(rec: &LogRecord) -> String {
             cp.dirty.len(),
             cp.redo_start
         ),
+        LogRecord::PhysicalResult(pr) => format!(
+            "PHYSRES  {:?} writes={:?} origin_fn={:?} values={}B",
+            pr.id,
+            pr.writes,
+            pr.origin_fn,
+            pr.values.iter().map(|v| v.len()).sum::<usize>()
+        ),
+        LogRecord::Converted(cv) => format!(
+            "CONVERT  at={} {:?} writes={:?} values={}B",
+            cv.at,
+            cv.id,
+            cv.writes,
+            cv.values.iter().map(|v| v.len()).sum::<usize>()
+        ),
     }
 }
 
@@ -336,6 +350,8 @@ pub fn cmd_stats(dir: &Path) -> Result<()> {
             | LogRecord::FlushTxnValue { .. }
             | LogRecord::FlushTxnCommit => ("flush-txn", rec.encode().len() as u64),
             LogRecord::Checkpoint(_) => ("checkpoint", rec.encode().len() as u64),
+            LogRecord::PhysicalResult(_) => ("op/physical-result", rec.encode().len() as u64),
+            LogRecord::Converted(_) => ("converted", rec.encode().len() as u64),
         };
         let e = by_kind.entry(name).or_default();
         e.0 += 1;
@@ -372,6 +388,23 @@ pub fn cmd_stats(dir: &Path) -> Result<()> {
         snap.segments_recycled,
         snap.ckpt_objects_written,
         snap.ckpt_objects_skipped
+    );
+    let tally = |k: &str| by_kind.get(k).copied().unwrap_or_default();
+    let logical: (u64, u64) = by_kind
+        .iter()
+        .filter(|(k, _)| k.starts_with("op/") && **k != "op/physical-result")
+        .fold((0, 0), |a, (_, v)| (a.0 + v.0, a.1 + v.1));
+    let (pr_n, pr_b) = tally("op/physical-result");
+    let (cv_n, cv_b) = tally("converted");
+    println!(
+        "hybrid logging: logical_records={} ({}) physical_result_records={} ({}) \
+         converted_records={} ({})",
+        logical.0,
+        human_bytes(logical.1),
+        pr_n,
+        human_bytes(pr_b),
+        cv_n,
+        human_bytes(cv_b)
     );
     println!("metrics: {}", snap.to_json());
     // Dry recovery of the loaded image (clones; nothing is written back)
@@ -763,6 +796,15 @@ pub fn cmd_server_stats(addr: &str) -> Result<()> {
         "mvcc: reads_snapshot={} versions_retained={} versions_gced={} \
          snapshot_oldest_si={}",
         s.reads_snapshot, s.versions_retained, s.versions_gced, s.snapshot_oldest_si
+    );
+    println!(
+        "hybrid: log_records_logical={} log_records_physical={} \
+         log_bytes_logical={} log_bytes_physical={} ckpt_ops_converted={}",
+        s.log_records_logical,
+        s.log_records_physical,
+        s.log_bytes_logical,
+        s.log_bytes_physical,
+        s.ckpt_ops_converted
     );
     Ok(())
 }

@@ -116,6 +116,7 @@ mod tests {
                 graph: GraphKind::RW,
                 flush: FlushStrategy::IdentityWrites,
                 audit: true,
+                ..Default::default()
             },
             TransformRegistry::with_builtins(),
         );

@@ -180,6 +180,12 @@ struct Analyzer {
     /// redo phase report `redo_scanned` without a second scan.
     lsns: Vec<Lsn>,
     since_prune: usize,
+    /// Redo hints from checkpoint-time conversion records, keyed by the LSN
+    /// of the logical op they physicalize. A hint changes *how* a selected
+    /// op is redone (adopt the recorded post-images instead of re-executing
+    /// the transform), never *whether* it is redone — so hints cannot
+    /// perturb the REDO test or replay order.
+    hints: BTreeMap<Lsn, (Vec<ObjectId>, Vec<Value>)>,
 }
 
 impl Analyzer {
@@ -203,6 +209,7 @@ impl Analyzer {
             ring_from: scan_from,
             lsns: Vec::new(),
             since_prune: 0,
+            hints: BTreeMap::new(),
         }
     }
 
@@ -211,6 +218,13 @@ impl Analyzer {
         if self.retain {
             self.lsns.push(lsn);
         }
+        // A physical-result record is, to analysis and redo, exactly a blind
+        // physical op whose values are known: normalize it up front so the
+        // dirty-table / ring logic below has a single op shape.
+        let rec = match rec {
+            LogRecord::PhysicalResult(pr) => LogRecord::Op(pr.to_operation()),
+            other => other,
+        };
         match rec {
             LogRecord::Op(op) => {
                 self.a.max_op_id = Some(self.a.max_op_id.map_or(op.id.0, |m| m.max(op.id.0)));
@@ -261,6 +275,11 @@ impl Analyzer {
                     self.a.dirty.entry(x).or_insert(rsi);
                 }
             }
+            LogRecord::Converted(cv) => {
+                self.hints.insert(cv.at, (cv.writes, cv.values));
+            }
+            // Normalized above.
+            LogRecord::PhysicalResult(_) => unreachable!(),
         }
     }
 
@@ -399,6 +418,7 @@ fn replay_component(
     ops: &[(Lsn, Operation)],
     comp: &[usize],
     dead: &BTreeSet<Lsn>,
+    hints: &BTreeMap<Lsn, (Vec<ObjectId>, Vec<Value>)>,
     ctx: &RedoContext<'_>,
     policy: RedoPolicy,
     store: &StableStore,
@@ -419,6 +439,19 @@ fn replay_component(
         if !redo {
             out.push((i, Verdict::Skipped));
             continue;
+        }
+        // Conversion hint: adopt the recorded post-images without touching
+        // the transform registry — mirroring the serial loop exactly.
+        if op.kind != OpKind::Delete {
+            if let Some((writes, values)) = hints.get(&lsn) {
+                if *writes == op.writes {
+                    for (&x, v) in op.writes.iter().zip(values.iter()) {
+                        local.insert(x, (v.clone(), lsn));
+                    }
+                    out.push((i, Verdict::Redone(values.clone())));
+                    continue;
+                }
+            }
         }
         let inputs: Vec<Value> = op
             .reads
@@ -459,6 +492,7 @@ fn replay_components(
     ops: &[(Lsn, Operation)],
     components: &[Vec<usize>],
     dead: &BTreeSet<Lsn>,
+    hints: &BTreeMap<Lsn, (Vec<ObjectId>, Vec<Value>)>,
     ctx: &RedoContext<'_>,
     policy: RedoPolicy,
     store: &StableStore,
@@ -481,8 +515,16 @@ fn replay_components(
                 while !stop.load(Ordering::Relaxed) {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&c) = order.get(k) else { break };
-                    match replay_component(ops, &components[c], dead, ctx, policy, store, registry)
-                    {
+                    match replay_component(
+                        ops,
+                        &components[c],
+                        dead,
+                        hints,
+                        ctx,
+                        policy,
+                        store,
+                        registry,
+                    ) {
                         Ok(vs) => results.lock().unwrap_or_else(|p| p.into_inner()).extend(vs),
                         Err(e) => {
                             stop.store(true, Ordering::Relaxed);
@@ -564,6 +606,7 @@ pub fn recover_with(
         ring,
         ring_from,
         lsns,
+        mut hints,
         ..
     } = an;
 
@@ -602,6 +645,12 @@ pub fn recover_with(
         for item in wal.scan(redo_from) {
             match item {
                 Ok((lsn, LogRecord::Op(op))) => op_records.push((lsn, op)),
+                Ok((lsn, LogRecord::PhysicalResult(pr))) => {
+                    op_records.push((lsn, pr.to_operation()));
+                }
+                Ok((_, LogRecord::Converted(cv))) => {
+                    hints.insert(cv.at, (cv.writes, cv.values));
+                }
                 Ok(_) => {}
                 Err(LlogError::Corrupt { offset, reason }) => {
                     if wal.corruption_is_torn_tail(offset) {
@@ -627,8 +676,15 @@ pub fn recover_with(
                             break;
                         }
                         gap += 1;
-                        if let LogRecord::Op(op) = rec {
-                            op_records.push((lsn, op));
+                        match rec {
+                            LogRecord::Op(op) => op_records.push((lsn, op)),
+                            LogRecord::PhysicalResult(pr) => {
+                                op_records.push((lsn, pr.to_operation()));
+                            }
+                            LogRecord::Converted(cv) => {
+                                hints.insert(cv.at, (cv.writes, cv.values));
+                            }
+                            _ => {}
                         }
                     }
                     Err(LlogError::Corrupt { offset, reason }) => {
@@ -697,6 +753,7 @@ pub fn recover_with(
             &op_records,
             &components,
             &dead,
+            &hints,
             &ctx,
             policy,
             &store,
@@ -751,6 +808,19 @@ pub fn recover_with(
                 outcome.deletes_applied += 1;
                 continue;
             }
+            // A checkpoint-time conversion record physicalized this op:
+            // adopt the recorded post-images blindly instead of re-running
+            // the transform. Determinism makes the adopted values identical
+            // to what re-execution would compute; a writeset mismatch
+            // (handcrafted log) falls back to ordinary re-execution.
+            if let Some((writes, values)) = hints.get(&lsn) {
+                if *writes == op.writes {
+                    engine.adopt_replayed(op, lsn, values.clone());
+                    outcome.redone += 1;
+                    Metrics::bump(&metrics.redo_ops, 1);
+                    continue;
+                }
+            }
             // Trial execution (§5): an operation the approximate test
             // selected may be inapplicable; errors void it rather than
             // failing recovery.
@@ -795,6 +865,7 @@ mod tests {
             graph: GraphKind::RW,
             flush: FlushStrategy::IdentityWrites,
             audit: false,
+            log_policy: llog_ops::LogPolicy::Logical,
         }
     }
 
@@ -1296,6 +1367,183 @@ mod tests {
         .unwrap();
         assert!(o.torn_tail);
         assert_eq!(recovered.read_value(X), Value::from("stable"));
+    }
+
+    fn adaptive_config() -> EngineConfig {
+        EngineConfig {
+            log_policy: llog_ops::LogPolicy::Adaptive(llog_ops::CostModel::default()),
+            ..config()
+        }
+    }
+
+    /// A workload with fat objects (keeps the adaptive per-op choice
+    /// logical), a checkpoint (emits conversion records under the adaptive
+    /// policy), and a live tail past it — crashed with an unforced loss.
+    fn hybrid_workload(policy: llog_ops::LogPolicy) -> (StableStore, Wal) {
+        let mut e = Engine::new(
+            EngineConfig {
+                log_policy: policy,
+                ..config()
+            },
+            TransformRegistry::with_builtins(),
+        );
+        exec_physical(&mut e, 1, &"x".repeat(120));
+        exec_physical(&mut e, 2, "small");
+        for salt in 0..3 {
+            exec_logical(&mut e, &[1], &[1], salt);
+            exec_logical(&mut e, &[1, 2], &[2], salt + 10);
+            exec_logical(&mut e, &[3], &[3], salt + 20);
+        }
+        e.install_one().unwrap();
+        e.checkpoint(false).unwrap();
+        exec_logical(&mut e, &[2], &[4], 77);
+        exec_physical(&mut e, 5, "p");
+        e.wal_mut().force();
+        exec_logical(&mut e, &[4], &[4], 99); // unforced: lost
+        e.crash()
+    }
+
+    #[test]
+    fn every_log_policy_recovers_identically_across_modes() {
+        let policies = [
+            llog_ops::LogPolicy::Logical,
+            llog_ops::LogPolicy::Physical,
+            llog_ops::LogPolicy::Adaptive(llog_ops::CostModel::default()),
+        ];
+        let mut visible: Vec<Vec<Value>> = Vec::new();
+        for policy in policies {
+            let (store, wal) = hybrid_workload(policy);
+            let run = |options: RecoveryOptions| {
+                recover_with(
+                    store.clone(),
+                    wal.clone(),
+                    TransformRegistry::with_builtins(),
+                    config(),
+                    RedoPolicy::Vsi,
+                    options,
+                )
+                .unwrap()
+            };
+            let (serial_e, serial_o) = run(RecoveryOptions::serial());
+            for options in [RecoveryOptions::default(), RecoveryOptions::parallel(3)] {
+                let (e, o) = run(options);
+                assert_eq!(o, serial_o, "{policy:?} {options:?}: outcome diverged");
+                assert_eq!(
+                    engine_fingerprint(&e),
+                    engine_fingerprint(&serial_e),
+                    "{policy:?} {options:?}: state diverged"
+                );
+            }
+            visible.push(
+                (0..8u64)
+                    .map(|i| serial_e.peek_value(ObjectId(i)))
+                    .collect(),
+            );
+        }
+        // The log encodings differ per policy; the recovered visible state
+        // must not.
+        assert_eq!(visible[0], visible[1], "physical diverged from logical");
+        assert_eq!(visible[0], visible[2], "adaptive diverged from logical");
+    }
+
+    #[test]
+    fn converted_hints_skip_reexecution_below_the_checkpoint() {
+        let mut e = Engine::new(adaptive_config(), TransformRegistry::with_builtins());
+        exec_physical(&mut e, 1, &"x".repeat(150));
+        exec_logical(&mut e, &[1], &[1], 1);
+        exec_logical(&mut e, &[1], &[2], 2);
+        e.checkpoint(false).unwrap(); // converts both logical ops and forces
+        let want: Vec<Value> = (0..4).map(|i| e.peek_value(ObjectId(i))).collect();
+        let (store, wal) = e.crash();
+        for options in [
+            RecoveryOptions::serial(),
+            RecoveryOptions::default(),
+            RecoveryOptions::parallel(2),
+        ] {
+            // A fresh registry with an untouched cost ledger: any transform
+            // re-execution during redo would show up in its apply counts.
+            let fresh = TransformRegistry::with_builtins();
+            let probe = fresh.clone();
+            let (recovered, o) = recover_with(
+                store.clone(),
+                wal.clone(),
+                fresh,
+                config(),
+                RedoPolicy::Vsi,
+                options,
+            )
+            .unwrap();
+            assert_eq!(o.redone, 3, "{options:?}");
+            assert_eq!(
+                probe.apply_count(builtin::HASH_MIX),
+                0,
+                "{options:?}: a converted op was re-executed"
+            );
+            let got: Vec<Value> = (0..4).map(|i| recovered.peek_value(ObjectId(i))).collect();
+            assert_eq!(got, want, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn crash_between_conversions_and_checkpoint_is_harmless() {
+        // Conversion records are pure redo hints: a crash that keeps them
+        // but loses the checkpoint record recovers to exactly the state of
+        // a log that never converted.
+        let build = |convert: bool| {
+            let mut e = Engine::new(adaptive_config(), TransformRegistry::with_builtins());
+            exec_physical(&mut e, 1, &"x".repeat(150));
+            exec_logical(&mut e, &[1], &[1], 1);
+            exec_logical(&mut e, &[1], &[2], 2);
+            e.wal_mut().force();
+            if convert {
+                assert_eq!(e.convert_cold_ops(), 2);
+                e.wal_mut().force(); // conversions durable, checkpoint lost
+            }
+            e.crash()
+        };
+        let (s0, w0) = build(false);
+        let (plain, _) = recover_parts(s0, w0, RedoPolicy::Vsi);
+        let (s1, w1) = build(true);
+        let run = |options: RecoveryOptions| {
+            recover_with(
+                s1.clone(),
+                w1.clone(),
+                TransformRegistry::with_builtins(),
+                adaptive_config(),
+                RedoPolicy::Vsi,
+                options,
+            )
+            .unwrap()
+        };
+        let (serial_e, serial_o) = run(RecoveryOptions::serial());
+        assert_eq!(
+            engine_fingerprint(&serial_e),
+            engine_fingerprint(&plain),
+            "conversion hints changed the recovered state"
+        );
+        for options in [RecoveryOptions::default(), RecoveryOptions::parallel(2)] {
+            let (e, o) = run(options);
+            assert_eq!(o, serial_o, "{options:?}");
+            assert_eq!(engine_fingerprint(&e), engine_fingerprint(&serial_e));
+        }
+        // Re-emission after such a crash is idempotent: the recovered
+        // engine checkpoints (re-converting the still-live ops), crashes,
+        // and recovers to the same state again.
+        let (mut again, _) = run(RecoveryOptions::default());
+        let fp_before: Vec<Value> = (0..4).map(|i| again.peek_value(ObjectId(i))).collect();
+        again.checkpoint(false).unwrap();
+        let (s2, w2) = again.crash();
+        let (final_e, _) = recover_with(
+            s2,
+            w2,
+            TransformRegistry::with_builtins(),
+            adaptive_config(),
+            RedoPolicy::Vsi,
+            RecoveryOptions::default(),
+        )
+        .unwrap();
+        let fp_after: Vec<Value> = (0..4).map(|i| final_e.peek_value(ObjectId(i))).collect();
+        assert_eq!(fp_after, fp_before);
     }
 
     #[test]

@@ -132,6 +132,7 @@ mod tests {
                 graph: GraphKind::RW,
                 flush: FlushStrategy::IdentityWrites,
                 audit: true,
+                ..Default::default()
             },
             TransformRegistry::with_builtins(),
         )
@@ -205,6 +206,7 @@ mod tests {
                 graph: GraphKind::RW,
                 flush: FlushStrategy::IdentityWrites,
                 audit: false,
+                ..Default::default()
             },
             RedoPolicy::RsiExposed,
         )

@@ -879,6 +879,7 @@ mod tests {
                 graph: GraphKind::RW,
                 flush: FlushStrategy::IdentityWrites,
                 audit: false,
+                ..Default::default()
             },
             registry(),
         )

@@ -197,6 +197,7 @@ mod tests {
                 graph: GraphKind::RW,
                 flush: FlushStrategy::IdentityWrites,
                 audit: true,
+                ..Default::default()
             },
             TransformRegistry::with_builtins(),
         )

@@ -242,6 +242,31 @@ impl Shard {
         *lock(&self.durable)
     }
 
+    /// Block until the durable watermark covers `to`: `Some(true)` once
+    /// covered, `Some(false)` if the shard died first, `None` on timeout
+    /// (the caller may poll again). Read-your-writes sessions park here
+    /// before serving a floor-constrained read; the wait rides the same
+    /// condvar as [`CommitTicket::wait`](crate::CommitTicket::wait).
+    pub fn wait_durable(&self, to: Lsn, timeout: Duration) -> Option<bool> {
+        let start = Instant::now();
+        let mut d = lock(&self.durable);
+        while *d < to {
+            if self.is_dead() {
+                return Some(false);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return None;
+            }
+            let (g, _) = self
+                .durable_cv
+                .wait_timeout(d, timeout - elapsed)
+                .unwrap_or_else(PoisonError::into_inner);
+            d = g;
+        }
+        Some(true)
+    }
+
     /// Advance the watermark to `to` (monotonic) and wake ticket waiters.
     pub fn advance_durable(&self, to: Lsn) {
         let mut d = lock(&self.durable);

@@ -420,6 +420,36 @@ impl ShardedEngine {
         }
     }
 
+    /// Read `x` no older than `floor`: wait (bounded by `timeout`) until
+    /// the owning shard's durable watermark covers `floor`, then read at
+    /// the watermark. This is the read-your-writes primitive behind server
+    /// sessions — a client that was acked a Put at LSN `floor` never sees
+    /// an older value, even through a reconnect. A floor of [`Lsn::ZERO`]
+    /// degenerates to [`read_value_snapshot`](Self::read_value_snapshot).
+    pub fn read_value_snapshot_at_least(
+        &self,
+        x: ObjectId,
+        floor: Lsn,
+        timeout: Duration,
+    ) -> Result<Value> {
+        let idx = self.router.shard_of(x);
+        let shard = &self.shards[idx];
+        if floor > Lsn::ZERO {
+            match shard.wait_durable(floor, timeout) {
+                Some(true) => {}
+                Some(false) => {
+                    return Err(LlogError::CacheProtocol(format!("shard {idx} has crashed")))
+                }
+                None => {
+                    return Err(LlogError::CacheProtocol(format!(
+                        "shard {idx} did not reach session floor {floor} within {timeout:?}"
+                    )))
+                }
+            }
+        }
+        self.read_value_snapshot(x)
+    }
+
     /// Open a pinned snapshot of shard `i` at its current durable
     /// watermark: a consistent cut that later writes and the retention GC
     /// cannot disturb. Returns an error when snapshot reads are disabled
@@ -1924,5 +1954,60 @@ mod tests {
         }
         assert_eq!(rec.engine_lock_count(), before);
         drop(rec);
+    }
+
+    #[test]
+    fn floor_constrained_read_waits_for_the_acked_write() {
+        let reg = registry();
+        // Slow flusher: a fresh put is not durable on return, so a plain
+        // snapshot read races the force while the floored read must wait.
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Group(GroupCommitPolicy {
+                batch_ops: 1024,
+                max_delay: Duration::from_millis(40),
+            }),
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        assert!(put(&e, ObjectId(1), "old").wait());
+
+        let t = put(&e, ObjectId(1), "new");
+        // Do NOT wait on the ticket: the floored read alone must deliver
+        // read-your-writes for a client holding the acked LSN.
+        let v = e
+            .read_value_snapshot_at_least(ObjectId(1), t.target(), Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(v, Value::from("new"));
+        assert!(t.is_durable(), "floored read implies the batch forced");
+
+        // Floor ZERO degenerates to a plain snapshot read.
+        let v0 = e
+            .read_value_snapshot_at_least(ObjectId(1), Lsn::ZERO, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(v0, Value::from("new"));
+        drop(e);
+    }
+
+    #[test]
+    fn floor_beyond_any_write_times_out() {
+        let reg = registry();
+        let cfg = ShardedConfig {
+            shards: 1,
+            commit: CommitPolicy::Sync,
+            ..ShardedConfig::default()
+        };
+        let e = ShardedEngine::new(cfg, &reg);
+        let t = put(&e, ObjectId(7), "v");
+        assert!(t.is_durable());
+        let unreachable = Lsn(t.target().0 + 1_000_000);
+        let err = e
+            .read_value_snapshot_at_least(ObjectId(7), unreachable, Duration::from_millis(50))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("session floor"),
+            "expected a floor timeout, got: {err}"
+        );
+        drop(e);
     }
 }

@@ -656,6 +656,10 @@ fn respond(state: &Arc<State>, req: Request) -> Response {
             Ok(()) => Response::Ok { req_id },
             Err(e) => err(req_id, ErrCode::Engine, e.to_string()),
         },
+        // Session floors are a primary-side feature: a standby's reads
+        // already resolve at its replayed watermark and it accepts no
+        // puts, so there is no floor to track. Acknowledge and ignore.
+        Request::Session { req_id, .. } => Response::Ok { req_id },
         Request::Subscribe { req_id, .. }
         | Request::FetchStore { req_id, .. }
         | Request::ReplayedLsn { req_id, .. } => err(
@@ -711,6 +715,13 @@ fn stats_body(state: &Arc<State>) -> StatsBody {
                 .map(|s| s.engine().metrics().snapshot().snapshot_oldest_si)
                 .max()
                 .unwrap_or(0),
+            // A standby never logs: its WAL grows by shipped bytes, not
+            // by `execute`, so the hybrid-logging counters stay zero.
+            log_records_logical: 0,
+            log_records_physical: 0,
+            log_bytes_logical: 0,
+            log_bytes_physical: 0,
+            ckpt_ops_converted: 0,
         },
         Role::Promoted(engine) => {
             let snap = engine.metrics_snapshot();
@@ -732,6 +743,11 @@ fn stats_body(state: &Arc<State>) -> StatsBody {
                 versions_retained: snap.aggregate.versions_retained,
                 versions_gced: snap.aggregate.versions_gced,
                 snapshot_oldest_si: snap.aggregate.snapshot_oldest_si,
+                log_records_logical: snap.aggregate.log_records_logical,
+                log_records_physical: snap.aggregate.log_records_physical,
+                log_bytes_logical: snap.aggregate.log_bytes_logical,
+                log_bytes_physical: snap.aggregate.log_bytes_physical,
+                ckpt_ops_converted: snap.aggregate.ckpt_ops_converted,
             }
         }
         Role::Draining => StatsBody::default(),

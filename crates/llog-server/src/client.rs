@@ -114,6 +114,19 @@ impl Client {
         }
     }
 
+    /// Bind this connection to session `session_id`: the server tracks
+    /// the session's last acked `Put` per shard and every later `Get` on
+    /// the connection reads no older than that floor — read-your-writes
+    /// that survives a reconnect, as long as the new connection re-binds
+    /// the same id. A `session_id` of 0 unbinds.
+    pub fn bind_session(&mut self, session_id: u64) -> Result<()> {
+        let req_id = self.fresh_req_id();
+        match self.call(&Request::Session { req_id, session_id })? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(unexpected("ok", other)),
+        }
+    }
+
     /// Force every shard's log on the server.
     pub fn flush(&mut self) -> Result<()> {
         let req_id = self.fresh_req_id();

@@ -81,6 +81,10 @@ mod tests {
         c.ping().unwrap();
         let stats = c.stats().unwrap();
         assert_eq!(stats.shards, 4);
+        assert!(
+            stats.log_records_logical >= 32,
+            "every put lands in the hybrid-logging counters"
+        );
         drop(c);
         let engine = server.shutdown();
         let _ = engine.shutdown().unwrap();
@@ -169,6 +173,68 @@ mod tests {
             stats.reads_snapshot, n,
             "every get must have been served via the snapshot path"
         );
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_reads_are_ordered_after_the_sessions_acked_puts() {
+        let (server, _reg) = start_default(2);
+        // Connection A binds session 77, writes, and is acked.
+        let mut a = Client::connect(server.local_addr()).unwrap();
+        a.bind_session(77).unwrap();
+        for i in 0..8u64 {
+            a.put(ObjectId(i), format!("s77-{i}").as_bytes()).unwrap();
+        }
+        drop(a); // connection dies; the session floor must not
+
+        // Connection B re-binds the same session: every read waits the
+        // shard durable past the session's last acked put, so it can
+        // never observe a pre-put value.
+        let mut b = Client::connect(server.local_addr()).unwrap();
+        b.bind_session(77).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(b.get(ObjectId(i)).unwrap(), format!("s77-{i}").as_bytes());
+        }
+        // Pipelined on the same session: puts then gets, no waiting in
+        // between — the floored reads still answer in order with the
+        // session's own writes.
+        for i in 0..8u64 {
+            let req_id = b.fresh_req_id();
+            b.send(&Request::Put {
+                req_id,
+                object: ObjectId(i),
+                value: format!("s77b-{i}").into_bytes(),
+            })
+            .unwrap();
+        }
+        for i in 0..8u64 {
+            let req_id = b.fresh_req_id();
+            b.send(&Request::Get {
+                req_id,
+                object: ObjectId(i),
+            })
+            .unwrap();
+        }
+        for _ in 0..8 {
+            assert!(matches!(
+                b.recv().unwrap().expect("ack"),
+                Response::Ack { .. }
+            ));
+        }
+        for i in 0..8u64 {
+            match b.recv().unwrap().expect("value") {
+                Response::Value { value, .. } => {
+                    assert_eq!(value, format!("s77b-{i}").into_bytes());
+                }
+                other => panic!("expected value, got {other:?}"),
+            }
+        }
+        // An unbound connection (and session id 0) still reads normally.
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.bind_session(0).unwrap();
+        assert_eq!(c.get(ObjectId(0)).unwrap(), b"s77b-0");
+        drop(b);
         drop(c);
         server.shutdown();
     }

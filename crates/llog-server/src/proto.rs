@@ -125,6 +125,20 @@ pub enum Request {
         /// The replica's replayed-LSN watermark.
         lsn: Lsn,
     },
+    /// Bind this connection to a client **session**: the server keeps a
+    /// per-session, per-shard read floor (the LSN of the session's last
+    /// acked `Put` on that shard) that survives reconnects. Every `Get`
+    /// on a session-bound connection waits until the owning shard's
+    /// durable watermark covers the session floor, so a client that
+    /// reconnects after an ack never reads a value older than its own
+    /// writes (read-your-writes). Answered with [`Response::Ok`].
+    Session {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Client-chosen stable session identifier (0 = anonymous; no
+        /// floor tracking).
+        session_id: u64,
+    },
     /// Promote a warm standby to primary: seal each shard's log at its
     /// replayed watermark and reopen for writes. Only a replica server
     /// honours this; a primary answers [`Response::Err`]. `source_dir`
@@ -196,6 +210,16 @@ pub struct StatsBody {
     /// The GC floor: oldest SI any snapshot can still resolve (max across
     /// shards — per-shard LSNs, like the replica watermark).
     pub snapshot_oldest_si: u64,
+    /// Operations logged as logical `Op` records (hybrid logging).
+    pub log_records_logical: u64,
+    /// Operations logged as physical-result records (hybrid logging).
+    pub log_records_physical: u64,
+    /// Log bytes spent on logical records.
+    pub log_bytes_logical: u64,
+    /// Log bytes spent on physical-result + conversion records.
+    pub log_bytes_physical: u64,
+    /// Cold logical ops converted to physical form at checkpoints.
+    pub ckpt_ops_converted: u64,
 }
 
 /// What the server answers. `req_id` always echoes the request's.
@@ -296,6 +320,7 @@ const T_SUBSCRIBE: u8 = 7;
 const T_REPLAYED_LSN: u8 = 8;
 const T_PROMOTE: u8 = 9;
 const T_FETCH_STORE: u8 = 10;
+const T_SESSION: u8 = 11;
 
 const T_ACK: u8 = 1;
 const T_VALUE: u8 = 2;
@@ -406,6 +431,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.put_u32_le(*shard);
             out.put_u64_le(*offset);
         }
+        Request::Session { req_id, session_id } => {
+            out.put_u8(T_SESSION);
+            out.put_u64_le(*req_id);
+            out.put_u64_le(*session_id);
+        }
     }
     out
 }
@@ -470,6 +500,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
                 offset: buf.get_u64_le(),
             }
         }
+        T_SESSION => {
+            need(&buf, 8, "session id")?;
+            Request::Session {
+                req_id,
+                session_id: buf.get_u64_le(),
+            }
+        }
         t => return Err(codec_err(&format!("unknown request tag {t}"))),
     };
     if buf.remaining() != 0 {
@@ -516,6 +553,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(body.versions_retained);
             out.put_u64_le(body.versions_gced);
             out.put_u64_le(body.snapshot_oldest_si);
+            out.put_u64_le(body.log_records_logical);
+            out.put_u64_le(body.log_records_physical);
+            out.put_u64_le(body.log_bytes_logical);
+            out.put_u64_le(body.log_bytes_physical);
+            out.put_u64_le(body.ckpt_ops_converted);
         }
         Response::Err {
             req_id,
@@ -588,7 +630,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         },
         T_OK => Response::Ok { req_id },
         T_STATS_R => {
-            need(&buf, 4 + 8 * 13, "stats body")?;
+            need(&buf, 4 + 8 * 18, "stats body")?;
             Response::Stats {
                 req_id,
                 body: StatsBody {
@@ -606,6 +648,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                     versions_retained: buf.get_u64_le(),
                     versions_gced: buf.get_u64_le(),
                     snapshot_oldest_si: buf.get_u64_le(),
+                    log_records_logical: buf.get_u64_le(),
+                    log_records_physical: buf.get_u64_le(),
+                    log_bytes_logical: buf.get_u64_le(),
+                    log_bytes_physical: buf.get_u64_le(),
+                    ckpt_ops_converted: buf.get_u64_le(),
                 },
             }
         }
@@ -814,6 +861,14 @@ mod tests {
                 shard: 2,
                 offset: 262144,
             },
+            Request::Session {
+                req_id: 12,
+                session_id: 0xDEAD_BEEF,
+            },
+            Request::Session {
+                req_id: 13,
+                session_id: 0,
+            },
         ]
     }
 
@@ -849,6 +904,11 @@ mod tests {
                     versions_retained: 19,
                     versions_gced: 260,
                     snapshot_oldest_si: 888,
+                    log_records_logical: 900,
+                    log_records_physical: 100,
+                    log_bytes_logical: 65_536,
+                    log_bytes_physical: 20_480,
+                    ckpt_ops_converted: 17,
                 },
             },
             Response::Err {
@@ -1028,7 +1088,7 @@ mod tests {
             &(0u64..u64::MAX),
             |material| {
                 let mut rng = TestRng::seed_from_u64(material);
-                let req = match rng.random_range(0usize..10) {
+                let req = match rng.random_range(0usize..11) {
                     0 => Request::Put {
                         req_id: rng.next_u64(),
                         object: ObjectId(rng.next_u64()),
@@ -1068,10 +1128,14 @@ mod tests {
                             .map(|_| (b'a' + (rng.next_u32() % 26) as u8) as char)
                             .collect(),
                     },
-                    _ => Request::FetchStore {
+                    9 => Request::FetchStore {
                         req_id: rng.next_u64(),
                         shard: rng.next_u32(),
                         offset: rng.next_u64(),
+                    },
+                    _ => Request::Session {
+                        req_id: rng.next_u64(),
+                        session_id: rng.next_u64(),
                     },
                 };
                 let payload = read_frame(&mut frame(&encode_request(&req)).as_slice())

@@ -71,6 +71,13 @@ use crate::proto::{
 /// fits one frame.
 pub(crate) const SHIP_CHUNK_MAX: usize = 256 << 10;
 
+/// How long a session-bound `Get` will wait for its shard's durable
+/// watermark to cover the session's read floor before erroring out. The
+/// floor is the LSN of the session's last acked `Put` on that shard, so in
+/// a healthy server the wait resolves immediately; the bound only fires if
+/// the shard died with the watermark short of the floor.
+const SESSION_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Per-connection shipping state: the attach image captured by the most
 /// recent `Subscribe` per shard, retained while its store chunks stream
 /// out via `FetchStore` — every chunk of one attach must come from the
@@ -79,6 +86,33 @@ pub(crate) const SHIP_CHUNK_MAX: usize = 256 << 10;
 #[derive(Default)]
 struct ShippingState {
     captures: HashMap<u32, ShipManifest>,
+}
+
+/// Per-session, per-shard read floors (DESIGN §16): the LSN of the
+/// session's last acked `Put` on each shard. Keyed by the client-chosen
+/// session id in [`Inner::sessions`], so the floors outlive any one
+/// connection — a client that reconnects and re-binds its session id gets
+/// read-your-writes across the reconnect.
+struct SessionFloors {
+    floors: Vec<AtomicU64>,
+}
+
+impl SessionFloors {
+    fn new(shards: usize) -> SessionFloors {
+        SessionFloors {
+            floors: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Raise shard `i`'s floor to `lsn` (monotonic; concurrent
+    /// connections on one session race safely through `fetch_max`).
+    fn note_ack(&self, i: usize, lsn: Lsn) {
+        self.floors[i].fetch_max(lsn.0, Ordering::SeqCst);
+    }
+
+    fn floor(&self, i: usize) -> Lsn {
+        Lsn(self.floors[i].load(Ordering::SeqCst))
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -142,6 +176,13 @@ enum Pending {
     /// connection's earlier puts — while the read itself never touches the
     /// engine mutex and so never queues behind other connections' writes.
     Snapshot { req_id: u64, object: ObjectId },
+    /// Bind (or, with `None`, unbind) this connection's session floors.
+    /// Queued like any completion so requests pipelined *before* the bind
+    /// resolve without floors and ones after it resolve with them.
+    Bind {
+        req_id: u64,
+        floors: Option<Arc<SessionFloors>>,
+    },
     /// Already computed (flush/stats/ping/errors).
     Ready(Response),
 }
@@ -234,7 +275,20 @@ struct Inner {
     conns: Mutex<Vec<TcpStream>>,
     /// Connection reader/writer threads, joined at shutdown.
     threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Read floors per client session id, surviving reconnects (see
+    /// [`SessionFloors`]).
+    sessions: Mutex<HashMap<u64, Arc<SessionFloors>>>,
     counters: Counters,
+}
+
+impl Inner {
+    /// Look up (or create) the floors for session `id`.
+    fn session_floors(&self, id: u64) -> Arc<SessionFloors> {
+        lock(&self.sessions)
+            .entry(id)
+            .or_insert_with(|| Arc::new(SessionFloors::new(self.engine.shards())))
+            .clone()
+    }
 }
 
 /// A running TCP front end over a [`ShardedEngine`].
@@ -266,6 +320,7 @@ impl Server {
             shutdown_requested: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             threads: Mutex::new(Vec::new()),
+            sessions: Mutex::new(HashMap::new()),
             counters: Counters::default(),
         });
         let acceptor = {
@@ -463,6 +518,7 @@ fn req_id_of(req: &Request) -> u64 {
         | Request::Subscribe { req_id, .. }
         | Request::FetchStore { req_id, .. }
         | Request::ReplayedLsn { req_id, .. }
+        | Request::Session { req_id, .. }
         | Request::Promote { req_id, .. } => *req_id,
     }
 }
@@ -526,6 +582,11 @@ fn execute_request(inner: &Arc<Inner>, shipping: &mut ShippingState, req: Reques
                     versions_retained: snap.aggregate.versions_retained,
                     versions_gced: snap.aggregate.versions_gced,
                     snapshot_oldest_si: snap.aggregate.snapshot_oldest_si,
+                    log_records_logical: snap.aggregate.log_records_logical,
+                    log_records_physical: snap.aggregate.log_records_physical,
+                    log_bytes_logical: snap.aggregate.log_bytes_logical,
+                    log_bytes_physical: snap.aggregate.log_bytes_physical,
+                    ckpt_ops_converted: snap.aggregate.ckpt_ops_converted,
                 },
             })
         }
@@ -574,6 +635,10 @@ fn execute_request(inner: &Arc<Inner>, shipping: &mut ShippingState, req: Reques
                 }),
             }
         }
+        Request::Session { req_id, session_id } => Pending::Bind {
+            req_id,
+            floors: (session_id != 0).then(|| inner.session_floors(session_id)),
+        },
         Request::Promote { req_id, .. } => Pending::Ready(Response::Err {
             req_id,
             code: ErrCode::Engine,
@@ -692,11 +757,29 @@ fn manifest_chunk(
 /// Pop completions in order, wait tickets durable, write response frames.
 fn writer_loop(inner: &Arc<Inner>, queue: &ConnQueue, stream: TcpStream) {
     let mut w = BufWriter::new(stream);
+    // The session this connection is bound to (via `Request::Session`):
+    // acked puts raise its per-shard floors, gets wait them covered.
+    let mut session: Option<Arc<SessionFloors>> = None;
     while let Some(pending) = queue.pop() {
         let resp = match pending {
             Pending::Ready(resp) => resp,
+            Pending::Bind { req_id, floors } => {
+                session = floors;
+                Response::Ok { req_id }
+            }
             Pending::Snapshot { req_id, object } => {
-                match inner.engine.read_value_snapshot(object) {
+                // A session-bound read waits (bounded) for the owning
+                // shard's durable watermark to cover the session's floor:
+                // read-your-writes even when the floor-raising ack went to
+                // a previous connection of the same session.
+                let floor = session
+                    .as_ref()
+                    .map(|s| s.floor(inner.engine.router().shard_of(object)))
+                    .unwrap_or(Lsn::ZERO);
+                match inner
+                    .engine
+                    .read_value_snapshot_at_least(object, floor, SESSION_READ_TIMEOUT)
+                {
                     Ok(v) => Response::Value {
                         req_id,
                         value: v.as_bytes().to_vec(),
@@ -713,10 +796,13 @@ fn writer_loop(inner: &Arc<Inner>, queue: &ConnQueue, stream: TcpStream) {
                 // the shard's watermark never reaches the ticket.
                 match ticket.wait_timeout(inner.config.ticket_poll) {
                     Some(true) => {
+                        if let Some(s) = &session {
+                            s.note_ack(ticket.shard(), ticket.lsn());
+                        }
                         break Response::Ack {
                             req_id,
                             lsn: ticket.lsn(),
-                        }
+                        };
                     }
                     Some(false) => {
                         break Response::Err {

@@ -100,6 +100,16 @@ pub struct Metrics {
     /// retained version must stay visible to (durable LSN when no snapshot
     /// is open).
     pub snapshot_oldest_si: AtomicU64,
+    /// Operations logged as logical `Op` records (hybrid logging).
+    pub log_records_logical: AtomicU64,
+    /// Operations logged as physical-result records (hybrid logging).
+    pub log_records_physical: AtomicU64,
+    /// Log bytes (framing + payload) spent on logical op records.
+    pub log_bytes_logical: AtomicU64,
+    /// Log bytes (framing + payload) spent on physical-result records.
+    pub log_bytes_physical: AtomicU64,
+    /// Cold logical records converted to physical at checkpoint time.
+    pub ckpt_ops_converted: AtomicU64,
 }
 
 impl Metrics {
@@ -158,6 +168,11 @@ impl Metrics {
             versions_retained: g(&self.versions_retained),
             versions_gced: g(&self.versions_gced),
             snapshot_oldest_si: g(&self.snapshot_oldest_si),
+            log_records_logical: g(&self.log_records_logical),
+            log_records_physical: g(&self.log_records_physical),
+            log_bytes_logical: g(&self.log_bytes_logical),
+            log_bytes_physical: g(&self.log_bytes_physical),
+            ckpt_ops_converted: g(&self.ckpt_ops_converted),
         }
     }
 
@@ -211,6 +226,11 @@ impl Metrics {
             &self.versions_retained,
             &self.versions_gced,
             &self.snapshot_oldest_si,
+            &self.log_records_logical,
+            &self.log_records_physical,
+            &self.log_bytes_logical,
+            &self.log_bytes_physical,
+            &self.ckpt_ops_converted,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -302,6 +322,16 @@ pub struct MetricsSnapshot {
     pub versions_gced: u64,
     /// SI floor of the last GC pass (gauge).
     pub snapshot_oldest_si: u64,
+    /// Operations logged as logical `Op` records (hybrid logging).
+    pub log_records_logical: u64,
+    /// Operations logged as physical-result records (hybrid logging).
+    pub log_records_physical: u64,
+    /// Log bytes spent on logical op records.
+    pub log_bytes_logical: u64,
+    /// Log bytes spent on physical-result records.
+    pub log_bytes_physical: u64,
+    /// Cold logical records converted to physical at checkpoint time.
+    pub ckpt_ops_converted: u64,
 }
 
 impl MetricsSnapshot {
@@ -314,7 +344,7 @@ impl MetricsSnapshot {
     ///
     /// The single source of truth for serialization and aggregation, so a
     /// counter added to the struct cannot silently go missing from either.
-    pub fn fields(&self) -> [(&'static str, u64); 41] {
+    pub fn fields(&self) -> [(&'static str, u64); 46] {
         [
             ("obj_reads", self.obj_reads),
             ("obj_read_bytes", self.obj_read_bytes),
@@ -357,6 +387,11 @@ impl MetricsSnapshot {
             ("versions_retained", self.versions_retained),
             ("versions_gced", self.versions_gced),
             ("snapshot_oldest_si", self.snapshot_oldest_si),
+            ("log_records_logical", self.log_records_logical),
+            ("log_records_physical", self.log_records_physical),
+            ("log_bytes_logical", self.log_bytes_logical),
+            ("log_bytes_physical", self.log_bytes_physical),
+            ("ckpt_ops_converted", self.ckpt_ops_converted),
         ]
     }
 
@@ -458,6 +493,21 @@ impl MetricsSnapshot {
             versions_gced: self.versions_gced.saturating_add(other.versions_gced),
             // GC floors are per-shard LSNs, like the replica watermark.
             snapshot_oldest_si: self.snapshot_oldest_si.max(other.snapshot_oldest_si),
+            log_records_logical: self
+                .log_records_logical
+                .saturating_add(other.log_records_logical),
+            log_records_physical: self
+                .log_records_physical
+                .saturating_add(other.log_records_physical),
+            log_bytes_logical: self
+                .log_bytes_logical
+                .saturating_add(other.log_bytes_logical),
+            log_bytes_physical: self
+                .log_bytes_physical
+                .saturating_add(other.log_bytes_physical),
+            ckpt_ops_converted: self
+                .ckpt_ops_converted
+                .saturating_add(other.ckpt_ops_converted),
         }
     }
 
@@ -547,6 +597,21 @@ impl MetricsSnapshot {
             snapshot_oldest_si: self
                 .snapshot_oldest_si
                 .saturating_sub(earlier.snapshot_oldest_si),
+            log_records_logical: self
+                .log_records_logical
+                .saturating_sub(earlier.log_records_logical),
+            log_records_physical: self
+                .log_records_physical
+                .saturating_sub(earlier.log_records_physical),
+            log_bytes_logical: self
+                .log_bytes_logical
+                .saturating_sub(earlier.log_bytes_logical),
+            log_bytes_physical: self
+                .log_bytes_physical
+                .saturating_sub(earlier.log_bytes_physical),
+            ckpt_ops_converted: self
+                .ckpt_ops_converted
+                .saturating_sub(earlier.ckpt_ops_converted),
         }
     }
 }
@@ -743,6 +808,37 @@ mod tests {
         // LSNs and merge by max.
         assert_eq!(merged.versions_retained, 66);
         assert_eq!(merged.snapshot_oldest_si, 210);
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn hybrid_logging_counters_round_trip() {
+        let m = Metrics::new();
+        Metrics::bump(&m.log_records_logical, 30);
+        Metrics::bump(&m.log_records_physical, 12);
+        Metrics::bump(&m.log_bytes_logical, 1_200);
+        Metrics::bump(&m.log_bytes_physical, 9_000);
+        Metrics::bump(&m.ckpt_ops_converted, 5);
+        let s = m.snapshot();
+        assert_eq!(s.log_records_logical, 30);
+        assert_eq!(s.log_records_physical, 12);
+        assert_eq!(s.ckpt_ops_converted, 5);
+        let json = s.to_json();
+        for key in [
+            "log_records_logical",
+            "log_records_physical",
+            "log_bytes_logical",
+            "log_bytes_physical",
+            "ckpt_ops_converted",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        let merged = s.merged(&s);
+        assert_eq!(merged.log_records_logical, 60);
+        assert_eq!(merged.log_bytes_physical, 18_000);
+        assert_eq!(merged.ckpt_ops_converted, 10);
         assert_eq!(s.since(&s), MetricsSnapshot::default());
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());

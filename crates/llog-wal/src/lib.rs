@@ -23,5 +23,7 @@ mod wal;
 
 pub use archive::LogArchive;
 pub use backend::{DurabilityBackend, PersistOutcome, LOG_SUBDIR, STORE_SUBDIR};
-pub use record::{CheckpointRecord, InstallRecord, LogRecord};
+pub use record::{
+    CheckpointRecord, ConvertedRecord, InstallRecord, LogRecord, PhysicalResultRecord,
+};
 pub use wal::{BeginForce, ForceOutcome, ScanSummary, Wal, WalScan};

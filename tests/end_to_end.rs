@@ -21,6 +21,7 @@ fn config() -> EngineConfig {
         graph: GraphKind::RW,
         flush: FlushStrategy::IdentityWrites,
         audit: false,
+        ..Default::default()
     }
 }
 

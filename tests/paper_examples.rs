@@ -17,6 +17,7 @@ fn engine() -> Engine {
             graph: GraphKind::RW,
             flush: FlushStrategy::IdentityWrites,
             audit: true,
+            ..Default::default()
         },
         TransformRegistry::with_builtins(),
     )
@@ -170,6 +171,7 @@ fn section4_cycle_costs_atomic_flush_under_w() {
             graph: GraphKind::W,
             flush: FlushStrategy::FlushTxn,
             audit: true,
+            ..Default::default()
         },
         TransformRegistry::with_builtins(),
     );
